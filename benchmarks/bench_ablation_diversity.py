@@ -1,0 +1,23 @@
+"""Ablation E — beacon-store diversity vs path quality.
+
+Sweeps the beaconing budget: a budget of 1 still yields reachability but
+fewer choices and (usually) worse best-path latency; the paper's rich
+multi-criteria optimization needs the larger stores.
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.ablations import render_diversity, run_ablation_diversity
+
+
+def test_ablation_diversity(benchmark):
+    points = benchmark(lambda: run_ablation_diversity())
+    publish("ablation_diversity", render_diversity(points))
+
+    by_budget = {point.beacons_per_target: point for point in points}
+    counts = [by_budget[b].mean_paths_per_pair for b in sorted(by_budget)]
+    assert counts == sorted(counts), "diversity must grow with the budget"
+    assert by_budget[8].mean_paths_per_pair > \
+        2 * by_budget[1].mean_paths_per_pair
+    assert by_budget[8].mean_latency_penalty == 1.0
+    assert by_budget[1].mean_latency_penalty >= 1.0

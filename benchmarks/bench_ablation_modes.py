@@ -1,0 +1,32 @@
+"""Ablation C — opportunistic vs strict mode under partial availability.
+
+Sweeps the fraction of SCION-enabled origins (§4.2's deployment reality)
+and records what each mode delivers: opportunistic always loads the full
+page with a SCION share tracking availability; strict trades
+availability for guarantees, up to failing whole pages at 0%.
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.ablations import (
+    ablation_c_point,
+    render_mode_sweep,
+    run_ablation_modes,
+)
+
+
+def test_ablation_modes(benchmark):
+    benchmark(lambda: ablation_c_point(0.5, "strict", seed=1))
+
+    points = run_ablation_modes()
+    publish("ablation_modes", render_mode_sweep(points))
+
+    opportunistic = {p.fraction: p for p in points
+                     if p.mode == "opportunistic"}
+    strict = {p.fraction: p for p in points if p.mode == "strict"}
+    assert all(point.blocked == 0 for point in opportunistic.values())
+    assert strict[0.0].loaded == 0
+    assert strict[1.0].blocked == 0
+    scion_shares = [opportunistic[f].over_scion
+                    for f in sorted(opportunistic)]
+    assert scion_shares == sorted(scion_shares)

@@ -1,0 +1,25 @@
+"""Ablation A — decomposing the Figure 3 overhead.
+
+Zeroes the extension cost, the proxy cost, and both, quantifying §5.2's
+"with tighter SCION integration in the browser and web server, we expect
+the overhead to disappear".
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.ablations import ablation_a_trial, run_ablation_overhead
+
+TRIALS = 10
+
+
+def test_ablation_overhead(benchmark):
+    benchmark(lambda: ablation_a_trial("full detour", seed=1))
+
+    result = run_ablation_overhead(trials=TRIALS)
+    publish("ablation_overhead", result.render())
+
+    full = result.median("full detour")
+    assert result.median("free extension") < full
+    assert result.median("free proxy") < full
+    assert result.median("free both") < \
+        1.6 * result.median("no detour (BGP/IP)")

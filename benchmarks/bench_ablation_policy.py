@@ -1,0 +1,20 @@
+"""Ablation B — path-policy selection quality on random Internets.
+
+Compares policy-selected paths against the optimum (by the policy's own
+metric) and against an arbitrary choice, and checks geofencing always
+picks a compliant path when one exists.
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.ablations import run_ablation_policy
+
+
+def test_ablation_policy(benchmark):
+    result = benchmark(lambda: run_ablation_policy(metric="co2", seed=42,
+                                                   pairs=30))
+    publish("ablation_policy", result.render())
+
+    assert result.policy_vs_optimal.maximum == 1.0
+    assert result.arbitrary_vs_optimal.mean > 1.1
+    assert result.geofence_compliant_choices == result.geofence_available

@@ -1,0 +1,31 @@
+"""Figure 3 — local-setup Page Load Time, four conditions.
+
+The benchmark times one full trial of the most expensive condition
+(SCION-only: every request detours through extension + proxy + QUIC);
+the figure itself is regenerated once at the paper's trial count and its
+shape asserted: SCION-only ≈ mixed ≈ baseline + ~100 ms, strict-SCION
+markedly shorter, BGP/IP-only fastest.
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.local_setup import figure3_trial, run_figure3
+
+TRIALS = 15
+
+
+def test_figure3(benchmark):
+    benchmark(lambda: figure3_trial("SCION-only", seed=1))
+
+    result = run_figure3(trials=TRIALS)
+    publish("figure3", result.render())
+
+    baseline = result.median("BGP/IP-only")
+    scion_only = result.median("SCION-only")
+    mixed = result.median("mixed SCION-IP")
+    strict = result.median("strict-SCION")
+    assert scion_only > baseline + 40, "proxied load must pay the detour"
+    assert mixed > baseline + 40
+    assert 0.8 < scion_only / mixed < 1.2, "SCION-only ≈ mixed"
+    assert strict < 0.7 * scion_only, "strict must shorten PLT"
+    assert 50 <= scion_only - baseline <= 200, "~100 ms overhead regime"

@@ -1,0 +1,27 @@
+"""Figure 5 — remote pages: SCION vs IPv4/6, single and multiple origins.
+
+BGP routes the client's traffic over a slow direct core link (shortest
+AS path); SCION's latency policy picks the faster two-segment detour.
+The asserted shape: SCION PLT significantly below IPv4/6 PLT for both
+page variants — the paper's "PLT improves significantly when the
+resource is loaded via SCION".
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.remote_setup import FAR_ORIGIN, remote_trial, run_figure5
+
+TRIALS = 10
+
+
+def test_figure5(benchmark):
+    benchmark(lambda: remote_trial(FAR_ORIGIN, "single origin / SCION",
+                                   seed=1))
+
+    result = run_figure5(trials=TRIALS)
+    publish("figure5", result.render())
+
+    assert result.median("single origin / SCION") < \
+        0.85 * result.median("single origin / IPv4-6")
+    assert result.median("multiple origins / SCION") < \
+        0.9 * result.median("multiple origins / IPv4-6")

@@ -1,0 +1,28 @@
+"""Figure 6 — AS-local pages: SCION vs IPv4/6.
+
+Here SCION and BGP paths coincide, so path awareness buys nothing and
+the extension + proxy detour shows up as a bounded overhead — "when
+paths are similar, the extension adds a small overhead compared to the
+baseline".
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.remote_setup import NEAR_ORIGIN, remote_trial, run_figure6
+
+TRIALS = 10
+
+
+def test_figure6(benchmark):
+    benchmark(lambda: remote_trial(NEAR_ORIGIN, "single origin / SCION",
+                                   seed=1))
+
+    result = run_figure6(trials=TRIALS)
+    publish("figure6", result.render())
+
+    scion = result.median("single origin / SCION")
+    legacy = result.median("single origin / IPv4-6")
+    assert scion > legacy, "overhead must exist"
+    assert scion < 3.0 * legacy, "overhead must stay bounded"
+    assert result.median("multiple origins / SCION") > \
+        result.median("multiple origins / IPv4-6")

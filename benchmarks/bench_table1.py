@@ -1,0 +1,15 @@
+"""Table 1 — the property × layer decision matrix.
+
+Regenerates the table from the decision model, verifies every prose
+claim from §2, and benchmarks the model evaluation itself.
+"""
+
+from benchmarks.conftest import publish
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark(run_table1)
+    publish("table1", result.render())
+    assert result.all_hold, "a §2 prose claim failed against the model"

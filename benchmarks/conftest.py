@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures:
+it runs the experiment pipeline (at a reduced trial count so the bench
+suite stays minutes-scale), asserts the paper's qualitative shape,
+prints the rows, and persists them under ``results/`` so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it to results/<name>.txt."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CO2-aware browsing with server path negotiation.
+
+Implements the conclusion's future-work items: ESG-optimized routing and
+"path negotiation between the server and the browser". A green-minded
+origin advertises ``SCION-Path-Preference: co2 asc``; the browser honors
+it where the user is indifferent, and we watch the chosen path flip from
+the fast-but-dirty detour to the direct low-carbon route. Then the user
+installs an explicit latency policy and the server's wish is overruled —
+user sovereignty is preserved.
+
+Run: ``python examples/green_negotiation.py``
+"""
+
+from repro import (
+    BraveBrowser,
+    HttpServer,
+    Internet,
+    Resolver,
+    content_for_origin,
+    synthetic_page,
+)
+from repro.core.ppl.ast import Preference
+from repro.core.ppl.policies import latency_optimized
+from repro.topology.defaults import remote_testbed
+
+
+def main() -> None:
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=13)
+    client = internet.add_host("client", ases.client)
+    origin = internet.add_host("origin", ases.remote_server)
+
+    page = synthetic_page("green.example", n_resources=4, seed=6)
+    HttpServer(origin, content_for_origin(page, "green.example"),
+               serve_tcp=True, serve_quic=True,
+               path_preferences=(Preference("co2"),))
+    resolver = Resolver(internet.loop, lookup_latency_ms=2.0)
+    resolver.register_host("green.example", ip_address=origin.addr,
+                           scion_address=origin.addr)
+
+    browser = BraveBrowser(client, resolver)
+
+    print("candidate paths (latency vs carbon):")
+    for path in client.daemon.paths(ases.remote_server):
+        print("  ", path.summary())
+
+    def session():
+        print("\n1) first load — the very first request uses the latency "
+              "tie-break (fast, dirty detour); its response carries the "
+              "server's 'co2 asc' wish, so the page's remaining requests "
+              "already switch to the low-carbon direct path "
+              "(cumulative stats):")
+        yield from browser.load(page)
+        print(report(browser))
+
+        print("\n2) second load — everything negotiated green now:")
+        yield from browser.load(page)
+        print(report(browser))
+
+        print("\n3) user installs an explicit latency policy — "
+              "the server's wish no longer decides:")
+        browser.settings.extra_policies.append(latency_optimized())
+        browser.extension.apply_settings()
+        yield from browser.load(page)
+        print(report(browser))
+        return None
+
+    internet.loop.run_process(session())
+
+
+def report(browser) -> str:
+    lines = []
+    for host_stats in browser.proxy.stats.hosts.values():
+        for record in host_stats.paths.values():
+            lines.append(f"   {record.uses:>2} requests over "
+                         f"{record.summary}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Native inter-domain multipath (paper §1).
+
+The dual-homed testbed offers two link-disjoint 300 Mbps paths between
+client and server. We transfer 4 MB over the single best path and then
+split it bandwidth-proportionally across both, printing the achieved
+transfer times and the speedup — the capacity-aggregation benefit of
+path-aware networking beyond mere path *choice*.
+
+Run: ``python examples/multipath_transfer.py``
+"""
+
+from repro.internet.build import Internet
+from repro.quic.multipath import BulkSink, disjoint_paths, multipath_send
+from repro.topology.defaults import dual_homed_testbed
+
+SIZE = 4_000_000
+
+
+def main() -> None:
+    topology, client_as, server_as = dual_homed_testbed()
+    internet = Internet(topology, seed=8)
+    client = internet.add_host("client", client_as)
+    server = internet.add_host("server", server_as)
+    sink = BulkSink(server)
+
+    candidates = client.daemon.paths(server_as)
+    print(f"{len(candidates)} candidate paths:")
+    for path in candidates:
+        print("  ", path.summary())
+    paths = disjoint_paths(candidates)
+    print(f"\nselected {len(paths)} link-disjoint paths for multipath")
+
+    single = internet.loop.run_process(
+        multipath_send(client, server.addr, 4443, SIZE, paths[:1]))
+    multi = internet.loop.run_process(
+        multipath_send(client, server.addr, 4443, SIZE, paths))
+
+    print(f"\n4 MB over one path : {single:8.1f} ms")
+    print(f"4 MB over two paths: {multi:8.1f} ms")
+    print(f"speedup            : {single / multi:8.2f}x")
+    print(f"(server received {sink.bytes_received / 1e6:.0f} MB total)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The ``Strict-SCION`` header: HSTS-like strict-mode pinning (§4.2/§4.3).
+
+A legacy origin is reachable over SCION through a reverse proxy that
+advertises ``Strict-SCION: max-age=5``. The browser loads the site once
+(opportunistically, over SCION), learns the header, and from then on
+*enforces* strict mode for that origin — we prove it by making the
+policy unsatisfiable and watching the load fail while the header pin is
+fresh, then succeed again (via IP fallback) after the max-age expires.
+
+Run: ``python examples/strict_mode_hsts.py``
+"""
+
+from repro import (
+    BraveBrowser,
+    Geofence,
+    HttpServer,
+    Internet,
+    Resolver,
+    ScionReverseProxy,
+    content_for_origin,
+    synthetic_page,
+)
+from repro.topology.defaults import remote_testbed
+from repro.units import seconds
+
+
+def main() -> None:
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=9)
+    client = internet.add_host("client", ases.client)
+    origin = internet.add_host("origin", ases.remote_server)
+    rp_host = internet.add_host("rp", ases.remote_server)
+
+    page = synthetic_page("pinned.example", n_resources=4, seed=4)
+    HttpServer(origin, content_for_origin(page, "pinned.example"),
+               serve_tcp=True, serve_quic=False)
+    ScionReverseProxy(rp_host, origin.addr,
+                      advertise_strict_scion_max_age=5)  # 5 seconds
+
+    resolver = Resolver(internet.loop, lookup_latency_ms=2.0)
+    resolver.register_host("pinned.example", ip_address=origin.addr,
+                           scion_address=rp_host.addr)
+
+    browser = BraveBrowser(client, resolver)
+    host = "pinned.example"
+
+    def session():
+        print("1) first visit (opportunistic, over SCION):")
+        result = yield from browser.load(page)
+        print(f"   PLT {result.plt_ms:.1f} ms, "
+              f"indicator={result.indicator_state.value}")
+        print(f"   Strict-SCION observed -> strict for {host!r}? "
+              f"{browser.extension.hsts.is_strict(host)}")
+
+        print("\n2) user geofences away every possible path "
+              "(policy now unsatisfiable):")
+        browser.extension.set_geofence(Geofence(blocked_isds={2}))
+        result = yield from browser.load(page)
+        print(f"   load failed={result.failed} "
+              f"(header pin forces strict; no IP fallback allowed)")
+
+        print("\n3) wait past max-age (5 s) and retry:")
+        yield internet.loop.timeout(seconds(6))
+        print(f"   pin still active? {browser.extension.hsts.is_strict(host)}")
+        result = yield from browser.load(page)
+        print(f"   load failed={result.failed}, "
+              f"indicator={result.indicator_state.value} "
+              f"(opportunistic fallback to IPv4/6)")
+        return None
+
+    internet.loop.run_process(session())
+
+
+if __name__ == "__main__":
+    main()

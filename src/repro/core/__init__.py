@@ -1,0 +1,27 @@
+"""The paper's contribution: path-aware networking in the browser.
+
+Subpackages:
+
+* :mod:`repro.core.properties` — the Table 1 decision model: which layer
+  (OS / application / user) should select paths for which property,
+* :mod:`repro.core.ppl` — the Path Policy Language (§4.1),
+* :mod:`repro.core.geofence` — ISD-level geofencing compiled to PPL,
+* :mod:`repro.core.skip` — the local HTTP proxy that speaks SCION,
+* :mod:`repro.core.extension` — the browser-extension logic (request
+  interception, strict mode, Strict-SCION store, UI indicator),
+* :mod:`repro.core.browser` — the browser model that measures Page Load
+  Time.
+"""
+
+from repro.core.geofence import Geofence
+from repro.core.ppl import Policy, parse_policy
+from repro.core.properties import Layer, Property, decision_table
+
+__all__ = [
+    "Geofence",
+    "Layer",
+    "Policy",
+    "Property",
+    "decision_table",
+    "parse_policy",
+]

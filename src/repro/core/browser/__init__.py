@@ -1,0 +1,33 @@
+"""The browser model.
+
+A deliberately small browser: it fetches a page's main document, parses
+it (a fixed parse delay), fetches all subresources in parallel, and
+reports the Page Load Time — the metric of every experiment in the paper
+(§5.2). Two fetch engines exist:
+
+* :class:`~repro.core.browser.engine.ExtensionFetcher` — requests detour
+  through the extension and the SKIP proxy (the paper's prototype),
+* :class:`~repro.core.browser.engine.DirectFetcher` — plain TCP/IP
+  fetches, "the extension is fully disabled, thus, the overhead is
+  removed" (the BGP/IP-Only baseline).
+"""
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.engine import (
+    Browser,
+    DirectFetcher,
+    ExtensionFetcher,
+    PageLoadResult,
+)
+from repro.core.browser.page import Resource, WebPage, synthetic_page
+
+__all__ = [
+    "BraveBrowser",
+    "Browser",
+    "DirectFetcher",
+    "ExtensionFetcher",
+    "PageLoadResult",
+    "Resource",
+    "WebPage",
+    "synthetic_page",
+]

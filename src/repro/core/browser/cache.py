@@ -1,0 +1,81 @@
+"""The browser's HTTP resource cache.
+
+Real browsers satisfy repeat fetches from cache, which changes repeat
+Page Load Times drastically — any credible PLT model needs one. The
+cache honours ``Cache-Control: max-age`` on 200 responses (everything
+else is uncacheable) against simulation time, and remembers each
+resource's original fetch outcome so the UI indicator stays truthful
+about how the bytes originally travelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.extension.extension import FetchOutcome
+from repro.simnet.events import EventLoop
+from repro.units import seconds
+
+
+def cache_max_age_s(response) -> int | None:
+    """Extract ``max-age`` from a response's Cache-Control header."""
+    value = response.headers.get("Cache-Control")
+    if value is None:
+        return None
+    for part in value.split(","):
+        part = part.strip()
+        if part.startswith("max-age="):
+            try:
+                return max(0, int(part[len("max-age="):]))
+            except ValueError:
+                return None
+    return None
+
+
+@dataclass
+class _Entry:
+    outcome: FetchOutcome
+    expires_at_ms: float
+
+
+@dataclass
+class BrowserCache:
+    """Per-browser URL → response cache."""
+
+    loop: EventLoop
+    _entries: dict[str, _Entry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def lookup(self, url: str) -> FetchOutcome | None:
+        """A fresh cached outcome for ``url``, or None."""
+        entry = self._entries.get(url)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expires_at_ms <= self.loop.now:
+            del self._entries[url]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.outcome
+
+    def store(self, url: str, outcome: FetchOutcome) -> None:
+        """Cache a fetch outcome if its response allows it."""
+        if outcome.response is None or not outcome.response.ok:
+            return
+        max_age = cache_max_age_s(outcome.response)
+        if not max_age:
+            return
+        self._entries[url] = _Entry(
+            outcome=outcome,
+            expires_at_ms=self.loop.now + seconds(max_age))
+        self.stores += 1
+
+    def clear(self) -> None:
+        """Drop everything (the user clearing browsing data)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,112 @@
+"""Web page and resource modelling.
+
+A :class:`WebPage` is a main HTML document plus subresources, each
+hosted at some origin (host name). The experiments build pages whose
+resources are split across a SCION-enabled and a legacy origin exactly
+like the paper's local setup (Figure 2) and across near/far origins for
+the distributed setup (Figures 4–6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import BrowserError
+from repro.http.message import ResourceData
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One subresource reference on a page."""
+
+    host: str
+    path: str
+    size: int
+    content_type: str = "application/octet-stream"
+
+    @property
+    def url(self) -> str:
+        """Display URL."""
+        return f"{self.host}{self.path}"
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """A static website: main document plus subresources."""
+
+    host: str
+    path: str
+    html_size: int
+    resources: tuple[Resource, ...]
+
+    @property
+    def url(self) -> str:
+        """Display URL of the main document."""
+        return f"{self.host}{self.path}"
+
+    def origins(self) -> set[str]:
+        """All hosts the page pulls content from (including its own)."""
+        return {self.host} | {resource.host for resource in self.resources}
+
+    def third_party_resources(self) -> list[Resource]:
+        """Resources not hosted on the page's own origin."""
+        return [resource for resource in self.resources
+                if resource.host != self.host]
+
+    def total_bytes(self) -> int:
+        """Main document plus all subresources."""
+        return self.html_size + sum(r.size for r in self.resources)
+
+
+def synthetic_page(host: str, n_resources: int,
+                   mean_resource_bytes: int = 20_000,
+                   html_size: int = 15_000,
+                   third_party: dict[str, int] | None = None,
+                   content_type: str = "image/png",
+                   seed: int = 0, path: str = "/index.html") -> WebPage:
+    """Build a static page like the testbeds' file-server content.
+
+    Args:
+        host: the page's own origin.
+        n_resources: number of first-party subresources.
+        mean_resource_bytes: resource sizes are uniform in
+            [0.5, 1.5] × mean (seeded, so pages are reproducible).
+        third_party: optional ``{origin: count}`` of additional
+            cross-origin resources (the "multiple origins" pages of
+            Figures 5/6).
+        content_type: content type of the subresources.
+        seed: size-randomization seed.
+    """
+    if n_resources < 0:
+        raise BrowserError("n_resources must be >= 0")
+    rng = random.Random((host, seed).__repr__())
+
+    def sized() -> int:
+        return max(256, int(rng.uniform(0.5, 1.5) * mean_resource_bytes))
+
+    resources = [Resource(host=host, path=f"/asset-{index}.png",
+                          size=sized(), content_type=content_type)
+                 for index in range(n_resources)]
+    for origin, count in (third_party or {}).items():
+        for index in range(count):
+            resources.append(Resource(host=origin,
+                                      path=f"/ext-{index}.png",
+                                      size=sized(),
+                                      content_type=content_type))
+    return WebPage(host=host, path=path, html_size=html_size,
+                   resources=tuple(resources))
+
+
+def content_for_origin(page: WebPage, origin: str) -> dict[str, ResourceData]:
+    """The content map an origin server must hold to serve its share of
+    ``page`` (main document included when the origin owns the page)."""
+    content: dict[str, ResourceData] = {}
+    if origin == page.host:
+        content[page.path] = ResourceData(size=page.html_size,
+                                          content_type="text/html")
+    for resource in page.resources:
+        if resource.host == origin:
+            content[resource.path] = ResourceData(
+                size=resource.size, content_type=resource.content_type)
+    return content

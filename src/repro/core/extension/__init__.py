@@ -1,0 +1,30 @@
+"""The browser extension.
+
+The WebExtensions-side logic of the paper's prototype (§5.1): presenting
+settings, configuring the proxy, implementing strict mode (the proxy
+lacks the context), maintaining the ``Strict-SCION`` store, and driving
+the UI indicator that tells the user whether all, some, or none of a
+page was fetched over SCION (§4.2).
+
+* :mod:`repro.core.extension.hsts` — the HSTS-like ``Strict-SCION``
+  origin store with max-age expiry,
+* :mod:`repro.core.extension.ui` — the per-page indicator state,
+* :mod:`repro.core.extension.extension` — interception and settings.
+"""
+
+from repro.core.extension.extension import (
+    BrowserExtension,
+    ExtensionSettings,
+    FetchOutcome,
+)
+from repro.core.extension.hsts import StrictScionStore
+from repro.core.extension.ui import IndicatorState, PageIndicator
+
+__all__ = [
+    "BrowserExtension",
+    "ExtensionSettings",
+    "FetchOutcome",
+    "IndicatorState",
+    "PageIndicator",
+    "StrictScionStore",
+]

@@ -1,0 +1,232 @@
+"""The extension's interception and settings logic.
+
+The extension "has two roles. First, it presents the options and settings
+in the browser's user interface and configures the proxy component
+according to the user's preferences. Furthermore, it takes care of
+implementing the strict mode" (§5.1). Concretely:
+
+* settings changes (geofence toggles, extra PPL policies, mode switches)
+  compile to a combined policy pushed into the proxy via its API,
+* every intercepted request pays the extension's JavaScript processing
+  cost plus an IPC round trip to the proxy process — the overhead that
+  Figure 3 measures,
+* for strict-mode requests, the extension first asks the proxy whether a
+  policy-compliant SCION path exists and blocks the request otherwise,
+* ``Strict-SCION`` response headers feed the HSTS-like store, and every
+  outcome feeds the page indicator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.core.extension.hsts import StrictScionStore
+from repro.core.extension.ui import PageIndicator
+from repro.core.geofence import Geofence
+from repro.core.negotiation import (
+    PATH_PREFERENCE_HEADER,
+    ServerPreferenceStore,
+)
+from repro.core.ppl.ast import Policy
+from repro.core.ppl.evaluator import PathPolicy, combine
+from repro.core.skip.proxy import ProxyResult, SkipProxy
+from repro.errors import (
+    DnsError,
+    HttpError,
+    StrictModeViolation,
+    TransportError,
+)
+from repro.http.message import HttpRequest, HttpResponse
+from repro.simnet.events import SerialResource
+
+#: Per-request extension processing (JavaScript interception,
+#: bookkeeping) and one-way IPC latency to the local proxy process. The
+#: extension's background script is single-threaded JavaScript, so its
+#: processing is serialized across concurrent requests (a capacity-1
+#: resource). See experiments/local_setup.py for the Figure 3
+#: calibration.
+DEFAULT_EXTENSION_OVERHEAD_MS = 1.5
+DEFAULT_IPC_LATENCY_MS = 0.6
+
+
+@dataclass
+class ExtensionSettings:
+    """What the user configured in the extension UI."""
+
+    geofence: Geofence = field(default_factory=Geofence)
+    extra_policies: list[Policy] = field(default_factory=list)
+    strict_mode_global: bool = False
+    strict_sites: set[str] = field(default_factory=set)
+    #: Honor servers' negotiated path preferences (they only ever break
+    #: the user's ties; see repro.core.negotiation).
+    honor_server_preferences: bool = True
+
+    def compile_policy(self) -> PathPolicy | None:
+        """The combined policy to install in the proxy (None = no policy)."""
+        policies: list[Policy] = []
+        if self.geofence.active:
+            policies.append(self.geofence.to_policy())
+        policies.extend(self.extra_policies)
+        if not policies:
+            return None
+        if len(policies) == 1:
+            return policies[0]
+        return combine(policies)
+
+
+@dataclass(frozen=True)
+class FetchOutcome:
+    """What the browser engine gets back for one resource."""
+
+    request: HttpRequest
+    response: HttpResponse | None
+    used_scion: bool
+    policy_compliant: bool
+    blocked: bool
+    elapsed_ms: float
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when a 2xx response arrived."""
+        return self.response is not None and self.response.ok
+
+
+class BrowserExtension:
+    """The per-browser extension instance."""
+
+    def __init__(self, proxy: SkipProxy,
+                 settings: ExtensionSettings | None = None,
+                 extension_overhead_ms: float = DEFAULT_EXTENSION_OVERHEAD_MS,
+                 ipc_latency_ms: float = DEFAULT_IPC_LATENCY_MS,
+                 rng: random.Random | None = None) -> None:
+        self.proxy = proxy
+        self.settings = settings or ExtensionSettings()
+        self.extension_overhead_ms = extension_overhead_ms
+        self.ipc_latency_ms = ipc_latency_ms
+        self.rng = rng
+        assert proxy.host.loop is not None
+        self.cpu = SerialResource(proxy.host.loop, capacity=1)
+        self.hsts = StrictScionStore(loop=proxy.host.loop)
+        self.server_preferences = ServerPreferenceStore()
+        self.requests_intercepted = 0
+        self.requests_blocked = 0
+        self.apply_settings()
+
+    # -- settings (the UI role) ----------------------------------------------
+
+    def apply_settings(self) -> None:
+        """Push the compiled policy into the proxy (§5.1: "specific API
+        calls to the HTTP proxy to apply path policies chosen by users")."""
+        self.proxy.set_policy(self.settings.compile_policy())
+
+    def set_geofence(self, geofence: Geofence) -> None:
+        """Replace the geofencing selection and re-apply."""
+        self.settings.geofence = geofence
+        self.apply_settings()
+
+    def enable_strict_mode(self, host: str | None = None) -> None:
+        """Enable strict mode globally (``host=None``) or for one site
+        ("the user can selectively enable strict mode, e.g., for
+        particularly sensitive websites", §4.2)."""
+        if host is None:
+            self.settings.strict_mode_global = True
+        else:
+            self.settings.strict_sites.add(host)
+
+    def is_strict_for(self, host: str) -> bool:
+        """Whether a request to ``host`` must run in strict mode."""
+        return (self.settings.strict_mode_global
+                or host in self.settings.strict_sites
+                or self.hsts.is_strict(host))
+
+    # -- interception (the strict-mode role) --------------------------------------
+
+    def handle_request(self, request: HttpRequest,
+                       indicator: PageIndicator | None = None) -> Generator:
+        """Intercept one browser request (simulation process); returns a
+        :class:`FetchOutcome`."""
+        assert self.proxy.host.loop is not None
+        loop = self.proxy.host.loop
+        started = loop.now
+        self.requests_intercepted += 1
+        overhead = self.extension_overhead_ms
+        if self.rng is not None:
+            overhead *= self.rng.uniform(0.6, 1.8)
+        yield from self.cpu.use(overhead)
+
+        strict = self.is_strict_for(request.host)
+        if strict:
+            # "it first checks whether the resource is available via a
+            # policy-compliant SCION path" (§5.1) — one extra IPC round
+            # trip for the availability probe.
+            yield loop.timeout(self.ipc_latency_ms)
+            _detection, choice = yield from self.proxy.check_scion(request.host)
+            yield loop.timeout(self.ipc_latency_ms)
+            if not choice.compliant:
+                self.requests_blocked += 1
+                self.proxy.stats.record_blocked(request.host)
+                outcome = FetchOutcome(
+                    request=request, response=None, used_scion=False,
+                    policy_compliant=False, blocked=True,
+                    elapsed_ms=loop.now - started)
+                if indicator is not None:
+                    indicator.record(used_scion=False, compliant=False,
+                                     blocked=True)
+                return outcome
+
+        yield loop.timeout(self.ipc_latency_ms)
+        negotiated = None
+        if self.settings.honor_server_preferences:
+            negotiated = self.server_preferences.preferences_for(request.host)
+        try:
+            result: ProxyResult = yield from self.proxy.fetch(
+                request, strict=strict, server_preferences=negotiated)
+        except (StrictModeViolation, HttpError, TransportError, DnsError):
+            # Strict-mode blocks and genuine failures (no route, dead
+            # origin, handshake timeout) both surface as a blocked
+            # resource: the page degrades, the browser never crashes.
+            self.requests_blocked += 1
+            outcome = FetchOutcome(
+                request=request, response=None, used_scion=False,
+                policy_compliant=False, blocked=True,
+                elapsed_ms=loop.now - started)
+            if indicator is not None:
+                indicator.record(used_scion=False, compliant=False,
+                                 blocked=True)
+            return outcome
+        yield loop.timeout(self.ipc_latency_ms)
+
+        self._observe_response(request, result)
+        if indicator is not None:
+            indicator.record(used_scion=result.used_scion,
+                             compliant=result.policy_compliant)
+        return FetchOutcome(
+            request=request,
+            response=result.response,
+            used_scion=result.used_scion,
+            policy_compliant=result.policy_compliant,
+            blocked=False,
+            elapsed_ms=loop.now - started,
+        )
+
+    def _observe_response(self, request: HttpRequest,
+                          result: ProxyResult) -> None:
+        max_age = result.response.strict_scion_max_age()
+        if max_age is not None:
+            self.hsts.observe(request.host, max_age)
+        # §4.3: the header also advertises SCION availability — when it
+        # names an address, teach the proxy's detector so the *next*
+        # request to this origin can go over SCION even without a TXT
+        # record or curated-list entry.
+        advertised = result.response.strict_scion_address()
+        if advertised is not None:
+            self.proxy.detector.learn(request.host, advertised)
+        # Path negotiation (future-work feature): record the server's
+        # advertised ordering preferences for subsequent requests.
+        preference_header = result.response.headers.get(
+            PATH_PREFERENCE_HEADER)
+        if preference_header is not None:
+            self.server_preferences.observe(request.host, preference_header)

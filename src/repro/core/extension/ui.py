@@ -1,0 +1,71 @@
+"""The browser-UI indicator.
+
+"An icon in the browser's UI indicates to the user whether all, some, or
+no parts of the website were fetched over SCION" (§4.2), and the same
+indicator signals policy non-compliance. :class:`PageIndicator`
+accumulates per-resource outcomes during a page load and exposes the
+resulting icon state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class IndicatorState(enum.Enum):
+    """The icon the user sees after a page load."""
+
+    ALL_SCION = "all-scion"        # every resource over SCION, compliant
+    SOME_SCION = "some-scion"      # mixed SCION and legacy IP
+    NO_SCION = "no-scion"          # nothing over SCION
+    NON_COMPLIANT = "non-compliant"  # SCION used, but policy not satisfied
+    BLOCKED = "blocked"            # strict mode blocked resources
+    EMPTY = "empty"                # nothing loaded (yet)
+
+
+@dataclass
+class PageIndicator:
+    """Per-page-load outcome accumulator."""
+
+    scion_resources: int = 0
+    ip_resources: int = 0
+    blocked_resources: int = 0
+    non_compliant_resources: int = 0
+
+    def record(self, used_scion: bool, compliant: bool,
+               blocked: bool = False) -> None:
+        """Account one resource fetch outcome."""
+        if blocked:
+            self.blocked_resources += 1
+            return
+        if used_scion:
+            self.scion_resources += 1
+            if not compliant:
+                self.non_compliant_resources += 1
+        else:
+            self.ip_resources += 1
+
+    @property
+    def total_resources(self) -> int:
+        """All accounted resources including blocked ones."""
+        return (self.scion_resources + self.ip_resources
+                + self.blocked_resources)
+
+    def state(self) -> IndicatorState:
+        """The icon state for the accumulated outcomes.
+
+        Blocked resources dominate (the user should know strict mode cut
+        the page), then non-compliance, then the all/some/none ladder.
+        """
+        if self.total_resources == 0:
+            return IndicatorState.EMPTY
+        if self.blocked_resources > 0:
+            return IndicatorState.BLOCKED
+        if self.non_compliant_resources > 0:
+            return IndicatorState.NON_COMPLIANT
+        if self.ip_resources == 0:
+            return IndicatorState.ALL_SCION
+        if self.scion_resources == 0:
+            return IndicatorState.NO_SCION
+        return IndicatorState.SOME_SCION

@@ -1,0 +1,98 @@
+"""Geofencing: ISD-level allow/block lists compiled to PPL.
+
+The paper performs geofencing "at the ISD-level. We provide the user with
+an interface to block or allow entire ISDs" (§4.1), with the PPL as the
+foundation for finer-grained control. :class:`Geofence` is that
+interface: the user toggles ISDs (or, for finer granularity, individual
+ASes), and :meth:`Geofence.to_policy` compiles the selection into an
+ordinary PPL policy that composes with any other policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ppl.ast import AclEntry, Policy
+from repro.errors import PolicyError
+from repro.topology.isd_as import IsdAs
+
+
+@dataclass
+class Geofence:
+    """A user's geofencing selection.
+
+    Exactly one of the two modes is active:
+
+    * **blocklist** (default): traffic may traverse anything except the
+      blocked ISDs/ASes — "avoid these jurisdictions",
+    * **allowlist** (``allowed_isds`` set): traffic may only traverse the
+      listed ISDs — "stay within these jurisdictions" (Alibi-routing
+      style).
+    """
+
+    blocked_isds: set[int] = field(default_factory=set)
+    blocked_ases: set[IsdAs] = field(default_factory=set)
+    allowed_isds: set[int] | None = None
+
+    # -- user interface operations (what the extension UI calls) --------------
+
+    def block_isd(self, isd: int) -> None:
+        """Add an ISD to the blocklist."""
+        if self.allowed_isds is not None:
+            raise PolicyError("geofence is in allowlist mode")
+        self.blocked_isds.add(isd)
+
+    def unblock_isd(self, isd: int) -> None:
+        """Remove an ISD from the blocklist (no-op if absent)."""
+        self.blocked_isds.discard(isd)
+
+    def block_as(self, isd_as: IsdAs) -> None:
+        """Block a single AS (the finer granularity PPL enables)."""
+        if self.allowed_isds is not None:
+            raise PolicyError("geofence is in allowlist mode")
+        self.blocked_ases.add(isd_as)
+
+    def allow_only(self, isds: set[int]) -> None:
+        """Switch to allowlist mode with exactly these ISDs."""
+        if not isds:
+            raise PolicyError("allowlist must contain at least one ISD")
+        self.allowed_isds = set(isds)
+        self.blocked_isds.clear()
+        self.blocked_ases.clear()
+
+    def clear(self) -> None:
+        """Back to 'no geofencing'."""
+        self.blocked_isds.clear()
+        self.blocked_ases.clear()
+        self.allowed_isds = None
+
+    @property
+    def active(self) -> bool:
+        """True when any restriction is configured."""
+        return bool(self.blocked_isds or self.blocked_ases
+                    or self.allowed_isds is not None)
+
+    # -- compilation ------------------------------------------------------------
+
+    def to_policy(self, name: str = "geofence") -> Policy:
+        """Compile the selection into a PPL policy.
+
+        Blocklist mode emits ``- <pattern>`` entries followed by ``+ 0``;
+        allowlist mode emits ``+ <isd>-0`` entries followed by ``- 0``.
+        The policy carries no ordering preferences: geofencing constrains
+        *where* traffic may go, not which compliant path is best (the
+        evaluator's latency tie-break, other user policies, or negotiated
+        server preferences decide that).
+        """
+        entries: list[AclEntry] = []
+        if self.allowed_isds is not None:
+            for isd in sorted(self.allowed_isds):
+                entries.append(AclEntry(allow=True, pattern=IsdAs(isd, 0)))
+            entries.append(AclEntry(allow=False, pattern=IsdAs(0, 0)))
+        else:
+            for isd_as in sorted(self.blocked_ases):
+                entries.append(AclEntry(allow=False, pattern=isd_as))
+            for isd in sorted(self.blocked_isds):
+                entries.append(AclEntry(allow=False, pattern=IsdAs(isd, 0)))
+            entries.append(AclEntry(allow=True, pattern=IsdAs(0, 0)))
+        return Policy(name=name, acl=tuple(entries))

@@ -1,0 +1,106 @@
+"""Server ↔ browser path negotiation.
+
+The paper's conclusion names "path negotiation between the server and
+the browser" as a future direction. This module implements a minimal,
+deployable version of it:
+
+* a server (or its reverse proxy) attaches a ``SCION-Path-Preference``
+  response header, e.g. ``co2 asc, latency asc`` — "if you have a
+  choice, I'd like my traffic green first, fast second",
+* the extension records the advertised preferences per origin,
+* on subsequent requests the proxy *appends* the server's preferences to
+  the user's policy: the user's ACL, requirements and explicit
+  preferences always dominate (the browser never lets a server override
+  a geofence), but where the user is indifferent the server's wishes
+  break the tie.
+
+This keeps the paper's user-sovereignty stance while giving servers a
+voice — exactly the "another dimension of achievable properties"
+negotiation is meant to unlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ppl.ast import METRICS, Policy, Preference
+from repro.errors import PolicyError
+
+#: The negotiation response header.
+PATH_PREFERENCE_HEADER = "SCION-Path-Preference"
+
+
+def parse_preference_header(value: str) -> tuple[Preference, ...]:
+    """Parse ``"co2 asc, latency desc"`` into preferences.
+
+    Raises :class:`PolicyError` on malformed input — callers decide
+    whether to ignore or surface it (the extension ignores, so a broken
+    server header can never break a page load).
+    """
+    preferences: list[Preference] = []
+    for clause in value.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split()
+        if len(parts) == 1:
+            metric, direction = parts[0], "asc"
+        elif len(parts) == 2:
+            metric, direction = parts
+        else:
+            raise PolicyError(f"malformed preference clause {clause!r}")
+        if metric not in METRICS:
+            raise PolicyError(f"unknown metric {metric!r}")
+        if direction not in ("asc", "desc"):
+            raise PolicyError(f"unknown direction {direction!r}")
+        preferences.append(Preference(metric=metric,
+                                      descending=direction == "desc"))
+    if not preferences:
+        raise PolicyError("empty preference header")
+    return tuple(preferences)
+
+
+def render_preference_header(preferences: tuple[Preference, ...]) -> str:
+    """The header value for a preference list (server side)."""
+    return ", ".join(
+        f"{pref.metric} {'desc' if pref.descending else 'asc'}"
+        for pref in preferences)
+
+
+def preferences_as_policy(host: str,
+                          preferences: tuple[Preference, ...]) -> Policy:
+    """Wrap advertised preferences as a constraint-free policy.
+
+    The policy has no ACL and no requirements — a server may only
+    influence *ordering*, never reachability.
+    """
+    return Policy(name=f"server-preference:{host}", preferences=preferences)
+
+
+@dataclass
+class ServerPreferenceStore:
+    """Per-origin store of advertised server preferences."""
+
+    _preferences: dict[str, tuple[Preference, ...]] = field(
+        default_factory=dict)
+    observations: int = 0
+
+    def observe(self, host: str, header_value: str) -> None:
+        """Record an advertisement; malformed values are dropped."""
+        self.observations += 1
+        try:
+            self._preferences[host] = parse_preference_header(header_value)
+        except PolicyError:
+            return
+
+    def preferences_for(self, host: str) -> tuple[Preference, ...] | None:
+        """The stored preferences for ``host``, if any."""
+        return self._preferences.get(host)
+
+    def forget(self, host: str) -> None:
+        """Drop an origin's stored preferences."""
+        self._preferences.pop(host, None)
+
+    def hosts(self) -> list[str]:
+        """All origins that negotiated preferences."""
+        return sorted(self._preferences)

@@ -1,0 +1,222 @@
+"""Onion routing over SCION: the Brave-Tor motif, path-aware.
+
+The paper motivates browser-integrated networking with Brave's Tor
+windows (§3.1) and lists *onion routing* as an application/user-layer
+property in Table 1. This module implements a minimal two-hop onion
+circuit running entirely over SCION:
+
+* an :class:`OnionRelay` accepts QUIC streams carrying
+  :class:`OnionEnvelope` layers. A relay only ever learns its successor:
+  it peels one layer, forwards the (opaque) inner payload to the next
+  hop over a SCION path *it* selects, and pipes replies back,
+* the **exit** relay (innermost layer, no successor) performs the actual
+  HTTP fetch over legacy IP and returns the response through the chain,
+* an :class:`OnionClient` builds the layered envelope for a circuit of
+  relays and fetches requests through it.
+
+Anonymity property delivered (and asserted by tests): the entry relay
+sees the client's address but never the destination; the exit relay sees
+the destination but never the client. Layer "encryption" is modelled as
+opacity — relays never introspect inner payloads — plus per-layer size
+padding, which is what the simulator's links actually observe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.ppl.evaluator import PathPolicy, select_path
+from repro.core.ppl.policies import latency_optimized
+from repro.errors import (
+    ConnectionClosedError,
+    HttpError,
+    NoPathError,
+    TransportError,
+)
+from repro.http.client import HttpClient
+from repro.http.message import HttpRequest, HttpResponse
+from repro.internet.host import Host
+from repro.quic.connection import (
+    QuicConnection,
+    QuicListener,
+    QuicStream,
+    quic_connect,
+)
+from repro.scion.addr import HostAddr
+
+#: QUIC port the relay service listens on.
+ONION_PORT = 9001
+#: Bytes of framing/"encryption" overhead added per onion layer.
+LAYER_OVERHEAD_BYTES = 128
+
+
+@dataclass(frozen=True)
+class OnionEnvelope:
+    """One onion layer.
+
+    ``next_hop`` is None at the exit, where ``payload`` is the plaintext
+    :class:`HttpRequest`; everywhere else ``payload`` is the (opaque)
+    inner envelope. ``size`` is the wire size of everything inside this
+    layer.
+    """
+
+    next_hop: HostAddr | None
+    payload: Any
+    size: int
+
+
+def build_circuit_envelope(relays: list[HostAddr], request: HttpRequest,
+                           target_port: int = 80) -> OnionEnvelope:
+    """Wrap ``request`` in one layer per relay (innermost = exit).
+
+    ``target_port`` rides inside the exit layer (the exit needs to know
+    where to connect; nobody else does).
+    """
+    if not relays:
+        raise NoPathError("an onion circuit needs at least one relay")
+    inner: Any = ("exit", request, target_port)
+    size = request.wire_bytes() + LAYER_OVERHEAD_BYTES
+    envelope = OnionEnvelope(next_hop=None, payload=inner, size=size)
+    for relay in reversed(relays[1:]):
+        envelope = OnionEnvelope(next_hop=relay, payload=envelope,
+                                 size=envelope.size + LAYER_OVERHEAD_BYTES)
+    return envelope
+
+
+class OnionRelay:
+    """One relay node: peel, forward, pipe back."""
+
+    def __init__(self, host: Host, port: int = ONION_PORT,
+                 policy: PathPolicy | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or latency_optimized()
+        self.exit_client = HttpClient(host)
+        self.listener = QuicListener(host, port, self._handler)
+        # Observability for the anonymity tests: what this relay saw.
+        self.seen_next_hops: set[HostAddr] = set()
+        self.seen_exit_hosts: set[str] = set()
+        self.forwarded = 0
+        self.exited = 0
+
+    @property
+    def observed_peers(self) -> set[HostAddr]:
+        """Addresses of everyone who connected to this relay — all a
+        relay operator could learn from its own vantage point."""
+        return {address for address, _port in self.listener.connections}
+
+    @property
+    def address(self) -> HostAddr:
+        """The relay's SCION address."""
+        return self.host.addr
+
+    # -- service ---------------------------------------------------------------
+
+    def _handler(self, connection: QuicConnection) -> Generator:
+        while True:
+            stream: QuicStream = yield connection.accept_stream()
+            assert self.host.loop is not None
+            self.host.loop.process(self._serve_stream(stream),
+                                   name=f"onion:{self.host.name}")
+
+    def _serve_stream(self, stream: QuicStream) -> Generator:
+        while True:
+            try:
+                envelope = yield stream.recv()
+            except ConnectionClosedError:
+                return
+            if not isinstance(envelope, OnionEnvelope):
+                continue
+            if envelope.next_hop is None:
+                response = yield from self._exit(envelope)
+            else:
+                response = yield from self._forward(envelope)
+            stream.send(response, response.wire_bytes()
+                        + LAYER_OVERHEAD_BYTES)
+
+    def _forward(self, envelope: OnionEnvelope) -> Generator:
+        """Middle-relay role: pass the inner envelope to the next hop."""
+        self.forwarded += 1
+        self.seen_next_hops.add(envelope.next_hop)
+        inner: OnionEnvelope = envelope.payload
+        try:
+            path = self._path_to(envelope.next_hop)
+        except NoPathError:
+            return HttpResponse(status=502, body_size=64)
+        connection = yield from quic_connect(
+            self.host, envelope.next_hop, self.port, via="scion", path=path)
+        stream = connection.open_stream()
+        stream.send(inner, inner.size)
+        response = yield stream.recv()
+        connection.close()
+        return response
+
+    def _exit(self, envelope: OnionEnvelope) -> Generator:
+        """Exit role: perform the plaintext HTTP fetch over legacy IP."""
+        self.exited += 1
+        kind, request, target_port = envelope.payload
+        if kind != "exit" or not isinstance(request, HttpRequest):
+            return HttpResponse(status=400, body_size=64)
+        self.seen_exit_hosts.add(request.host)
+        destination = HostAddr.parse(request.headers.get("X-Exit-Target", ""))
+        try:
+            response = yield from self.exit_client.request(
+                destination, target_port, request, via="ip")
+        except (HttpError, TransportError):
+            return HttpResponse(status=502, body_size=64)
+        return response
+
+    def _path_to(self, dst: HostAddr):
+        if dst.isd_as == self.host.addr.isd_as:
+            return None
+        assert self.host.daemon is not None
+        candidates = self.host.daemon.paths(dst.isd_as)
+        return select_path(self.policy, candidates)
+
+
+class OnionClient:
+    """Builds circuits and fetches requests through them."""
+
+    def __init__(self, host: Host, relays: list[OnionRelay],
+                 policy: PathPolicy | None = None) -> None:
+        if len(relays) < 2:
+            raise NoPathError("need at least an entry and an exit relay")
+        self.host = host
+        self.relays = relays
+        self.policy = policy or latency_optimized()
+        self.fetches = 0
+
+    def fetch(self, request: HttpRequest, destination: HostAddr,
+              target_port: int = 80) -> Generator:
+        """Fetch ``request`` through the circuit (simulation process).
+
+        The destination address rides in an ``X-Exit-Target`` header that
+        only the exit layer contains.
+        """
+        self.fetches += 1
+        tagged = HttpRequest(
+            method=request.method, host=request.host, path=request.path,
+            headers=request.headers.with_header("X-Exit-Target",
+                                                str(destination)),
+            body_size=request.body_size)
+        addresses = [relay.address for relay in self.relays]
+        envelope = build_circuit_envelope(addresses, tagged,
+                                          target_port=target_port)
+        entry = addresses[0]
+        path = self._path_to(entry)
+        connection = yield from quic_connect(self.host, entry, ONION_PORT,
+                                             via="scion", path=path)
+        stream = connection.open_stream()
+        stream.send(envelope, envelope.size)
+        response = yield stream.recv()
+        connection.close()
+        return response
+
+    def _path_to(self, dst: HostAddr):
+        if dst.isd_as == self.host.addr.isd_as:
+            return None
+        assert self.host.daemon is not None
+        candidates = self.host.daemon.paths(dst.isd_as)
+        return select_path(self.policy, candidates)

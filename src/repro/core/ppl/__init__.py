@@ -1,0 +1,88 @@
+"""The Path Policy Language (PPL).
+
+Path policies are "rules to filter the available SCION paths to a
+particular destination expressed by a dedicated Path Policy Language"
+(paper §4.1). This implementation provides a small, real language:
+
+.. code-block:: text
+
+    policy "geofenced-low-carbon" {
+        acl {
+            - 2-0              # deny anything in ISD 2
+            - 0-ff00:0:310     # deny one specific AS anywhere
+            + 0                # allow the rest (catch-all)
+        }
+        sequence "1-ff00:0:120 0* 2-ff00:0:220"
+        require mtu >= 1400
+        require latency <= 80
+        prefer co2 asc
+        prefer latency asc
+    }
+
+Semantics:
+
+* **acl** — per-hop first-match semantics: every AS on the path is
+  checked against the entries top-down; the first matching entry decides.
+  A hop matching no entry rejects the path, so policies should end with a
+  catch-all (``+ 0`` or ``- 0``).
+* **sequence** — a hop-pattern expression over the path's AS sequence
+  with ``?``/``*``/``+`` modifiers (``0`` is the any-AS wildcard).
+* **require** — hard constraints on path metadata.
+* **prefer** — lexicographic ordering directives; earlier lines dominate.
+
+Multiple policies combine with :func:`combine` (intersection of filters,
+concatenation of preferences), which is how the geofencing UI's output
+composes with e.g. a CO2-optimizing policy (§4.1: "multiple policies can
+be combined for fine-grained configuration").
+"""
+
+from repro.core.ppl.ast import (
+    AclEntry,
+    Policy,
+    Preference,
+    Requirement,
+    SequenceToken,
+    parse_pattern,
+)
+from repro.core.ppl.evaluator import (
+    CompositePolicy,
+    PathPolicy,
+    combine,
+    filter_paths,
+    metric_value,
+    order_paths,
+    permits,
+    select_path,
+)
+from repro.core.ppl.parser import parse_policies, parse_policy
+from repro.core.ppl.policies import (
+    allow_all,
+    bandwidth_optimized,
+    co2_optimized,
+    latency_optimized,
+    price_optimized,
+)
+
+__all__ = [
+    "AclEntry",
+    "CompositePolicy",
+    "PathPolicy",
+    "Policy",
+    "Preference",
+    "Requirement",
+    "SequenceToken",
+    "allow_all",
+    "bandwidth_optimized",
+    "co2_optimized",
+    "combine",
+    "filter_paths",
+    "latency_optimized",
+    "metric_value",
+    "order_paths",
+    "parse_pattern",
+    "parse_policies",
+    "parse_policy",
+    "permits",
+    "price_optimized",
+    "select_path",
+]

@@ -1,0 +1,200 @@
+"""PPL evaluation: applying policies to candidate paths.
+
+The evaluator is a set of pure functions over the policy AST and
+:class:`~repro.scion.path.ScionPath` objects:
+
+* :func:`permits` — does one path satisfy the policy's ACL, sequence and
+  requirements?
+* :func:`filter_paths` — the compliant subset,
+* :func:`order_paths` — compliant paths sorted by the policy's
+  lexicographic preferences (ties broken by latency, then fingerprint,
+  so ordering is total and deterministic),
+* :func:`select_path` — the best compliant path, or
+  :class:`~repro.errors.NoPathError`,
+* :func:`combine` — intersection of several policies' filters with
+  concatenated preferences (§4.1: combined policies, e.g. "optimizing
+  the CO2 footprint while excluding particular regions").
+
+Note the evaluation consumes only beacon-derived metadata — the policy
+"remains on the user's device and does not need to be shared with any
+external services" (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.ppl.ast import Policy, SequenceToken
+from repro.errors import NoPathError, PolicyError
+from repro.scion.path import ScionPath
+from repro.topology.isd_as import IsdAs
+
+
+def metric_value(path: ScionPath, metric: str) -> float:
+    """Extract a policy metric from path metadata."""
+    metadata = path.metadata
+    if metric == "latency":
+        return metadata.latency_ms
+    if metric == "bandwidth":
+        return metadata.bandwidth_mbps
+    if metric == "mtu":
+        return float(metadata.mtu)
+    if metric == "hops":
+        return float(metadata.hop_count)
+    if metric == "co2":
+        return metadata.co2_g_per_gb
+    if metric == "esg":
+        return metadata.esg_min
+    if metric == "price":
+        return metadata.price_per_gb
+    if metric == "loss":
+        return metadata.loss_rate
+    if metric == "jitter":
+        return metadata.jitter_ms
+    raise PolicyError(f"unknown metric {metric!r}")
+
+
+@dataclass(frozen=True)
+class CompositePolicy:
+    """Several policies combined: a path must satisfy all of them;
+    ordering preferences apply in the order the policies were given."""
+
+    name: str
+    policies: tuple[Policy, ...]
+
+    @property
+    def preferences(self):
+        """Concatenated preferences of all constituent policies."""
+        return tuple(pref for policy in self.policies
+                     for pref in policy.preferences)
+
+
+#: Anything the evaluator accepts as a policy.
+PathPolicy = Union[Policy, CompositePolicy]
+
+
+def combine(policies: list["PathPolicy"], name: str = "") -> CompositePolicy:
+    """Combine several policies (intersection semantics).
+
+    Composite inputs are flattened, so combination is associative.
+    """
+    if not policies:
+        raise PolicyError("cannot combine zero policies")
+    label = name or "+".join(policy.name for policy in policies)
+    flattened: list[Policy] = []
+    for policy in policies:
+        if isinstance(policy, CompositePolicy):
+            flattened.extend(policy.policies)
+        else:
+            flattened.append(policy)
+    return CompositePolicy(name=label, policies=tuple(flattened))
+
+
+# -- per-path evaluation -----------------------------------------------------
+
+
+def _acl_permits(policy: Policy, path: ScionPath) -> bool:
+    if not policy.acl:
+        return True
+    for isd_as in path.metadata.ases:
+        decided = None
+        for entry in policy.acl:
+            if entry.matches(isd_as):
+                decided = entry.allow
+                break
+        if decided is None:
+            return False  # no entry matched: default deny
+        if not decided:
+            return False
+    return True
+
+
+def _sequence_matches(tokens: tuple[SequenceToken, ...],
+                      ases: tuple[IsdAs, ...]) -> bool:
+    """Backtracking match of sequence tokens against the AS sequence.
+
+    Paths are short (< ~20 ASes) and token lists shorter, so a memoized
+    recursive matcher is both simple and fast enough.
+    """
+    memo: set[tuple[int, int]] = set()
+
+    def match(token_index: int, as_index: int) -> bool:
+        key = (token_index, as_index)
+        if key in memo:
+            return False
+        if token_index == len(tokens):
+            return as_index == len(ases)
+        token = tokens[token_index]
+        here = (as_index < len(ases)
+                and token.pattern.matches(ases[as_index]))
+        if token.modifier == "":
+            result = here and match(token_index + 1, as_index + 1)
+        elif token.modifier == "?":
+            result = match(token_index + 1, as_index) or (
+                here and match(token_index + 1, as_index + 1))
+        elif token.modifier == "*":
+            result = match(token_index + 1, as_index) or (
+                here and match(token_index, as_index + 1))
+        else:  # "+"
+            result = here and (match(token_index + 1, as_index + 1)
+                               or match(token_index, as_index + 1))
+        if not result:
+            memo.add(key)
+        return result
+
+    return match(0, 0)
+
+
+def permits(policy: PathPolicy, path: ScionPath) -> bool:
+    """True when ``path`` complies with ``policy``."""
+    if isinstance(policy, CompositePolicy):
+        return all(permits(member, path) for member in policy.policies)
+    if not _acl_permits(policy, path):
+        return False
+    if policy.sequence is not None and not _sequence_matches(
+            policy.sequence, path.metadata.ases):
+        return False
+    for requirement in policy.requirements:
+        if not requirement.holds(metric_value(path, requirement.metric)):
+            return False
+    return True
+
+
+# -- set operations ---------------------------------------------------------------
+
+
+def filter_paths(policy: PathPolicy, paths: list[ScionPath]) -> list[ScionPath]:
+    """The policy-compliant subset, original order preserved."""
+    return [path for path in paths if permits(policy, path)]
+
+
+def _sort_key(policy: PathPolicy, path: ScionPath) -> tuple:
+    key: list[float | str] = []
+    for preference in policy.preferences:
+        value = metric_value(path, preference.metric)
+        key.append(-value if preference.descending else value)
+    key.append(path.metadata.latency_ms)
+    key.append(path.fingerprint())
+    return tuple(key)
+
+
+def order_paths(policy: PathPolicy, paths: list[ScionPath]) -> list[ScionPath]:
+    """Compliant paths, best first according to the preferences."""
+    compliant = filter_paths(policy, paths)
+    return sorted(compliant, key=lambda path: _sort_key(policy, path))
+
+
+def select_path(policy: PathPolicy, paths: list[ScionPath]) -> ScionPath:
+    """The single best compliant path.
+
+    Raises :class:`NoPathError` when no candidate complies — the signal
+    strict mode turns into a blocked request and opportunistic mode turns
+    into a non-compliance indicator (§4.2).
+    """
+    ordered = order_paths(policy, paths)
+    if not ordered:
+        raise NoPathError(
+            f"policy {getattr(policy, 'name', '?')!r} rejects all "
+            f"{len(paths)} candidate paths")
+    return ordered[0]

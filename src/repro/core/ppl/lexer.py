@@ -1,0 +1,89 @@
+"""PPL tokenizer.
+
+Turns policy source text into a flat token list. ``#`` starts a comment
+running to end of line. ISD-AS patterns (``1-ff00:0:110``, ``2-0``) are
+single tokens — the lexer tries that shape before plain numbers, so
+``2-0`` never lexes as "2 minus 0".
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import PolicyParseError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    WORD = "word"          # keywords, metric names, asc/desc
+    STRING = "string"      # quoted
+    NUMBER = "number"
+    ISD_AS = "isd_as"      # 1-ff00:0:110 or 2-0
+    PLUS = "+"
+    MINUS = "-"
+    LBRACE = "{"
+    RBRACE = "}"
+    OPERATOR = "op"        # <= >= < > == !=
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (character offset)."""
+
+    type: TokenType
+    text: str
+    position: int
+
+
+_TOKEN_RES: list[tuple[TokenType, re.Pattern[str]]] = [
+    (TokenType.ISD_AS, re.compile(r"\d+-(?:[0-9a-fA-F]{1,4}:[0-9a-fA-F]{1,4}"
+                                  r":[0-9a-fA-F]{1,4}|\d+)")),
+    (TokenType.NUMBER, re.compile(r"\d+(?:\.\d+)?")),
+    (TokenType.WORD, re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")),
+    (TokenType.OPERATOR, re.compile(r"<=|>=|==|!=|<|>")),
+    (TokenType.STRING, re.compile(r'"[^"\n]*"')),
+    (TokenType.PLUS, re.compile(r"\+")),
+    (TokenType.MINUS, re.compile(r"-")),
+    (TokenType.LBRACE, re.compile(r"\{")),
+    (TokenType.RBRACE, re.compile(r"\}")),
+]
+
+_WHITESPACE = re.compile(r"[ \t\r\n]+")
+_COMMENT = re.compile(r"#[^\n]*")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize policy source; raises :class:`PolicyParseError` on
+    unrecognized input."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _WHITESPACE.match(source, position)
+        if match:
+            position = match.end()
+            continue
+        match = _COMMENT.match(source, position)
+        if match:
+            position = match.end()
+            continue
+        for token_type, pattern in _TOKEN_RES:
+            match = pattern.match(source, position)
+            if match:
+                text = match.group()
+                if token_type is TokenType.STRING:
+                    text = text[1:-1]
+                tokens.append(Token(type=token_type, text=text,
+                                    position=position))
+                position = match.end()
+                break
+        else:
+            raise PolicyParseError(
+                f"unexpected character {source[position]!r}",
+                position=position)
+    tokens.append(Token(type=TokenType.END, text="", position=length))
+    return tokens

@@ -1,0 +1,190 @@
+"""PPL recursive-descent parser.
+
+Grammar (whitespace- and comment-insensitive)::
+
+    file        := policy*
+    policy      := "policy" STRING "{" statement* "}"
+    statement   := acl_block | sequence_stmt | require_stmt | prefer_stmt
+    acl_block   := "acl" "{" acl_entry* "}"
+    acl_entry   := ("+" | "-") [pattern]
+    sequence    := "sequence" STRING          # hop tokens inside the string
+    require     := "require" METRIC OP NUMBER
+    prefer      := "prefer" METRIC ("asc" | "desc")
+    pattern     := ISD_AS | NUMBER            # NUMBER means "ISD n" (0 = all)
+
+Inside a sequence string, hop tokens are whitespace-separated patterns
+with an optional trailing ``?``, ``*`` or ``+`` modifier.
+"""
+
+from __future__ import annotations
+
+from repro.core.ppl.ast import (
+    METRICS,
+    AclEntry,
+    Policy,
+    Preference,
+    Requirement,
+    SequenceToken,
+    parse_pattern,
+)
+from repro.core.ppl.lexer import Token, TokenType, tokenize
+from repro.errors import AddressError, PolicyParseError
+from repro.topology.isd_as import IsdAs
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.END:
+            self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.type is not token_type or (text is not None
+                                            and token.text != text):
+            wanted = text or token_type.value
+            raise PolicyParseError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                position=token.position)
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_file(self) -> list[Policy]:
+        policies = []
+        while self.peek().type is not TokenType.END:
+            policies.append(self.parse_policy())
+        return policies
+
+    def parse_policy(self) -> Policy:
+        self.expect(TokenType.WORD, "policy")
+        name = self.expect(TokenType.STRING).text
+        self.expect(TokenType.LBRACE)
+        acl: list[AclEntry] = []
+        sequence: tuple[SequenceToken, ...] | None = None
+        requirements: list[Requirement] = []
+        preferences: list[Preference] = []
+        while self.peek().type is not TokenType.RBRACE:
+            token = self.peek()
+            if token.type is not TokenType.WORD:
+                raise PolicyParseError(
+                    f"expected a statement, found {token.text!r}",
+                    position=token.position)
+            if token.text == "acl":
+                if acl:
+                    raise PolicyParseError("duplicate acl block",
+                                           position=token.position)
+                acl = self.parse_acl()
+            elif token.text == "sequence":
+                if sequence is not None:
+                    raise PolicyParseError("duplicate sequence statement",
+                                           position=token.position)
+                sequence = self.parse_sequence()
+            elif token.text == "require":
+                requirements.append(self.parse_require())
+            elif token.text == "prefer":
+                preferences.append(self.parse_prefer())
+            else:
+                raise PolicyParseError(f"unknown statement {token.text!r}",
+                                       position=token.position)
+        self.expect(TokenType.RBRACE)
+        return Policy(name=name, acl=tuple(acl), sequence=sequence,
+                      requirements=tuple(requirements),
+                      preferences=tuple(preferences))
+
+    def parse_acl(self) -> list[AclEntry]:
+        self.expect(TokenType.WORD, "acl")
+        self.expect(TokenType.LBRACE)
+        entries: list[AclEntry] = []
+        while self.peek().type in (TokenType.PLUS, TokenType.MINUS):
+            sign = self.advance()
+            allow = sign.type is TokenType.PLUS
+            token = self.peek()
+            if token.type in (TokenType.ISD_AS, TokenType.NUMBER):
+                pattern = self._pattern(self.advance())
+            else:
+                pattern = IsdAs(0, 0)  # bare +/- is a catch-all
+            entries.append(AclEntry(allow=allow, pattern=pattern))
+        self.expect(TokenType.RBRACE)
+        if not entries:
+            raise PolicyParseError("empty acl block")
+        return entries
+
+    def parse_sequence(self) -> tuple[SequenceToken, ...]:
+        keyword = self.expect(TokenType.WORD, "sequence")
+        text = self.expect(TokenType.STRING).text
+        tokens: list[SequenceToken] = []
+        for raw in text.split():
+            modifier = ""
+            if raw[-1] in "?*+":
+                modifier = raw[-1]
+                raw = raw[:-1]
+            try:
+                pattern = parse_pattern(raw)
+            except AddressError as error:
+                raise PolicyParseError(
+                    f"invalid sequence hop {raw!r}: {error}",
+                    position=keyword.position) from error
+            tokens.append(SequenceToken(pattern=pattern, modifier=modifier))
+        if not tokens:
+            raise PolicyParseError("empty sequence", position=keyword.position)
+        return tuple(tokens)
+
+    def parse_require(self) -> Requirement:
+        self.expect(TokenType.WORD, "require")
+        metric = self._metric()
+        op_token = self.expect(TokenType.OPERATOR)
+        value_token = self.expect(TokenType.NUMBER)
+        return Requirement(metric=metric, op=op_token.text,
+                           value=float(value_token.text))
+
+    def parse_prefer(self) -> Preference:
+        self.expect(TokenType.WORD, "prefer")
+        metric = self._metric()
+        direction = self.expect(TokenType.WORD)
+        if direction.text not in ("asc", "desc"):
+            raise PolicyParseError(
+                f"expected 'asc' or 'desc', found {direction.text!r}",
+                position=direction.position)
+        return Preference(metric=metric, descending=direction.text == "desc")
+
+    # -- leaf helpers -----------------------------------------------------------
+
+    def _metric(self) -> str:
+        token = self.expect(TokenType.WORD)
+        if token.text not in METRICS:
+            raise PolicyParseError(
+                f"unknown metric {token.text!r} (expected one of "
+                f"{', '.join(METRICS)})", position=token.position)
+        return token.text
+
+    def _pattern(self, token: Token) -> IsdAs:
+        try:
+            return parse_pattern(token.text)
+        except AddressError as error:
+            raise PolicyParseError(f"invalid pattern {token.text!r}: {error}",
+                                   position=token.position) from error
+
+
+def parse_policies(source: str) -> list[Policy]:
+    """Parse a PPL file that may contain several policies."""
+    return _Parser(tokenize(source)).parse_file()
+
+
+def parse_policy(source: str) -> Policy:
+    """Parse exactly one policy; raises on zero or several."""
+    policies = parse_policies(source)
+    if len(policies) != 1:
+        raise PolicyParseError(
+            f"expected exactly one policy, found {len(policies)}")
+    return policies[0]

@@ -1,0 +1,56 @@
+"""Built-in path policies.
+
+Ready-made policies for the property classes of Table 1: performance
+(latency, bandwidth), ESG (CO2), and economics (price). Geofencing lives
+in :mod:`repro.core.geofence` because it is user-configured rather than
+canned. The conclusion's future work — "optimizing network paths for
+energy, or CO2 footprint" — is :func:`co2_optimized`.
+"""
+
+from __future__ import annotations
+
+from repro.core.ppl.ast import Policy, Preference, Requirement
+
+
+def allow_all(name: str = "allow-all") -> Policy:
+    """The neutral policy: every path complies, ordered by latency."""
+    return Policy(name=name, preferences=(Preference("latency"),))
+
+
+def latency_optimized(max_latency_ms: float | None = None,
+                      name: str = "latency-optimized") -> Policy:
+    """Prefer the lowest-latency path, optionally bounding latency."""
+    requirements = ()
+    if max_latency_ms is not None:
+        requirements = (Requirement("latency", "<=", max_latency_ms),)
+    return Policy(name=name, requirements=requirements,
+                  preferences=(Preference("latency"),))
+
+
+def bandwidth_optimized(min_bandwidth_mbps: float | None = None,
+                        name: str = "bandwidth-optimized") -> Policy:
+    """Prefer the highest-bottleneck-bandwidth path."""
+    requirements = ()
+    if min_bandwidth_mbps is not None:
+        requirements = (Requirement("bandwidth", ">=", min_bandwidth_mbps),)
+    return Policy(name=name, requirements=requirements,
+                  preferences=(Preference("bandwidth", descending=True),
+                               Preference("latency")))
+
+
+def co2_optimized(max_latency_ms: float | None = None,
+                  name: str = "co2-optimized") -> Policy:
+    """Prefer the lowest-carbon path; optionally cap the latency cost the
+    user is willing to pay for greener routing (§2: "how much performance
+    the user is willing to trade for better ESG metrics")."""
+    requirements = ()
+    if max_latency_ms is not None:
+        requirements = (Requirement("latency", "<=", max_latency_ms),)
+    return Policy(name=name, requirements=requirements,
+                  preferences=(Preference("co2"), Preference("latency")))
+
+
+def price_optimized(name: str = "price-optimized") -> Policy:
+    """Prefer the cheapest path (lowest summed transit price)."""
+    return Policy(name=name,
+                  preferences=(Preference("price"), Preference("latency")))

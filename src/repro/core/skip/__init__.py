@@ -1,0 +1,32 @@
+"""SKIP: the local HTTP proxy that brings SCION to the browser.
+
+The paper's client-side architecture (§4, §5.1) routes every browser
+request through a local HTTP proxy process that owns all SCION
+functionality: detecting whether the destination is SCION-reachable,
+querying the path daemon, evaluating the user's path policies, fetching
+over QUIC/SCION, and falling back to IPv4/6 — while feeding path-usage
+statistics back to the user.
+
+* :mod:`repro.core.skip.detection` — SCION detection for domains
+  (curated list, DNS TXT records, learned ``Strict-SCION`` origins; §4.3),
+* :mod:`repro.core.skip.session` — per-destination path selection under
+  the active policy, including the opportunistic-mode preference
+  semantics (§4.2),
+* :mod:`repro.core.skip.stats` — path usage and performance statistics,
+* :mod:`repro.core.skip.proxy` — the proxy itself.
+"""
+
+from repro.core.skip.detection import DetectionResult, ScionDetector
+from repro.core.skip.proxy import ProxyResult, SkipProxy
+from repro.core.skip.session import PathChoice, PathSelector
+from repro.core.skip.stats import PathUsageStats
+
+__all__ = [
+    "DetectionResult",
+    "PathChoice",
+    "PathSelector",
+    "PathUsageStats",
+    "ProxyResult",
+    "ScionDetector",
+    "SkipProxy",
+]

@@ -1,0 +1,90 @@
+"""SCION detection for domains.
+
+"Since SCION uses a different address scheme ... adapting address
+resolution is required" (§4.3). The detector combines the paper's three
+mechanisms, in precedence order:
+
+1. a **curated list** of SCION-available domains (the "reasonable
+   starting point" that "does not scale"),
+2. **learned origins**: domains whose responses carried ``Strict-SCION``
+   (the extension feeds these back; they double as an availability
+   advertisement, §4.3),
+3. **DNS TXT records** carrying a ``scion=`` address, fetched alongside
+   the regular A lookup.
+
+Results are cached per domain (respecting the resolver's TTL handling);
+a curated/learned hit still performs the A lookup for fallback data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.dns.resolver import Resolver
+from repro.errors import DnsError
+from repro.scion.addr import HostAddr
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """What we know about one domain's reachability."""
+
+    host: str
+    scion_address: HostAddr | None
+    ip_address: HostAddr | None
+    source: str  # "curated" | "learned" | "dns-txt" | "none"
+
+    @property
+    def scion_available(self) -> bool:
+        """True when the domain can be fetched over SCION."""
+        return self.scion_address is not None
+
+
+@dataclass
+class ScionDetector:
+    """Per-proxy SCION detection state."""
+
+    resolver: Resolver
+    curated: dict[str, HostAddr] = field(default_factory=dict)
+    learned: dict[str, HostAddr] = field(default_factory=dict)
+    detections: int = 0
+    txt_hits: int = 0
+
+    def add_curated(self, host: str, address: HostAddr) -> None:
+        """Pre-install a curated-list entry."""
+        self.curated[host] = address
+
+    def learn(self, host: str, address: HostAddr) -> None:
+        """Record a SCION address learned from a ``Strict-SCION``
+        response (or any successful SCION fetch)."""
+        self.learned[host] = address
+
+    def detect(self, host: str) -> Generator:
+        """Resolve a domain's SCION and IP addresses (simulation process).
+
+        Usage: ``result = yield from detector.detect(host)``. Unknown
+        domains yield a result with neither address rather than raising —
+        the proxy turns that into a 502.
+        """
+        self.detections += 1
+        try:
+            resolution = yield from self.resolver.resolve(host)
+        except DnsError:
+            resolution = None
+        ip_address = resolution.ip_address if resolution else None
+        if host in self.curated:
+            return DetectionResult(host=host,
+                                   scion_address=self.curated[host],
+                                   ip_address=ip_address, source="curated")
+        if host in self.learned:
+            return DetectionResult(host=host,
+                                   scion_address=self.learned[host],
+                                   ip_address=ip_address, source="learned")
+        if resolution is not None and resolution.scion_address is not None:
+            self.txt_hits += 1
+            return DetectionResult(host=host,
+                                   scion_address=resolution.scion_address,
+                                   ip_address=ip_address, source="dns-txt")
+        return DetectionResult(host=host, scion_address=None,
+                               ip_address=ip_address, source="none")

@@ -1,0 +1,255 @@
+"""The SKIP HTTP proxy.
+
+The local process every browser request detours through when the
+extension is enabled (§5.1: "the extension configures the default proxy
+for all network requests to the HTTP proxy component, which then decides
+on using either SCION or IPv4/6"). Per request the proxy
+
+1. detects the destination's SCION and IP addresses,
+2. selects a SCION path under the active policy (set by the extension
+   through the proxy's configuration API),
+3. fetches over QUIC/SCION, or falls back to TCP/IP — in the default
+   opportunistic mode; in strict mode a request without a
+   policy-compliant SCION path raises
+   :class:`~repro.errors.StrictModeViolation` instead of falling back,
+4. records path-usage statistics and charges its own processing time.
+
+The proxy is policy-ignorant about *when* strict mode applies — that
+context lives in the extension (§5.1: "as the proxy is a regular HTTP
+proxy it does not have the necessary context to decide whether strict
+mode should be enabled for a particular request").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.core.ppl.evaluator import PathPolicy
+from repro.core.skip.detection import DetectionResult, ScionDetector
+from repro.core.skip.session import ChoiceKind, PathChoice, PathSelector
+from repro.core.skip.stats import PathUsageStats
+from repro.dns.resolver import Resolver
+from repro.errors import (
+    HttpError,
+    ProxyError,
+    StrictModeViolation,
+    TransportError,
+)
+from repro.http.client import HttpClient
+from repro.http.message import HttpRequest, HttpResponse
+from repro.internet.host import Host
+from repro.simnet.events import SerialResource
+
+#: Default per-request processing cost of the proxy process (parsing,
+#: policy evaluation, connection shuffling). The proxy's CPU is modelled
+#: as a capacity-1 resource: concurrent requests queue for it instead of
+#: overlapping, which is what makes the Figure 3 overhead scale with the
+#: number of proxied resources. Calibrated together with the extension
+#: overhead so the local-setup PLT delta lands in the ~100 ms regime the
+#: paper reports; see experiments/local_setup.py.
+DEFAULT_PROCESSING_MS = 6.0
+#: Processing cost of a strict-mode availability probe (policy
+#: evaluation only, no data path).
+DEFAULT_CHECK_PROCESSING_MS = 0.5
+
+
+@dataclass(frozen=True)
+class ProxyResult:
+    """Everything the extension needs to know about one fetch."""
+
+    response: HttpResponse
+    used_scion: bool
+    policy_compliant: bool
+    path_fingerprint: str | None
+    detection_source: str
+    elapsed_ms: float
+
+
+class SkipProxy:
+    """One browser's local HTTP proxy."""
+
+    def __init__(self, host: Host, resolver: Resolver,
+                 policy: PathPolicy | None = None,
+                 processing_ms: float = DEFAULT_PROCESSING_MS,
+                 check_processing_ms: float = DEFAULT_CHECK_PROCESSING_MS,
+                 use_noncompliant_paths: bool = False,
+                 quic_port: int = 443, tcp_port: int = 80,
+                 rng: random.Random | None = None) -> None:
+        if host.daemon is None:
+            raise ProxyError(f"host {host.name} has no path daemon")
+        if host.loop is None:
+            raise ProxyError(f"host {host.name} not attached to a network")
+        self.host = host
+        self.client = HttpClient(host)
+        self.detector = ScionDetector(resolver=resolver)
+        self.selector = PathSelector(host.daemon,
+                                     use_noncompliant=use_noncompliant_paths)
+        self.policy = policy
+        self.processing_ms = processing_ms
+        self.check_processing_ms = check_processing_ms
+        self.rng = rng
+        self.cpu = SerialResource(host.loop, capacity=1)
+        self.quic_port = quic_port
+        self.tcp_port = tcp_port
+        self.stats = PathUsageStats()
+        #: Failover state: recently-failed path fingerprints -> the
+        #: simulation time until which they are avoided.
+        self.failure_backoff_ms = 30_000.0
+        self.max_scion_attempts = 2
+        self._path_failures: dict[str, float] = {}
+        self.failovers = 0
+
+    # -- configuration API (what the extension calls, §5.1) ---------------------
+
+    def set_policy(self, policy: PathPolicy | None) -> None:
+        """Install the user's (combined) path policy."""
+        self.policy = policy
+
+    def _cost(self, nominal_ms: float) -> float:
+        """Processing time with OS-scheduling noise when an RNG is set."""
+        if self.rng is None:
+            return nominal_ms
+        return nominal_ms * self.rng.uniform(0.6, 1.8)
+
+    def _avoided_paths(self) -> frozenset[str]:
+        """Fingerprints of paths still in failure backoff."""
+        assert self.host.loop is not None
+        now = self.host.loop.now
+        expired = [fingerprint for fingerprint, until
+                   in self._path_failures.items() if until <= now]
+        for fingerprint in expired:
+            del self._path_failures[fingerprint]
+        return frozenset(self._path_failures)
+
+    def _effective_policy(self, host: str, server_preferences):
+        """The user's policy with negotiated server preferences appended.
+
+        The server contributes ordering only; the user's ACL,
+        requirements and own preferences always dominate.
+        """
+        if not server_preferences:
+            return self.policy
+        from repro.core.negotiation import preferences_as_policy
+        from repro.core.ppl.evaluator import combine
+        server_policy = preferences_as_policy(host, server_preferences)
+        if self.policy is None:
+            return server_policy
+        return combine([self.policy, server_policy])
+
+    def add_curated_domain(self, host: str, address) -> None:
+        """Extend the curated SCION-domain list."""
+        self.detector.add_curated(host, address)
+
+    def check_scion(self, host_name: str) -> Generator:
+        """Availability probe for the extension's strict-mode gate.
+
+        Returns ``(detection, choice)`` — whether the domain is
+        SCION-reachable and whether a policy-compliant path exists —
+        without fetching anything.
+        """
+        yield from self.cpu.use(self._cost(self.check_processing_ms))
+        detection: DetectionResult = yield from self.detector.detect(host_name)
+        if not detection.scion_available:
+            return detection, PathChoice(kind=ChoiceKind.NO_SCION)
+        choice = self.selector.choose(detection.scion_address.isd_as,
+                                      self.policy)
+        return detection, choice
+
+    # -- the data path ---------------------------------------------------------------
+
+    def fetch(self, request: HttpRequest, strict: bool = False,
+              server_preferences=None) -> Generator:
+        """Fetch one request (simulation process); returns
+        :class:`ProxyResult`.
+
+        ``server_preferences`` is an optional negotiated preference tuple
+        (see :mod:`repro.core.negotiation`); it is appended *after* the
+        user's policy, so it can only break the user's ties.
+
+        Raises :class:`StrictModeViolation` when ``strict`` and no
+        policy-compliant SCION route exists, and :class:`HttpError` when
+        no route at all exists.
+        """
+        assert self.host.loop is not None
+        loop = self.host.loop
+        started = loop.now
+        yield from self.cpu.use(self._cost(self.processing_ms))
+        detection: DetectionResult = yield from self.detector.detect(
+            request.host)
+
+        choice = PathChoice(kind=ChoiceKind.NO_SCION)
+        effective = None
+        if detection.scion_available:
+            effective = self._effective_policy(request.host,
+                                               server_preferences)
+            choice = self.selector.choose(detection.scion_address.isd_as,
+                                          effective,
+                                          avoid=self._avoided_paths())
+
+        if strict and not choice.compliant:
+            self.stats.record_blocked(request.host)
+            raise StrictModeViolation(
+                f"strict mode: no policy-compliant SCION path for "
+                f"{request.host} ({choice.kind.value})")
+
+        attempts = 0
+        while choice.usable and attempts < self.max_scion_attempts:
+            try:
+                response = yield from self.client.request(
+                    detection.scion_address, self.quic_port, request,
+                    via="scion", path=choice.path)
+            except (HttpError, TransportError):
+                attempts += 1
+                if choice.path is None:
+                    break  # local-AS fetch failed; nothing to fail over to
+                # Blacklist the failed path for a while and re-select.
+                self._path_failures[choice.path.fingerprint()] = \
+                    loop.now + self.failure_backoff_ms
+                self.failovers += 1
+                choice = self.selector.choose(
+                    detection.scion_address.isd_as, effective,
+                    avoid=self._avoided_paths())
+                continue
+            elapsed = loop.now - started
+            self.stats.record_scion(
+                request.host,
+                fingerprint=(choice.path.fingerprint() if choice.path
+                             else "local-as"),
+                summary=(choice.path.summary() if choice.path
+                         else "(local AS)"),
+                latency_ms=elapsed,
+                compliant=choice.compliant,
+            )
+            return ProxyResult(
+                response=response,
+                used_scion=True,
+                policy_compliant=choice.compliant,
+                path_fingerprint=(choice.path.fingerprint()
+                                  if choice.path else None),
+                detection_source=detection.source,
+                elapsed_ms=elapsed,
+            )
+
+        if strict:
+            # All SCION attempts failed; strict mode never falls back.
+            self.stats.record_blocked(request.host)
+            raise StrictModeViolation(
+                f"strict mode: SCION fetch for {request.host} failed on "
+                f"all attempted paths")
+        if detection.ip_address is None:
+            raise HttpError(f"no route to {request.host}", status=502)
+        response = yield from self.client.request(
+            detection.ip_address, self.tcp_port, request, via="ip")
+        elapsed = loop.now - started
+        self.stats.record_ip(request.host, elapsed,
+                             scion_was_available=detection.scion_available)
+        return ProxyResult(
+            response=response,
+            used_scion=False,
+            policy_compliant=False,
+            path_fingerprint=None,
+            detection_source=detection.source,
+            elapsed_ms=elapsed,
+        )

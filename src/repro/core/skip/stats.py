@@ -1,0 +1,105 @@
+"""Path usage and performance statistics.
+
+"Statistics on path usage and performance of particular paths are
+provided as feedback to users" (§4). The proxy records, per destination
+host, which transport served each request, which SCION path was used
+(by fingerprint), whether it complied with the active policy, and the
+request latency — enough to render the UI's feedback panel and for the
+experiments to assert on transport mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PathRecord:
+    """Accumulated use of one particular path."""
+
+    fingerprint: str
+    summary: str
+    uses: int = 0
+    total_latency_ms: float = 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Average request latency observed over this path."""
+        return self.total_latency_ms / self.uses if self.uses else 0.0
+
+
+@dataclass
+class HostStats:
+    """Per-destination-host counters."""
+
+    host: str
+    scion_requests: int = 0
+    ip_requests: int = 0
+    blocked_requests: int = 0
+    non_compliant: int = 0
+    fallbacks: int = 0  # SCION was available but IP was used
+    paths: dict[str, PathRecord] = field(default_factory=dict)
+
+
+@dataclass
+class PathUsageStats:
+    """Proxy-wide statistics, grouped per destination host."""
+
+    hosts: dict[str, HostStats] = field(default_factory=dict)
+
+    def _host(self, host: str) -> HostStats:
+        if host not in self.hosts:
+            self.hosts[host] = HostStats(host=host)
+        return self.hosts[host]
+
+    def record_scion(self, host: str, fingerprint: str, summary: str,
+                     latency_ms: float, compliant: bool) -> None:
+        """One request served over SCION."""
+        stats = self._host(host)
+        stats.scion_requests += 1
+        if not compliant:
+            stats.non_compliant += 1
+        record = stats.paths.setdefault(
+            fingerprint, PathRecord(fingerprint=fingerprint, summary=summary))
+        record.uses += 1
+        record.total_latency_ms += latency_ms
+
+    def record_ip(self, host: str, latency_ms: float,
+                  scion_was_available: bool) -> None:
+        """One request served over legacy IP."""
+        del latency_ms  # per-path latency feedback is SCION-specific
+        stats = self._host(host)
+        stats.ip_requests += 1
+        if scion_was_available:
+            stats.fallbacks += 1
+
+    def record_blocked(self, host: str) -> None:
+        """One request blocked by strict mode."""
+        self._host(host).blocked_requests += 1
+
+    # -- aggregates -----------------------------------------------------------
+
+    def total_requests(self) -> int:
+        """All requests the proxy handled (including blocked)."""
+        return sum(stats.scion_requests + stats.ip_requests
+                   + stats.blocked_requests for stats in self.hosts.values())
+
+    def scion_share(self) -> float:
+        """Fraction of *served* requests that went over SCION."""
+        scion = sum(stats.scion_requests for stats in self.hosts.values())
+        served = scion + sum(stats.ip_requests for stats in self.hosts.values())
+        return scion / served if served else 0.0
+
+    def report(self) -> str:
+        """Human-readable feedback panel."""
+        lines = []
+        for host in sorted(self.hosts):
+            stats = self.hosts[host]
+            lines.append(
+                f"{host}: scion={stats.scion_requests} ip={stats.ip_requests} "
+                f"blocked={stats.blocked_requests} "
+                f"non-compliant={stats.non_compliant}")
+            for record in stats.paths.values():
+                lines.append(f"  {record.summary} -> {record.uses} uses, "
+                             f"mean {record.mean_latency_ms:.1f} ms")
+        return "\n".join(lines) if lines else "(no traffic yet)"

@@ -1,0 +1,28 @@
+"""Cryptographic primitives for the SCION control and data planes.
+
+The paper's SCION deployment authenticates path-construction beacons with
+a control-plane PKI and protects hop fields with per-AS MACs. We rebuild
+both without external dependencies:
+
+* :mod:`repro.crypto.rsa` — textbook RSA with Miller–Rabin key generation
+  and deterministic hash-and-sign (substitute for the production stack's
+  ECDSA; see DESIGN.md §2),
+* :mod:`repro.crypto.mac` — HMAC-SHA256-based hop-field MACs (substitute
+  for AES-CMAC).
+
+These are simulation-grade primitives: correct, deterministic, and small
+enough to audit, but **not** hardened against side channels — exactly what
+a protocol simulator needs and nothing more.
+"""
+
+from repro.crypto.mac import derive_forwarding_key, hop_mac, verify_hop_mac
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+
+__all__ = [
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "derive_forwarding_key",
+    "generate_keypair",
+    "hop_mac",
+    "verify_hop_mac",
+]

@@ -1,0 +1,18 @@
+"""Name resolution with SCION detection.
+
+The paper's §4.3 describes detecting SCION-capable domains via DNS TXT
+records carrying a SCION address, alongside a curated list and the
+``Strict-SCION`` header. This package provides the simulated resolver:
+
+* :mod:`repro.dns.records` — A and TXT records (TXT uses the
+  ``scion=<isd-as>,<host>`` convention),
+* :mod:`repro.dns.resolver` — a caching resolver with configurable
+  lookup latency, modelling the DoH/OS-resolver hop every first-contact
+  request pays.
+"""
+
+from repro.dns.records import DnsRecord, RecordType, scion_txt_record
+from repro.dns.resolver import Resolution, Resolver
+
+__all__ = ["DnsRecord", "RecordType", "Resolution", "Resolver",
+           "scion_txt_record"]

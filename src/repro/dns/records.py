@@ -1,0 +1,54 @@
+"""DNS resource records.
+
+Only the record types the system needs: A records mapping names to
+legacy host addresses, and TXT records carrying the SCION address in the
+``scion=`` convention the paper adopts (§4.3: "additional TXT records
+indicating a SCION address can be configured in existing DNS records").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.scion.addr import HostAddr
+
+
+class RecordType(enum.Enum):
+    """Supported DNS record types."""
+
+    A = "A"
+    TXT = "TXT"
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """One resource record: ``name type value`` with a TTL."""
+
+    name: str
+    record_type: RecordType
+    value: str
+    ttl_s: int = 300
+
+
+def scion_txt_record(name: str, address: HostAddr, ttl_s: int = 300) -> DnsRecord:
+    """A TXT record advertising a SCION address for ``name``."""
+    return DnsRecord(name=name, record_type=RecordType.TXT,
+                     value=f"scion={address}", ttl_s=ttl_s)
+
+
+def parse_scion_txt(value: str) -> HostAddr | None:
+    """Extract the SCION address from a TXT value, if it carries one.
+
+    Returns None for unrelated TXT content; raises
+    :class:`AddressError` only when a ``scion=`` value is present but
+    malformed (a misconfigured record should be loud, not silent).
+    """
+    for token in value.split():
+        if token.startswith("scion="):
+            text = token[len("scion="):]
+            if not text:
+                raise AddressError("empty scion= TXT value")
+            return HostAddr.parse(text)
+    return None

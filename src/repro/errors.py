@@ -1,0 +1,111 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Subsystems raise the most specific subclass that
+describes the failure; none of these wrap-and-rethrow generic exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, running a network that was
+    never wired up, or delivering a frame to a node with no NIC.
+    """
+
+
+class TopologyError(ReproError):
+    """The AS-level topology is malformed or an entity is unknown."""
+
+
+class AddressError(ReproError):
+    """An ISD-AS identifier or SCION/IP address failed to parse or is
+    out of range."""
+
+
+class CryptoError(ReproError):
+    """Signature/MAC creation or verification failed."""
+
+
+class VerificationError(CryptoError):
+    """A signature or MAC did not verify.
+
+    Raised by the control-plane PKI when a beacon hop signature is invalid
+    and by border routers when a hop-field MAC does not match.
+    """
+
+
+class BeaconingError(ReproError):
+    """Path-construction beaconing failed (e.g. unknown origin AS)."""
+
+
+class SegmentError(ReproError):
+    """A path segment is malformed or segments cannot be combined."""
+
+
+class NoPathError(ReproError):
+    """No SCION path exists (or none survives the active path policy)."""
+
+
+class PolicyError(ReproError):
+    """A path policy is invalid."""
+
+
+class PolicyParseError(PolicyError):
+    """The Path Policy Language text could not be parsed.
+
+    Attributes:
+        position: character offset of the first offending token, if known.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class TransportError(ReproError):
+    """A transport-layer (TCP/QUIC) operation failed."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer closed the connection or it was reset."""
+
+
+class HandshakeError(TransportError):
+    """Transport handshake did not complete."""
+
+
+class HttpError(ReproError):
+    """An HTTP message is malformed or a request failed.
+
+    Attributes:
+        status: HTTP status code associated with the failure (0 when the
+            failure happened below the HTTP layer, e.g. connection refused).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class DnsError(ReproError):
+    """Name resolution failed (NXDOMAIN or no record of requested type)."""
+
+
+class ProxyError(ReproError):
+    """The SKIP HTTP proxy could not satisfy a request."""
+
+
+class StrictModeViolation(ProxyError):
+    """A request was blocked because strict mode found no policy-compliant
+    SCION path (paper §4.2: strict mode blocks non-SCION resources)."""
+
+
+class BrowserError(ReproError):
+    """The browser model failed to load a page."""

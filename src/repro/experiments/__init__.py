@@ -1,0 +1,18 @@
+"""Experiment harness reproducing the paper's evaluation (§5.2).
+
+Scenario builders construct a fresh simulated world per trial; the
+harness runs seeded trial batteries and summarizes PLT distributions the
+way the paper's box plots do.
+
+* :mod:`repro.experiments.harness` — trials, box-plot statistics,
+* :mod:`repro.experiments.report` — text rendering of result tables,
+* :mod:`repro.experiments.local_setup` — Figures 2/3 (local testbed),
+* :mod:`repro.experiments.remote_setup` — Figures 4/5/6 (distributed),
+* :mod:`repro.experiments.table1` — the Table 1 reproduction,
+* :mod:`repro.experiments.ablations` — overhead decomposition, policy
+  quality, and availability-mode sweeps (DESIGN.md ablations A-C).
+"""
+
+from repro.experiments.harness import BoxStats, ExperimentResult, summarize
+
+__all__ = ["BoxStats", "ExperimentResult", "summarize"]

@@ -1,0 +1,99 @@
+"""Trial running and box-plot statistics.
+
+The paper presents PLT distributions as box plots over repeated page
+loads. :class:`BoxStats` captures exactly the quantities a box plot
+shows (quartiles, whiskers as min/max, plus mean/std for the tables in
+EXPERIMENTS.md); :func:`run_condition` runs one scenario callable over a
+battery of seeds, each trial in a completely fresh world, so trials are
+independent and the whole battery is reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-plot summary of one measurement series."""
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    std: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "BoxStats":
+        """Compute the summary; requires at least one sample."""
+        if not samples:
+            raise ReproError("cannot summarize zero samples")
+        data = np.asarray(samples, dtype=float)
+        return cls(
+            n=len(samples),
+            minimum=float(data.min()),
+            q1=float(np.percentile(data, 25)),
+            median=float(np.percentile(data, 50)),
+            q3=float(np.percentile(data, 75)),
+            maximum=float(data.max()),
+            mean=float(data.mean()),
+            std=float(data.std(ddof=1)) if len(samples) > 1 else 0.0,
+        )
+
+    def row(self, label: str, unit: str = "ms") -> str:
+        """One formatted table row."""
+        return (f"{label:<24} n={self.n:<3} min={self.minimum:8.1f} "
+                f"q1={self.q1:8.1f} med={self.median:8.1f} "
+                f"q3={self.q3:8.1f} max={self.maximum:8.1f} "
+                f"mean={self.mean:8.1f} {unit}")
+
+
+def summarize(samples: list[float]) -> BoxStats:
+    """Shorthand for :meth:`BoxStats.from_samples`."""
+    return BoxStats.from_samples(samples)
+
+
+def run_condition(trial: Callable[[int], float], trials: int,
+                  base_seed: int = 0) -> BoxStats:
+    """Run ``trial(seed)`` for ``trials`` distinct seeds and summarize.
+
+    Each call must build its own world from the seed — nothing may leak
+    between trials (caches, pooled connections, HSTS state).
+    """
+    samples = [trial(base_seed + index) for index in range(trials)]
+    return BoxStats.from_samples(samples)
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment with one summary per condition."""
+
+    name: str
+    description: str
+    conditions: dict[str, BoxStats] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, condition: str, stats: BoxStats) -> None:
+        """Record one condition's summary."""
+        self.conditions[condition] = stats
+
+    def median(self, condition: str) -> float:
+        """A condition's median (convenience for assertions)."""
+        return self.conditions[condition].median
+
+    def render(self) -> str:
+        """The experiment as a text table."""
+        lines = [f"== {self.name} ==", self.description, ""]
+        for condition, stats in self.conditions.items():
+            lines.append(stats.row(condition))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""The local testbed (Figures 2 and 3).
+
+Everything on "one laptop": the browser host, the SCION file server and
+the TCP/IP file server live in a single AS with loopback-grade
+(sub-millisecond, lightly jittered) links, so PLT differences isolate
+the extension + proxy detour — the quantity Figure 3 reports.
+
+Four experiment conditions, exactly as §5.2 defines them:
+
+* **SCION-only** — every resource on the SCION FS; extension enabled.
+* **mixed SCION-IP** — resources on both servers; extension enabled.
+* **strict-SCION** — strict mode; only one resource on the SCION FS, the
+  rest on the TCP/IP FS and therefore blocked.
+* **BGP/IP-only** — extension disabled; no interception, no proxy.
+
+Overhead calibration: the defaults below charge ~20 ms of combined
+extension + IPC + proxy time per request, reproducing the ~100 ms PLT
+penalty the paper measured on its laptop for fully-proxied loads. The
+knobs are explicit so Ablation A can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.page import WebPage, content_for_origin, synthetic_page
+from repro.dns.resolver import Resolver
+from repro.experiments.harness import ExperimentResult, run_condition
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import LOCAL_AS, local_testbed
+
+#: Origin names of the two file servers (Figure 2).
+SCION_ORIGIN = "scion-fs.local"
+IP_ORIGIN = "tcpip-fs.local"
+
+#: The four Figure 3 conditions, in the paper's order.
+FIGURE3_CONDITIONS = ("SCION-only", "mixed SCION-IP", "strict-SCION",
+                      "BGP/IP-only")
+
+
+@dataclass(frozen=True)
+class LocalCalibration:
+    """Per-request overhead knobs for the prototype detour.
+
+    Extension processing and proxy processing are *serialized* across
+    concurrent requests (single-threaded JS event loop; proxy CPU), so
+    for an N-resource page the proxied-load penalty grows like
+    N × (extension + proxy) — which is why blocked strict-mode requests,
+    skipping the proxy data path, shorten PLT (Figure 3).
+    """
+
+    extension_overhead_ms: float = 1.5
+    ipc_latency_ms: float = 0.6
+    proxy_processing_ms: float = 6.0
+    dns_latency_ms: float = 0.4
+    host_jitter_ms: float = 0.15
+
+
+DEFAULT_CALIBRATION = LocalCalibration()
+
+
+@dataclass
+class LocalWorld:
+    """One freshly-built local testbed."""
+
+    internet: Internet
+    browser: BraveBrowser
+    page: WebPage
+
+
+def make_page(condition: str, n_resources: int, seed: int) -> WebPage:
+    """The static site for one Figure 3 condition."""
+    if condition == "SCION-only":
+        return synthetic_page(SCION_ORIGIN, n_resources=n_resources,
+                              seed=seed)
+    if condition in ("mixed SCION-IP", "BGP/IP-only"):
+        half = n_resources // 2
+        return synthetic_page(SCION_ORIGIN, n_resources=half,
+                              third_party={IP_ORIGIN: n_resources - half},
+                              seed=seed)
+    if condition == "strict-SCION":
+        return synthetic_page(SCION_ORIGIN, n_resources=1,
+                              third_party={IP_ORIGIN: n_resources - 1},
+                              seed=seed)
+    raise ValueError(f"unknown condition {condition!r}")
+
+
+def build_local_world(page: WebPage, seed: int,
+                      calibration: LocalCalibration = DEFAULT_CALIBRATION,
+                      extension_enabled: bool = True,
+                      strict: bool = False) -> LocalWorld:
+    """Assemble a fresh laptop world serving ``page``."""
+    internet = Internet(local_testbed(), seed=seed,
+                        host_jitter_ms=calibration.host_jitter_ms)
+    client = internet.add_host("client", LOCAL_AS)
+    scion_fs = internet.add_host("scion-fs", LOCAL_AS)
+    ip_fs = internet.add_host("tcpip-fs", LOCAL_AS)
+
+    HttpServer(scion_fs, content_for_origin(page, SCION_ORIGIN),
+               serve_tcp=True, serve_quic=True)
+    HttpServer(ip_fs, content_for_origin(page, IP_ORIGIN),
+               serve_tcp=True, serve_quic=False)
+
+    resolver = Resolver(internet.loop,
+                        lookup_latency_ms=calibration.dns_latency_ms)
+    resolver.register_host(SCION_ORIGIN, ip_address=scion_fs.addr,
+                           scion_address=scion_fs.addr)
+    resolver.register_host(IP_ORIGIN, ip_address=ip_fs.addr)
+
+    browser = BraveBrowser(
+        client, resolver,
+        extension_enabled=extension_enabled,
+        proxy_processing_ms=calibration.proxy_processing_ms,
+        extension_overhead_ms=calibration.extension_overhead_ms,
+        ipc_latency_ms=calibration.ipc_latency_ms,
+        rng=internet.network.rng,
+    )
+    if strict:
+        browser.extension.enable_strict_mode()
+    return LocalWorld(internet=internet, browser=browser, page=page)
+
+
+def load_once(world: LocalWorld) -> float:
+    """Run the page load to completion; returns the PLT in ms."""
+    result = world.internet.loop.run_process(world.browser.load(world.page))
+    return result.plt_ms
+
+
+def figure3_trial(condition: str, seed: int, n_resources: int = 12,
+                  calibration: LocalCalibration = DEFAULT_CALIBRATION) -> float:
+    """One Figure 3 trial: fresh world, one page load, PLT out."""
+    page = make_page(condition, n_resources, seed)
+    world = build_local_world(
+        page, seed,
+        calibration=calibration,
+        extension_enabled=condition != "BGP/IP-only",
+        strict=condition == "strict-SCION",
+    )
+    return load_once(world)
+
+
+def run_figure3(trials: int = 30, n_resources: int = 12,
+                calibration: LocalCalibration = DEFAULT_CALIBRATION,
+                base_seed: int = 100) -> ExperimentResult:
+    """Reproduce Figure 3: PLT per condition on the local testbed."""
+    result = ExperimentResult(
+        name="Figure 3 — local setup Page Load Time",
+        description=(f"{trials} trials/condition, {n_resources} resources, "
+                     "loopback-grade links; PLT in ms"),
+    )
+    for condition in FIGURE3_CONDITIONS:
+        stats = run_condition(
+            lambda seed, c=condition: figure3_trial(c, seed, n_resources,
+                                                    calibration),
+            trials=trials, base_seed=base_seed)
+        result.add(condition, stats)
+    result.notes.append(
+        "expected shape: SCION-only ≈ mixed > strict-SCION and "
+        "BGP/IP-only (proxied loads pay the extension+proxy detour; "
+        "strict blocks most resources)")
+    return result

@@ -1,0 +1,30 @@
+"""HTTP/1.1 over either transport.
+
+The paper's web traffic is ordinary HTTP carried over QUIC streams (for
+SCION) or TCP (for legacy IP). This package provides:
+
+* :mod:`repro.http.message` — requests, responses, header handling (with
+  the paper's ``Strict-SCION`` response header as a first-class citizen),
+* :mod:`repro.http.server` — a static-content origin server listening on
+  both transports (the paper's "file servers providing static content"),
+* :mod:`repro.http.client` — a pooling HTTP client used by the SKIP
+  proxy for its upstream fetches,
+* :mod:`repro.http.reverse_proxy` — the SCION reverse proxy that fronts
+  legacy TCP/IP web servers (§5.1: "we have implemented a simple reverse
+  proxy to add SCION support to web servers").
+"""
+
+from repro.http.client import HttpClient
+from repro.http.message import Headers, HttpRequest, HttpResponse, ResourceData
+from repro.http.reverse_proxy import ScionReverseProxy
+from repro.http.server import HttpServer
+
+__all__ = [
+    "Headers",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "ResourceData",
+    "ScionReverseProxy",
+]

@@ -1,0 +1,170 @@
+"""HTTP messages and headers.
+
+Messages are Python objects with explicit wire-size accounting (the
+simulator charges links for the serialized size without producing actual
+bytes). Header names are case-insensitive, per RFC 9110.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import HttpError
+
+#: The paper's HSTS-like response header (§4.2): operators set it to
+#: instruct browsers to enforce strict SCION mode for this origin.
+STRICT_SCION_HEADER = "Strict-SCION"
+
+#: Approximate bytes of request line / status line + mandatory headers.
+REQUEST_OVERHEAD_BYTES = 150
+RESPONSE_OVERHEAD_BYTES = 180
+
+
+class Headers:
+    """An immutable, case-insensitive header multimap."""
+
+    def __init__(self, items: dict[str, str] | list[tuple[str, str]] | None = None):
+        pairs: list[tuple[str, str]]
+        if items is None:
+            pairs = []
+        elif isinstance(items, dict):
+            pairs = list(items.items())
+        else:
+            pairs = list(items)
+        self._pairs: tuple[tuple[str, str], ...] = tuple(
+            (str(name), str(value)) for name, value in pairs)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """First value of ``name`` (case-insensitive), or ``default``."""
+        lowered = name.lower()
+        for header, value in self._pairs:
+            if header.lower() == lowered:
+                return value
+        return default
+
+    def has(self, name: str) -> bool:
+        """True when the header is present."""
+        return self.get(name) is not None
+
+    def with_header(self, name: str, value: str) -> "Headers":
+        """A copy with one header appended."""
+        return Headers(list(self._pairs) + [(name, value)])
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        """All (name, value) pairs in insertion order."""
+        return iter(self._pairs)
+
+    def wire_bytes(self) -> int:
+        """Approximate serialized size of the header block."""
+        return sum(len(name) + len(value) + 4 for name, value in self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Headers({list(self._pairs)!r})"
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request.
+
+    ``host``/``path`` identify the resource (the URL authority and path);
+    the proxy uses ``host`` for SCION detection and policy decisions.
+    """
+
+    method: str
+    host: str
+    path: str
+    headers: Headers = field(default_factory=Headers)
+    body_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "HEAD", "POST", "PUT", "DELETE",
+                               "OPTIONS", "CONNECT"):
+            raise HttpError(f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise HttpError(f"path must start with '/': {self.path!r}")
+
+    @property
+    def url(self) -> str:
+        """The absolute URL (scheme elided; the simulator has one)."""
+        return f"{self.host}{self.path}"
+
+    def wire_bytes(self) -> int:
+        """Serialized request size."""
+        return (REQUEST_OVERHEAD_BYTES + len(self.host) + len(self.path)
+                + self.headers.wire_bytes() + self.body_size)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """An HTTP response; ``body`` carries a content tag, not real bytes."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body_size: int = 0
+    body: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    def wire_bytes(self) -> int:
+        """Serialized response size."""
+        return (RESPONSE_OVERHEAD_BYTES + self.headers.wire_bytes()
+                + self.body_size)
+
+    def strict_scion_max_age(self) -> int | None:
+        """Parse the ``Strict-SCION`` header's max-age, if present.
+
+        Returns the max-age in seconds, or None when the header is absent
+        or malformed (a malformed header is ignored, like a malformed
+        HSTS header would be).
+        """
+        value = self.headers.get(STRICT_SCION_HEADER)
+        if value is None:
+            return None
+        for part in value.split(";"):
+            part = part.strip()
+            if part.startswith("max-age="):
+                try:
+                    return max(0, int(part[len("max-age="):]))
+                except ValueError:
+                    return None
+        return None
+
+    def strict_scion_address(self):
+        """Parse the optional ``addr="isd-as,host"`` directive.
+
+        §4.3: the ``Strict-SCION`` header doubles as a SCION-availability
+        advertisement; carrying the address lets a browser that fetched
+        the response over legacy IP learn where to reach the origin over
+        SCION. Returns a :class:`~repro.scion.addr.HostAddr` or None
+        (absent or malformed — advertisements must never break a load).
+        """
+        from repro.errors import AddressError
+        from repro.scion.addr import HostAddr
+        value = self.headers.get(STRICT_SCION_HEADER)
+        if value is None:
+            return None
+        for part in value.split(";"):
+            part = part.strip()
+            if part.startswith("addr="):
+                text = part[len("addr="):].strip().strip('"')
+                try:
+                    return HostAddr.parse(text)
+                except AddressError:
+                    return None
+        return None
+
+
+@dataclass(frozen=True)
+class ResourceData:
+    """Static content an origin server can serve."""
+
+    size: int
+    content_type: str = "application/octet-stream"
+    body: Any = None

@@ -1,0 +1,15 @@
+"""Instantiating a whole Internet: routers, hosts, and both stacks.
+
+:class:`repro.internet.build.Internet` is the top-level facade the
+experiments use: given an :class:`~repro.topology.graph.AsTopology` it
+creates one dual-stack border router per AS, wires inter-AS links, runs
+the control planes (SCION beaconing + PKI, BGP convergence), and lets
+callers attach hosts that can send datagrams over either SCION (with an
+explicit path) or legacy IP (BGP-routed).
+"""
+
+from repro.internet.build import Internet
+from repro.internet.host import Datagram, Host, UdpSocket
+from repro.internet.router import AsRouter
+
+__all__ = ["AsRouter", "Datagram", "Host", "Internet", "UdpSocket"]

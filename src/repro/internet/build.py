@@ -1,0 +1,175 @@
+"""The :class:`Internet` facade: a whole simulated Internet in one object.
+
+Construction performs, in order:
+
+1. instantiate the simnet (one dual-stack router per AS, inter-AS links
+   with the topology's latency/bandwidth/loss/jitter/MTU),
+2. generate the control-plane PKI (TRCs, AS certificates, forwarding
+   keys),
+3. run SCION beaconing and stand up the path-server infrastructure,
+4. converge BGP and install IP forwarding tables.
+
+Hosts are attached afterwards with :meth:`Internet.add_host`; each gets a
+path daemon so applications can ask for SCION paths. The host link's
+latency equals the AS's internal latency, which makes data-plane
+latencies agree with the control plane's static-info metadata (asserted
+by integration tests).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.internet.host import Host
+from repro.internet.router import AsRouter
+from repro.ip.bgp import BgpRib, compute_routes
+from repro.scion.addr import HostAddr
+from repro.scion.beaconing import BeaconingService, SegmentStore
+from repro.scion.daemon import PathDaemon
+from repro.scion.path_server import PathServer
+from repro.scion.pki import ControlPlanePki
+from repro.simnet.link import LinkConfig
+from repro.simnet.network import Network
+from repro.topology.graph import AsTopology
+from repro.topology.isd_as import IsdAs
+
+
+def router_name(isd_as: IsdAs) -> str:
+    """Canonical simnet node name of an AS's router."""
+    return f"br-{isd_as}"
+
+
+class Internet:
+    """A fully wired Internet over an AS topology."""
+
+    def __init__(self, topology: AsTopology, seed: int = 0,
+                 trace: bool = False, beacons_per_target: int = 8,
+                 verify_beacons: bool = False, verify_macs: bool = True,
+                 host_bandwidth_mbps: float = 0.0,
+                 host_jitter_ms: float = 0.0) -> None:
+        topology.validate()
+        self.topology = topology
+        self.network = Network(seed=seed, trace=trace)
+        self.host_bandwidth_mbps = host_bandwidth_mbps
+        self.host_jitter_ms = host_jitter_ms
+
+        self.pki = ControlPlanePki(topology, seed=seed)
+        self.core_ases: set[IsdAs] = {info.isd_as for info in topology.core_ases()}
+
+        self.routers: dict[IsdAs, AsRouter] = {}
+        for info in topology.ases():
+            router = AsRouter(
+                name=router_name(info.isd_as),
+                isd_as=info.isd_as,
+                forwarding_key=self.pki.forwarding_key(info.isd_as),
+                internal_latency_ms=info.internal_latency_ms,
+                verify_macs=verify_macs,
+            )
+            self.network.add_node(router)
+            self.routers[info.isd_as] = router
+
+        self._interas_links: dict[int, object] = {}
+        for link in topology.links():
+            config = LinkConfig(
+                latency_ms=link.latency_ms,
+                bandwidth_mbps=link.bandwidth_mbps,
+                jitter_ms=link.jitter_ms,
+                loss_rate=link.loss_rate,
+                mtu=link.mtu + 128,  # leave room for simulated headers
+            )
+            simnet_link = self.network.connect(
+                self.routers[link.a], self.routers[link.b], config=config,
+                a_ifid=link.a_ifid, b_ifid=link.b_ifid,
+                name=f"{link.a}#{link.a_ifid}<->{link.b}#{link.b_ifid}")
+            self._interas_links[link.link_id] = simnet_link
+            self.routers[link.a].external_ifids.add(link.a_ifid)
+            self.routers[link.b].external_ifids.add(link.b_ifid)
+
+        beaconing = BeaconingService(
+            topology, self.pki, beacons_per_target=beacons_per_target,
+            verify_on_extend=verify_beacons)
+        self.segment_store: SegmentStore = beaconing.build_store()
+        self.path_server = PathServer(self.segment_store)
+
+        self.bgp: BgpRib = compute_routes(topology)
+        for isd_as, router in self.routers.items():
+            router.ip_table = self.bgp.forwarding_table(isd_as)
+
+        self.hosts: dict[str, Host] = {}
+
+    # -- hosts ------------------------------------------------------------------
+
+    def add_host(self, name: str, isd_as: IsdAs | str,
+                 verify_paths: bool = False) -> Host:
+        """Attach a host to its AS router and give it a path daemon.
+
+        Args:
+            name: globally unique host name (also its address's host part).
+            isd_as: the AS to attach to.
+            verify_paths: make the host's daemon verify segment signatures
+                before combining (slower; integration tests enable it).
+        """
+        identifier = isd_as if isinstance(isd_as, IsdAs) else IsdAs.parse(isd_as)
+        if identifier not in self.routers:
+            raise TopologyError(f"unknown AS {identifier}")
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host name {name!r}")
+        info = self.topology.as_info(identifier)
+        host = Host(name=name, addr=HostAddr(isd_as=identifier, host=name))
+        self.network.add_node(host)
+        router = self.routers[identifier]
+        host_ifid = router.next_free_ifid()
+        self.network.connect(
+            router, host, a_ifid=host_ifid, b_ifid=Host.ROUTER_IFID,
+            config=LinkConfig(latency_ms=info.internal_latency_ms,
+                              bandwidth_mbps=self.host_bandwidth_mbps,
+                              jitter_ms=self.host_jitter_ms,
+                              mtu=info.mtu + 128),
+            name=f"{identifier}<->{name}")
+        router.register_host(name, host_ifid)
+        host.daemon = PathDaemon(
+            isd_as=identifier,
+            path_server=self.path_server,
+            core_ases=set(self.core_ases),
+            pki=self.pki if verify_paths else None,
+            clock=self.network.loop,
+        )
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise TopologyError(f"unknown host {name!r}") from None
+
+    # -- failure injection ---------------------------------------------------------
+
+    def set_link_state(self, a: IsdAs | str, b: IsdAs | str,
+                       up: bool) -> int:
+        """Administratively set every link between two ASes up or down.
+
+        Returns the number of links affected. Downed links silently drop
+        all packets — the failure the proxy's path failover reacts to.
+        """
+        as_a = a if isinstance(a, IsdAs) else IsdAs.parse(a)
+        as_b = b if isinstance(b, IsdAs) else IsdAs.parse(b)
+        affected = 0
+        for link in self.topology.links():
+            if {link.a, link.b} == {as_a, as_b}:
+                self._interas_links[link.link_id].up = up
+                affected += 1
+        if affected == 0:
+            raise TopologyError(f"no link between {as_a} and {as_b}")
+        return affected
+
+    # -- conveniences --------------------------------------------------------------
+
+    @property
+    def loop(self):
+        """The simulation event loop."""
+        return self.network.loop
+
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation; see :meth:`EventLoop.run`."""
+        return self.network.run(until=until)

@@ -1,0 +1,17 @@
+"""Legacy IPv4/6 Internet substrate.
+
+The paper's baseline ("BGP/IP-Only") loads pages over today's BGP-routed
+Internet. This package provides:
+
+* :mod:`repro.ip.bgp` — Gao–Rexford valley-free route computation over
+  the AS topology, yielding one forwarding path per (src, dst) pair —
+  crucially chosen by *policy and AS-path length*, not latency, which is
+  what lets SCION's path-awareness win in Figure 5,
+* :mod:`repro.ip.tcp` — a reliable byte-stream transport over the
+  simulated network (handshake, retransmission, windowing), carrying
+  HTTP/1.x for the legacy baseline.
+"""
+
+from repro.ip.bgp import BgpRib, compute_routes
+
+__all__ = ["BgpRib", "compute_routes"]

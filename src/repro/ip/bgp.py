@@ -1,0 +1,161 @@
+"""BGP-like interdomain route computation.
+
+Implements the standard Gao–Rexford model of today's Internet routing:
+
+* relationships: PARENT links are provider→customer; CORE and PEER links
+  are settlement-free peering,
+* **preference**: routes via customers beat routes via peers beat routes
+  via providers; ties break on shorter AS path, then on lower next-hop
+  AS (a deterministic stand-in for router-id tie-breaking),
+* **export**: routes learned from a customer (or originated) are exported
+  to everyone; routes learned from peers or providers are exported only
+  to customers (the valley-free rule).
+
+The computation runs rounds of synchronous announcement exchange until a
+fixed point, which always exists for valley-free preferences on acyclic
+provider hierarchies. The result is a :class:`BgpRib` giving, per AS, the
+chosen egress link and full AS path toward every destination AS. The
+chosen route is **latency-oblivious** — the property the paper's Figure 5
+exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.topology.graph import AsTopology, InterAsLink, LinkKind
+from repro.topology.isd_as import IsdAs
+
+
+class Relationship(enum.IntEnum):
+    """How a neighbor relates to us; higher prefers."""
+
+    PROVIDER = 1
+    PEER = 2
+    CUSTOMER = 3
+
+
+def relationship_of(link: InterAsLink, viewpoint: IsdAs) -> Relationship:
+    """What the AS on the other end of ``link`` is to ``viewpoint``."""
+    if link.kind in (LinkKind.CORE, LinkKind.PEER):
+        return Relationship.PEER
+    if link.kind is LinkKind.PARENT:
+        return Relationship.CUSTOMER if link.a == viewpoint else Relationship.PROVIDER
+    raise TopologyError(f"unknown link kind {link.kind}")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's chosen route toward a destination."""
+
+    dst: IsdAs
+    egress_link: InterAsLink | None  # None when dst is the AS itself
+    as_path: tuple[IsdAs, ...]       # from this AS to dst, inclusive
+    learned_from: Relationship | None  # None for the self route
+
+    @property
+    def path_length(self) -> int:
+        """Number of AS hops (0 for the self route)."""
+        return len(self.as_path) - 1
+
+    def exportable_to(self, neighbor: Relationship) -> bool:
+        """Valley-free export rule."""
+        if self.learned_from is None or self.learned_from is Relationship.CUSTOMER:
+            return True
+        return neighbor is Relationship.CUSTOMER
+
+
+def _better(candidate: Route, incumbent: Route | None) -> bool:
+    """BGP decision process: local-pref, path length, tie-break."""
+    if incumbent is None:
+        return True
+    if candidate.learned_from is None:
+        return False  # nothing beats the self route (incumbent handles it)
+    assert incumbent.learned_from is not None
+    if candidate.learned_from != incumbent.learned_from:
+        return candidate.learned_from > incumbent.learned_from
+    if candidate.path_length != incumbent.path_length:
+        return candidate.path_length < incumbent.path_length
+    return candidate.as_path[1] < incumbent.as_path[1]
+
+
+class BgpRib:
+    """The converged routing information base for the whole topology."""
+
+    def __init__(self, routes: dict[IsdAs, dict[IsdAs, Route]],
+                 topology: AsTopology) -> None:
+        self._routes = routes
+        self._topology = topology
+
+    def route(self, src: IsdAs, dst: IsdAs) -> Route | None:
+        """The route ``src`` uses toward ``dst`` (None if unreachable)."""
+        return self._routes.get(src, {}).get(dst)
+
+    def forwarding_table(self, isd_as: IsdAs) -> dict[IsdAs, int]:
+        """dst AS → egress interface id, for the AS's router."""
+        table: dict[IsdAs, int] = {}
+        for dst, route in self._routes.get(isd_as, {}).items():
+            if route.egress_link is not None:
+                table[dst] = route.egress_link.ifid_of(isd_as)
+        return table
+
+    def as_path(self, src: IsdAs, dst: IsdAs) -> tuple[IsdAs, ...]:
+        """The full AS path (src..dst); raises if unreachable."""
+        route = self.route(src, dst)
+        if route is None:
+            raise TopologyError(f"no BGP route {src} -> {dst}")
+        return route.as_path
+
+    def path_latency_ms(self, src: IsdAs, dst: IsdAs) -> float:
+        """One-way latency along the chosen route (links + intra-AS)."""
+        path = self.as_path(src, dst)
+        latency = sum(self._topology.as_info(isd_as).internal_latency_ms
+                      for isd_as in path)
+        current = src
+        route = self.route(src, dst)
+        while route is not None and route.egress_link is not None:
+            latency += route.egress_link.latency_ms
+            current = route.egress_link.other(current)
+            route = self.route(current, dst)
+        return latency
+
+
+def compute_routes(topology: AsTopology, max_rounds: int = 100) -> BgpRib:
+    """Run synchronous BGP to convergence and return the RIB."""
+    ases = [info.isd_as for info in topology.ases()]
+    routes: dict[IsdAs, dict[IsdAs, Route]] = {
+        isd_as: {isd_as: Route(dst=isd_as, egress_link=None,
+                               as_path=(isd_as,), learned_from=None)}
+        for isd_as in ases
+    }
+    for _round in range(max_rounds):
+        changed = False
+        for speaker in ases:
+            for link in topology.links_of(speaker):
+                neighbor = link.other(speaker)
+                neighbor_rel = relationship_of(link, speaker)
+                # ``speaker`` announces to ``neighbor``; from the
+                # neighbor's viewpoint the route is learned from...
+                learned_rel = relationship_of(link, neighbor)
+                for route in list(routes[speaker].values()):
+                    if not route.exportable_to(neighbor_rel):
+                        continue
+                    if neighbor in route.as_path:
+                        continue  # loop prevention
+                    candidate = Route(
+                        dst=route.dst,
+                        egress_link=link,
+                        as_path=(neighbor,) + route.as_path,
+                        learned_from=learned_rel,
+                    )
+                    incumbent = routes[neighbor].get(route.dst)
+                    if incumbent is not None and incumbent.learned_from is None:
+                        continue
+                    if _better(candidate, incumbent):
+                        routes[neighbor][route.dst] = candidate
+                        changed = True
+        if not changed:
+            return BgpRib(routes, topology)
+    raise TopologyError(f"BGP did not converge within {max_rounds} rounds")

@@ -1,0 +1,196 @@
+"""TCP: the legacy baseline transport.
+
+A deliberately honest model of what the paper's "BGP/IP-Only" experiments
+ride on: a 1-RTT SYN/SYN-ACK handshake followed by a single reliable
+ordered byte stream (the :class:`~repro.transport.reliable.ReliableChannel`
+engine), demultiplexed per (client address, client port) at the listener.
+
+Although written for legacy IP, the connection is transport-agnostic and
+also runs over SCION datagrams — that is exactly how the paper's HTTP
+proxy maps "the TCP data stream into a single bidirectional QUIC stream"
+(§5.1); tests use it to cross-check both stacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import HandshakeError, TransportError
+from repro.internet.host import Datagram, Host, UdpSocket
+from repro.scion.addr import HostAddr
+from repro.scion.path import ScionPath
+from repro.transport.reliable import ReliableChannel
+
+#: Per-segment TCP header bytes charged on the wire.
+TCP_HEADER_BYTES = 32
+#: Wire size of SYN / SYN-ACK datagrams.
+HANDSHAKE_BYTES = 44
+#: Default handshake retransmission interval and retry budget.
+HANDSHAKE_TIMEOUT_MS = 1000.0
+HANDSHAKE_RETRIES = 5
+
+_conn_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Syn:
+    """Connection request."""
+
+    conn_id: int
+
+
+@dataclass(frozen=True)
+class SynAck:
+    """Connection accepted."""
+
+    conn_id: int
+
+
+class TcpConnection:
+    """An established TCP connection: one bidirectional message stream."""
+
+    def __init__(self, loop, send_raw: Callable[[Any, int], None],
+                 initial_rtt_ms: float, conn_id: int) -> None:
+        self.conn_id = conn_id
+        self.channel = ReliableChannel(
+            loop, transmit=send_raw, header_bytes=TCP_HEADER_BYTES,
+            initial_rtt_ms=initial_rtt_ms)
+
+    def send(self, payload: Any, size: int) -> None:
+        """Send one application message of ``size`` bytes."""
+        self.channel.send_message(payload, size)
+
+    def recv(self):
+        """Event yielding the next in-order application message."""
+        return self.channel.recv_message()
+
+    def close(self) -> None:
+        """Close our sending direction."""
+        self.channel.close()
+
+    @property
+    def srtt_ms(self) -> float:
+        """Smoothed RTT estimate of the connection."""
+        return self.channel.srtt_ms
+
+    def on_datagram(self, datagram: Datagram) -> None:
+        """Feed an incoming datagram's frame into the channel."""
+        self.channel.on_frame(datagram.payload)
+
+
+class TcpListener:
+    """A listening TCP endpoint spawning one handler per connection.
+
+    ``handler`` is a generator function ``handler(conn)`` run as a
+    simulation process for each accepted connection. Server responses use
+    the same network flavour the client used — for SCION clients, the
+    reversed client path (no path lookup on the server, matching how the
+    paper's reverse proxy answers).
+    """
+
+    def __init__(self, host: Host, port: int,
+                 handler: Callable[[TcpConnection], Generator]) -> None:
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.socket: UdpSocket = host.udp_socket(port)
+        self.connections: dict[tuple[HostAddr, int], TcpConnection] = {}
+        self.accepted = 0
+        assert host.loop is not None
+        host.loop.process(self._accept_loop(), name=f"tcp-listen:{host.name}:{port}")
+
+    def close(self) -> None:
+        """Stop accepting (established connections keep working until the
+        socket closes delivery)."""
+        self.socket.close()
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            datagram = yield self.socket.recv()
+            key = (datagram.src, datagram.src_port)
+            if isinstance(datagram.payload, Syn):
+                if key not in self.connections:
+                    self.connections[key] = self._establish(datagram)
+                    self.accepted += 1
+                # (Re-)confirm, covering a lost SYN-ACK.
+                self._reply(datagram, SynAck(conn_id=datagram.payload.conn_id))
+                continue
+            connection = self.connections.get(key)
+            if connection is not None:
+                connection.on_datagram(datagram)
+
+    def _establish(self, syn: Datagram) -> TcpConnection:
+        reply_path = syn.path.reverse() if syn.path is not None else None
+
+        def send_raw(frame: Any, size: int) -> None:
+            self.socket.send(syn.src, syn.src_port, frame, size,
+                             via=syn.via, path=reply_path)
+
+        assert self.host.loop is not None
+        connection = TcpConnection(self.host.loop, send_raw,
+                                   initial_rtt_ms=50.0,
+                                   conn_id=syn.payload.conn_id)
+        self.host.loop.process(self.handler(connection),
+                               name=f"tcp-handler:{self.host.name}:{self.port}")
+        return connection
+
+    def _reply(self, datagram: Datagram, frame: Any) -> None:
+        reply_path = datagram.path.reverse() if datagram.path is not None else None
+        self.socket.send(datagram.src, datagram.src_port, frame,
+                         HANDSHAKE_BYTES, via=datagram.via, path=reply_path)
+
+
+def tcp_connect(host: Host, dst: HostAddr, dst_port: int,
+                via: str = "ip", path: ScionPath | None = None,
+                timeout_ms: float = HANDSHAKE_TIMEOUT_MS,
+                retries: int = HANDSHAKE_RETRIES) -> Generator:
+    """Open a TCP connection (simulation process).
+
+    Usage: ``conn = yield from tcp_connect(host, dst, 80)``. Raises
+    :class:`HandshakeError` after ``retries`` unanswered SYNs.
+    """
+    assert host.loop is not None
+    loop = host.loop
+    socket = host.udp_socket()
+    conn_id = next(_conn_ids)
+    start = loop.now
+    established = False
+    for _attempt in range(retries):
+        socket.send(dst, dst_port, Syn(conn_id=conn_id), HANDSHAKE_BYTES,
+                    via=via, path=path)
+        datagram = yield socket.recv(timeout_ms=timeout_ms)
+        if datagram is None:
+            continue
+        if isinstance(datagram.payload, SynAck) and \
+                datagram.payload.conn_id == conn_id:
+            established = True
+            break
+        # Unexpected frame during handshake (e.g. duplicate): ignore it.
+    if not established:
+        socket.close()
+        raise HandshakeError(
+            f"TCP connect {host.name} -> {dst}:{dst_port} failed after "
+            f"{retries} attempts")
+    rtt = max(0.1, loop.now - start)
+
+    def send_raw(frame: Any, size: int) -> None:
+        socket.send(dst, dst_port, frame, size, via=via, path=path)
+
+    connection = TcpConnection(loop, send_raw, initial_rtt_ms=rtt,
+                               conn_id=conn_id)
+
+    def receive_loop() -> Generator:
+        while True:
+            try:
+                datagram = yield socket.recv()
+            except TransportError:
+                return
+            if datagram is not None and not isinstance(
+                    datagram.payload, (Syn, SynAck)):
+                connection.on_datagram(datagram)
+
+    loop.process(receive_loop(), name=f"tcp-recv:{host.name}:{socket.port}")
+    return connection

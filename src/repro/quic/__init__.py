@@ -1,0 +1,23 @@
+"""QUIC: the transport for all web traffic over SCION.
+
+The paper's proxy "exclusively use[s] QUIC as the transport layer for all
+web traffic over SCION", mapping HTTP/1 and /2 onto "a single
+bidirectional QUIC stream" (§5.1) — chosen because QUIC runs in
+user space over UDP, so no OS support is needed. This package models the
+properties of QUIC that matter for page-load-time:
+
+* a 1-RTT handshake (``ClientHello``/``ServerHello``),
+* multiple independent bidirectional streams per connection, each with
+  its own reliability engine — so loss on one stream does not
+  head-of-line-block another,
+* per-connection RTT estimation seeded from the handshake.
+"""
+
+from repro.quic.connection import (
+    QuicConnection,
+    QuicListener,
+    QuicStream,
+    quic_connect,
+)
+
+__all__ = ["QuicConnection", "QuicListener", "QuicStream", "quic_connect"]

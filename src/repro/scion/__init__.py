@@ -1,0 +1,42 @@
+"""SCION path-aware network architecture.
+
+This package implements the SCION control plane and data plane the paper
+builds on (§4):
+
+* :mod:`repro.scion.addr` — SCION addresses (ISD-AS + local host),
+* :mod:`repro.scion.pki` — control-plane PKI: per-ISD TRCs and AS
+  certificates, used to authenticate beacons,
+* :mod:`repro.scion.beacon` — path-construction beacons (PCBs) with
+  per-hop signatures and static-info metadata (latency, bandwidth, MTU,
+  geo, CO2, ...),
+* :mod:`repro.scion.beaconing` — the beaconing process producing up /
+  core / down path segments,
+* :mod:`repro.scion.segments` — segment data structures,
+* :mod:`repro.scion.path_server` — segment registration and lookup,
+* :mod:`repro.scion.combinator` — combining segments into end-to-end
+  paths,
+* :mod:`repro.scion.path` — forwarding paths with hop fields and
+  aggregated metadata,
+* :mod:`repro.scion.daemon` — the per-host path daemon ("sciond") that
+  applications query for paths.
+"""
+
+from repro.scion.addr import HostAddr
+from repro.scion.beacon import StaticInfo
+from repro.scion.combinator import combine_segments
+from repro.scion.daemon import PathDaemon
+from repro.scion.path import PathMetadata, ScionPath
+from repro.scion.pki import ControlPlanePki
+from repro.scion.segments import PathSegment, SegmentType
+
+__all__ = [
+    "ControlPlanePki",
+    "HostAddr",
+    "PathDaemon",
+    "PathMetadata",
+    "PathSegment",
+    "ScionPath",
+    "SegmentType",
+    "StaticInfo",
+    "combine_segments",
+]

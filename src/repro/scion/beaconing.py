@@ -1,0 +1,270 @@
+"""Beaconing: propagating PCBs to discover path segments.
+
+Two processes run, mirroring SCION's control plane (paper §2, §4):
+
+* **Core beaconing** floods beacons over core links between core ASes.
+  Every core AS that receives a beacon registers a *core segment* from
+  the beacon's origin to itself.
+* **Intra-ISD beaconing** sends beacons from each core AS down the
+  provider (parent→child) hierarchy. Every AS a beacon reaches registers
+  the segment as its *up segment* and registers it as a *down segment*
+  for itself at the path-server infrastructure.
+
+Each AS on the way appends a signed entry (with hop field MAC and
+static-info metadata) and — when ``verify_on_extend`` is set — verifies
+the beacon's existing signatures before extending it, exactly as a real
+beacon service must. Propagation is pruned to the ``beacons_per_target``
+lowest-latency candidates per (origin, AS) pair, a standard beacon-store
+policy that bounds the exponential path space while preserving diversity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.crypto.mac import hop_mac
+from repro.errors import BeaconingError
+from repro.scion.beacon import AsEntry, HopField, StaticInfo
+from repro.scion.pki import ControlPlanePki
+from repro.scion.segments import PathSegment, SegmentType, entries_digest
+from repro.topology.graph import AsTopology, InterAsLink, LinkKind
+from repro.topology.isd_as import IsdAs
+
+#: Default hop-field expiration value (SCION's relative exp-time byte).
+DEFAULT_EXP_TIME = 63
+
+
+@dataclass
+class SegmentStore:
+    """All segments discovered by beaconing, indexed for combination.
+
+    This models the path-server infrastructure plus each AS's local
+    beacon store: ``up_segments[X]`` is what AS X's local path service
+    holds; ``down_segments[X]`` and ``core_segments`` live at the core
+    path servers (queried via :class:`repro.scion.path_server.PathServer`).
+    """
+
+    up_segments: dict[IsdAs, list[PathSegment]] = field(default_factory=dict)
+    down_segments: dict[IsdAs, list[PathSegment]] = field(default_factory=dict)
+    core_segments: dict[tuple[IsdAs, IsdAs], list[PathSegment]] = field(
+        default_factory=dict)
+    registrations: int = 0
+
+    def add_up(self, isd_as: IsdAs, segment: PathSegment) -> None:
+        """Store an up segment at ``isd_as``'s local path service."""
+        self.up_segments.setdefault(isd_as, []).append(
+            segment.with_type(SegmentType.UP))
+        self.registrations += 1
+
+    def add_down(self, isd_as: IsdAs, segment: PathSegment) -> None:
+        """Register a down segment for destination ``isd_as``."""
+        self.down_segments.setdefault(isd_as, []).append(
+            segment.with_type(SegmentType.DOWN))
+        self.registrations += 1
+
+    def add_core(self, origin: IsdAs, terminal: IsdAs,
+                 segment: PathSegment) -> None:
+        """Register a core segment between two core ASes."""
+        self.core_segments.setdefault((origin, terminal), []).append(
+            segment.with_type(SegmentType.CORE))
+        self.registrations += 1
+
+    def ups(self, isd_as: IsdAs) -> list[PathSegment]:
+        """Up segments available at ``isd_as``."""
+        return list(self.up_segments.get(isd_as, []))
+
+    def downs(self, isd_as: IsdAs) -> list[PathSegment]:
+        """Down segments registered for ``isd_as``."""
+        return list(self.down_segments.get(isd_as, []))
+
+    def cores_between(self, a: IsdAs, b: IsdAs) -> list[PathSegment]:
+        """Core segments linking two core ASes, either orientation."""
+        return (list(self.core_segments.get((a, b), []))
+                + list(self.core_segments.get((b, a), [])))
+
+
+@dataclass(order=True)
+class _Candidate:
+    """A beacon in flight. Ordered by cumulative latency for k-best
+    pruning; ``tiebreak`` keeps the ordering total and deterministic."""
+
+    cumulative_latency_ms: float
+    tiebreak: int
+    entries: list[AsEntry] = field(compare=False)
+    current_as: IsdAs = field(compare=False)
+    arrival_ifid: int = field(compare=False)
+
+    def traversed(self) -> set[IsdAs]:
+        return {entry.isd_as for entry in self.entries} | {self.current_as}
+
+
+class BeaconingService:
+    """Runs beaconing over a topology and produces a :class:`SegmentStore`."""
+
+    def __init__(self, topology: AsTopology, pki: ControlPlanePki,
+                 timestamp: int = 0,
+                 beacons_per_target: int = 8,
+                 exp_time: int = DEFAULT_EXP_TIME,
+                 verify_on_extend: bool = False) -> None:
+        self.topology = topology
+        self.pki = pki
+        self.timestamp = timestamp
+        self.beacons_per_target = beacons_per_target
+        self.exp_time = exp_time
+        self.verify_on_extend = verify_on_extend
+        self._tiebreak = itertools.count()
+        self.beacons_propagated = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def build_store(self) -> SegmentStore:
+        """Run core and intra-ISD beaconing; return the segment store."""
+        store = SegmentStore()
+        core_ases = [info.isd_as for info in self.topology.core_ases()]
+        if not core_ases:
+            raise BeaconingError("topology has no core AS to originate beacons")
+        for origin in core_ases:
+            self._propagate(origin, store, kinds=(LinkKind.CORE,),
+                            register=self._register_core)
+        for origin in core_ases:
+            self._propagate(origin, store, kinds=(LinkKind.PARENT,),
+                            register=self._register_down)
+        return store
+
+    # -- registration callbacks ------------------------------------------------
+
+    def _register_core(self, store: SegmentStore, origin: IsdAs,
+                       segment: PathSegment) -> None:
+        if segment.terminal != origin:
+            store.add_core(origin, segment.terminal, segment)
+
+    def _register_down(self, store: SegmentStore, origin: IsdAs,
+                       segment: PathSegment) -> None:
+        if segment.terminal != origin:
+            store.add_down(segment.terminal, segment)
+            store.add_up(segment.terminal, segment)
+
+    # -- propagation -------------------------------------------------------------
+
+    def _propagate(self, origin: IsdAs, store: SegmentStore,
+                   kinds: tuple[LinkKind, ...], register) -> None:
+        """Lowest-latency-first flood from ``origin`` over links of the
+        given kinds, keeping ``beacons_per_target`` beacons per AS."""
+        frontier: list[_Candidate] = [_Candidate(
+            cumulative_latency_ms=0.0,
+            tiebreak=next(self._tiebreak),
+            entries=[],
+            current_as=origin,
+            arrival_ifid=0,
+        )]
+        accepted: dict[IsdAs, int] = {}
+        while frontier:
+            candidate = heapq.heappop(frontier)
+            count = accepted.get(candidate.current_as, 0)
+            if count >= self.beacons_per_target:
+                continue
+            accepted[candidate.current_as] = count + 1
+            self.beacons_propagated += 1
+            if candidate.current_as != origin:
+                segment = self._finalize(candidate)
+                register(store, origin, segment)
+            for link in self._egress_links(candidate, kinds):
+                extended = self._extend(candidate, link)
+                if extended is not None:
+                    heapq.heappush(frontier, extended)
+
+    def _egress_links(self, candidate: _Candidate,
+                      kinds: tuple[LinkKind, ...]) -> list[InterAsLink]:
+        links = []
+        for link in self.topology.links_of(candidate.current_as):
+            if link.kind not in kinds:
+                continue
+            if link.kind is LinkKind.PARENT and link.a != candidate.current_as:
+                continue  # down beacons only flow parent -> child
+            if link.other(candidate.current_as) in candidate.traversed():
+                continue  # loop prevention
+            links.append(link)
+        return links
+
+    def _extend(self, candidate: _Candidate,
+                link: InterAsLink) -> "_Candidate | None":
+        """Append the current AS's entry (egress toward ``link``) and move
+        the beacon across."""
+        if self.verify_on_extend and candidate.entries:
+            self._verify_partial(candidate.entries)
+        current = candidate.current_as
+        entry = self._make_entry(
+            isd_as=current,
+            ingress=candidate.arrival_ifid,
+            egress_link=link,
+            previous_entries=candidate.entries,
+        )
+        next_as = link.other(current)
+        as_info = self.topology.as_info(current)
+        added_latency = as_info.internal_latency_ms + link.latency_ms
+        return _Candidate(
+            cumulative_latency_ms=candidate.cumulative_latency_ms + added_latency,
+            tiebreak=next(self._tiebreak),
+            entries=candidate.entries + [entry],
+            current_as=next_as,
+            arrival_ifid=link.ifid_of(next_as),
+        )
+
+    def _finalize(self, candidate: _Candidate) -> PathSegment:
+        """Terminate the beacon at the current AS and produce a segment."""
+        entry = self._make_entry(
+            isd_as=candidate.current_as,
+            ingress=candidate.arrival_ifid,
+            egress_link=None,
+            previous_entries=candidate.entries,
+        )
+        return PathSegment(
+            segment_type=SegmentType.CORE,  # re-labelled at registration
+            timestamp=self.timestamp,
+            entries=tuple(candidate.entries + [entry]),
+        )
+
+    def _make_entry(self, isd_as: IsdAs, ingress: int,
+                    egress_link: InterAsLink | None,
+                    previous_entries: list[AsEntry]) -> AsEntry:
+        as_info = self.topology.as_info(isd_as)
+        egress = egress_link.ifid_of(isd_as) if egress_link is not None else 0
+        chain = previous_entries[-1].hop_field.mac if previous_entries else b""
+        mac = hop_mac(
+            key=self.pki.forwarding_key(isd_as),
+            timestamp=self.timestamp,
+            exp_time=self.exp_time,
+            ingress=ingress,
+            egress=egress,
+            chain=chain,
+        )
+        hop_field = HopField(ingress=ingress, egress=egress,
+                             exp_time=self.exp_time, mac=mac, chain=chain)
+        static_info = StaticInfo.for_hop(as_info, egress_link)
+        unsigned = AsEntry(
+            isd_as=isd_as,
+            ingress_ifid=ingress,
+            egress_ifid=egress,
+            as_mtu=as_info.mtu,
+            hop_field=hop_field,
+            static_info=static_info,
+        )
+        digest = entries_digest(previous_entries)
+        signature = self.pki.sign(isd_as, unsigned.signed_payload(digest))
+        return AsEntry(
+            isd_as=unsigned.isd_as,
+            ingress_ifid=unsigned.ingress_ifid,
+            egress_ifid=unsigned.egress_ifid,
+            as_mtu=unsigned.as_mtu,
+            hop_field=unsigned.hop_field,
+            static_info=unsigned.static_info,
+            signature=signature,
+        )
+
+    def _verify_partial(self, entries: list[AsEntry]) -> None:
+        for index, entry in enumerate(entries):
+            digest = entries_digest(entries[:index])
+            self.pki.verify(entry.isd_as, entry.signed_payload(digest),
+                            entry.signature)

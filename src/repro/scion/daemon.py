@@ -1,0 +1,132 @@
+"""The per-host path daemon ("sciond").
+
+Applications never talk to path servers directly; they ask their local
+daemon for paths to a destination AS (paper §4.1: "a SCION application
+[queries] the set of available candidate paths from the local AS path
+service, which include metadata added during beaconing"). The daemon
+
+* fetches and combines segments on first contact with a destination,
+* optionally verifies every segment's signature chain against the
+  control-plane PKI before trusting it,
+* caches combined paths per destination,
+* exposes the candidate set *unfiltered* — policy evaluation happens in
+  the application layer (the SKIP proxy), which is the paper's central
+  architectural point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NoPathError
+from repro.scion.combinator import combine_segments
+from repro.scion.path import ScionPath
+from repro.scion.path_server import PathServer
+from repro.scion.pki import ControlPlanePki
+from repro.topology.isd_as import IsdAs
+
+
+@dataclass
+class DaemonStats:
+    """Counters describing daemon usage."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    segments_verified: int = 0
+
+
+@dataclass
+class PathDaemon:
+    """Path lookup service for one AS's hosts.
+
+    Attributes:
+        isd_as: the AS this daemon serves.
+        path_server: segment lookup backend.
+        core_ases: core ASes learned from TRCs.
+        pki: PKI for segment verification (None disables verification).
+        max_paths: cap on combined paths per destination.
+    """
+
+    isd_as: IsdAs
+    path_server: PathServer
+    core_ases: set[IsdAs]
+    pki: ControlPlanePki | None = None
+    max_paths: int = 64
+    #: Optional clock (the simulation loop); when set, expired paths are
+    #: filtered out of every answer.
+    clock: object | None = None
+    stats: DaemonStats = field(default_factory=DaemonStats)
+    _cache: dict[IsdAs, list[ScionPath]] = field(default_factory=dict)
+
+    def paths(self, dst: IsdAs) -> list[ScionPath]:
+        """All candidate paths to ``dst``, lowest latency first.
+
+        Expired paths (per hop-field exp-time) are never returned.
+        Returns an empty list for the local AS (no network path needed).
+        Raises :class:`NoPathError` when the destination is unreachable
+        over SCION.
+        """
+        self.stats.queries += 1
+        if dst == self.isd_as:
+            return []
+        if dst in self._cache:
+            self.stats.cache_hits += 1
+            fresh = self._unexpired(self._cache[dst])
+            if fresh:
+                return fresh
+            del self._cache[dst]  # everything aged out: refetch
+        segments = self._fetch_segments(dst)
+        if self.pki is not None:
+            for segment in segments:
+                segment.verify(self.pki)
+                self.stats.segments_verified += 1
+        paths = combine_segments(self.isd_as, dst, self.path_server.store,
+                                 core_ases=self.core_ases,
+                                 max_paths=self.max_paths)
+        paths = self._unexpired(paths)
+        if not paths:
+            raise NoPathError(f"no SCION path {self.isd_as} -> {dst}")
+        self._cache[dst] = paths
+        return list(paths)
+
+    def _unexpired(self, paths: list[ScionPath]) -> list[ScionPath]:
+        if self.clock is None:
+            return list(paths)
+        now_ms = self.clock.now  # type: ignore[attr-defined]
+        return [path for path in paths if not path.is_expired(now_ms)]
+
+    def try_paths(self, dst: IsdAs) -> list[ScionPath]:
+        """Like :meth:`paths` but returns [] instead of raising.
+
+        The SKIP proxy uses this for its SCION-or-fallback decision.
+        """
+        try:
+            return self.paths(dst)
+        except NoPathError:
+            return []
+
+    def flush_cache(self) -> None:
+        """Drop cached combinations (e.g. after a policy change that
+        alters ``max_paths`` semantics in tests)."""
+        self._cache.clear()
+
+    def _fetch_segments(self, dst: IsdAs) -> list:
+        """The segments a combination for ``dst`` could draw on (for
+        verification accounting)."""
+        segments = []
+        if self.isd_as not in self.core_ases:
+            segments.extend(self.path_server.up_segments(self.isd_as))
+        if dst not in self.core_ases:
+            segments.extend(self.path_server.down_segments(dst))
+        up_cores = ({self.isd_as} if self.isd_as in self.core_ases else
+                    {segment.origin
+                     for segment in self.path_server.store.ups(self.isd_as)})
+        down_cores = ({dst} if dst in self.core_ases else
+                      {segment.origin
+                       for segment in self.path_server.store.downs(dst)})
+        for up_core in up_cores:
+            for down_core in down_cores:
+                if up_core != down_core:
+                    segments.extend(
+                        self.path_server.core_segments(up_core, down_core))
+        return segments

@@ -1,0 +1,72 @@
+"""Path-server infrastructure.
+
+Beaconing registers segments; the :class:`PathServer` answers lookups
+(paper §2: segments "are then disseminated through a path server
+infrastructure, along with the additional information"). The server is a
+logically-centralized query service over the :class:`SegmentStore`; per
+SCION's design an end host asks for (a) up segments from its local AS
+service, (b) core segments between its core(s) and the destination ISD's
+cores, (c) down segments to the destination AS.
+
+Lookups are counted so experiments can report control-plane load, and a
+configurable artificial latency models the (cached, local-AS) lookup cost
+the paper's proxy pays on first contact with a destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scion.beaconing import SegmentStore
+from repro.scion.segments import PathSegment
+from repro.topology.isd_as import IsdAs
+
+
+@dataclass
+class LookupStats:
+    """Counters describing path-server usage."""
+
+    up_lookups: int = 0
+    down_lookups: int = 0
+    core_lookups: int = 0
+    segments_served: int = 0
+
+    def total(self) -> int:
+        """All lookups of any type."""
+        return self.up_lookups + self.down_lookups + self.core_lookups
+
+
+@dataclass
+class PathServer:
+    """Query facade over the segment store.
+
+    Attributes:
+        store: the segments registered by beaconing.
+        lookup_latency_ms: simulated time one lookup costs callers who
+            model it (the daemon adds it to first-contact path queries).
+    """
+
+    store: SegmentStore
+    lookup_latency_ms: float = 1.0
+    stats: LookupStats = field(default_factory=LookupStats)
+
+    def up_segments(self, isd_as: IsdAs) -> list[PathSegment]:
+        """Up segments available at the requesting AS."""
+        self.stats.up_lookups += 1
+        segments = self.store.ups(isd_as)
+        self.stats.segments_served += len(segments)
+        return segments
+
+    def down_segments(self, isd_as: IsdAs) -> list[PathSegment]:
+        """Down segments registered for the destination AS."""
+        self.stats.down_lookups += 1
+        segments = self.store.downs(isd_as)
+        self.stats.segments_served += len(segments)
+        return segments
+
+    def core_segments(self, a: IsdAs, b: IsdAs) -> list[PathSegment]:
+        """Core segments between two core ASes, either orientation."""
+        self.stats.core_lookups += 1
+        segments = self.store.cores_between(a, b)
+        self.stats.segments_served += len(segments)
+        return segments

@@ -1,0 +1,161 @@
+"""SCION control-plane PKI.
+
+SCION anchors trust per isolation domain: each ISD publishes a Trust Root
+Configuration (TRC) naming the public keys of its core ASes; core ASes act
+as certificate authorities issuing certificates to the ASes of their ISD
+(paper §4: ISDs "define local trust roots for SCION's control plane PKI").
+
+The PKI here is fully functional: every AS gets an RSA key pair, core
+keys are listed in the ISD's TRC, AS certificates are signed by a core
+CA, and beacon verification walks the chain certificate → TRC. Tampering
+with any signed byte makes verification fail (tests assert this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.mac import derive_forwarding_key
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.errors import CryptoError, VerificationError
+from repro.topology.graph import AsTopology
+from repro.topology.isd_as import IsdAs
+
+
+@dataclass(frozen=True)
+class Trc:
+    """Trust Root Configuration of one ISD.
+
+    Attributes:
+        isd: the isolation domain.
+        serial: version counter (TRC updates are out of scope; always 1).
+        core_keys: public keys of the ISD's core ASes, the trust anchors.
+    """
+
+    isd: int
+    serial: int
+    core_keys: dict[IsdAs, RsaPublicKey]
+
+
+@dataclass(frozen=True)
+class AsCertificate:
+    """An AS certificate issued by a core AS of the subject's ISD."""
+
+    subject: IsdAs
+    public_key: RsaPublicKey
+    issuer: IsdAs
+    signature: int
+
+    def signed_payload(self) -> bytes:
+        """The byte string the issuer signed."""
+        return (f"cert|{self.subject}|{self.public_key.n:x}|"
+                f"{self.public_key.e:x}|{self.issuer}").encode()
+
+
+class ControlPlanePki:
+    """Key material and verification logic for a whole topology.
+
+    Construction generates, deterministically from ``seed``:
+
+    * an RSA key pair per AS,
+    * one TRC per ISD listing its core ASes' public keys,
+    * an AS certificate per AS, issued by the lowest-numbered core AS of
+      its ISD (core ASes self-issue),
+    * a data-plane forwarding key per AS (for hop-field MACs).
+
+    The private signing keys live in ``self`` because the simulator plays
+    all parties; the verification API only ever uses public material.
+    """
+
+    def __init__(self, topology: AsTopology, seed: int = 0,
+                 key_bits: int = 256) -> None:
+        self.topology = topology
+        rng = random.Random(("pki", seed).__repr__())
+        master_secret = rng.randbytes(32)
+        self._keypairs: dict[IsdAs, RsaKeyPair] = {}
+        self._forwarding_keys: dict[IsdAs, bytes] = {}
+        for info in topology.ases():
+            self._keypairs[info.isd_as] = generate_keypair(rng, bits=key_bits)
+            self._forwarding_keys[info.isd_as] = derive_forwarding_key(
+                master_secret, str(info.isd_as))
+
+        self.trcs: dict[int, Trc] = {}
+        for isd in topology.isds():
+            core_keys = {info.isd_as: self._keypairs[info.isd_as].public
+                         for info in topology.core_ases() if info.isd == isd}
+            self.trcs[isd] = Trc(isd=isd, serial=1, core_keys=core_keys)
+
+        self.certificates: dict[IsdAs, AsCertificate] = {}
+        for info in topology.ases():
+            issuer = self._issuer_for(info.isd_as)
+            unsigned = AsCertificate(
+                subject=info.isd_as,
+                public_key=self._keypairs[info.isd_as].public,
+                issuer=issuer,
+                signature=0,
+            )
+            signature = self._keypairs[issuer].sign(unsigned.signed_payload())
+            self.certificates[info.isd_as] = AsCertificate(
+                subject=unsigned.subject,
+                public_key=unsigned.public_key,
+                issuer=unsigned.issuer,
+                signature=signature,
+            )
+
+    def _issuer_for(self, isd_as: IsdAs) -> IsdAs:
+        info = self.topology.as_info(isd_as)
+        if info.core:
+            return isd_as
+        isd_cores = sorted(info.isd_as for info in self.topology.core_ases()
+                           if info.isd == isd_as.isd)
+        if not isd_cores:
+            raise CryptoError(f"ISD {isd_as.isd} has no core CA")
+        return isd_cores[0]
+
+    # -- signing (used by the beaconing service) -------------------------------
+
+    def sign(self, isd_as: IsdAs, payload: bytes) -> int:
+        """Sign ``payload`` with the AS's private key."""
+        try:
+            return self._keypairs[isd_as].sign(payload)
+        except KeyError:
+            raise CryptoError(f"no key pair for {isd_as}") from None
+
+    def forwarding_key(self, isd_as: IsdAs) -> bytes:
+        """The AS's data-plane forwarding key (hop-field MACs)."""
+        try:
+            return self._forwarding_keys[isd_as]
+        except KeyError:
+            raise CryptoError(f"no forwarding key for {isd_as}") from None
+
+    # -- verification -----------------------------------------------------------
+
+    def verify_certificate(self, certificate: AsCertificate) -> None:
+        """Verify a certificate against its ISD's TRC.
+
+        Raises :class:`VerificationError` if the issuer is not a trust
+        anchor of the subject's ISD or the signature is invalid.
+        """
+        trc = self.trcs.get(certificate.subject.isd)
+        if trc is None:
+            raise VerificationError(f"no TRC for ISD {certificate.subject.isd}")
+        issuer_key = trc.core_keys.get(certificate.issuer)
+        if issuer_key is None:
+            raise VerificationError(
+                f"issuer {certificate.issuer} is not a core AS of "
+                f"ISD {certificate.subject.isd}")
+        issuer_key.verify(certificate.signed_payload(), certificate.signature)
+
+    def verify(self, isd_as: IsdAs, payload: bytes, signature: int) -> None:
+        """Verify an AS's signature, chaining through its certificate.
+
+        This is the beacon-verification entry point: it checks the AS's
+        certificate against the TRC, then the signature against the
+        certified key.
+        """
+        certificate = self.certificates.get(isd_as)
+        if certificate is None:
+            raise VerificationError(f"no certificate for {isd_as}")
+        self.verify_certificate(certificate)
+        certificate.public_key.verify(payload, signature)

@@ -1,0 +1,120 @@
+"""Path segments.
+
+A :class:`PathSegment` is a finalized beacon: an ordered list of signed
+:class:`~repro.scion.beacon.AsEntry` records from an origin core AS to the
+segment's last AS. Segments come in three flavours (paper §2/§4): **core**
+segments connect core ASes, **down** segments go from a core AS down the
+provider hierarchy, and an **up** segment is a down segment of one's own
+AS used in reverse.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import SegmentError, VerificationError
+from repro.scion.beacon import AsEntry
+from repro.topology.isd_as import IsdAs
+
+
+class SegmentType(enum.Enum):
+    """How a stored segment may be used during combination."""
+
+    UP = "up"
+    CORE = "core"
+    DOWN = "down"
+
+
+def entries_digest(entries: list[AsEntry]) -> str:
+    """Stable digest over a prefix of entries, used for signature chaining."""
+    hasher = hashlib.sha256()
+    for entry in entries:
+        hasher.update(entry.serialize().encode())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """An immutable, fully-signed path segment.
+
+    Attributes:
+        segment_type: UP / CORE / DOWN.
+        timestamp: creation time (integer seconds) — also the hop-field
+            MAC timestamp input.
+        entries: AS entries in beaconing direction (origin first).
+    """
+
+    segment_type: SegmentType
+    timestamp: int
+    entries: tuple[AsEntry, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise SegmentError("a path segment needs at least one AS entry")
+
+    @property
+    def origin(self) -> IsdAs:
+        """The core AS the beacon originated at."""
+        return self.entries[0].isd_as
+
+    @property
+    def terminal(self) -> IsdAs:
+        """The last AS on the segment."""
+        return self.entries[-1].isd_as
+
+    @property
+    def ases(self) -> tuple[IsdAs, ...]:
+        """All ASes in beaconing order."""
+        return tuple(entry.isd_as for entry in self.entries)
+
+    def segment_id(self) -> str:
+        """Content-derived identifier."""
+        return entries_digest(list(self.entries))[:16]
+
+    def with_type(self, segment_type: SegmentType) -> "PathSegment":
+        """The same segment re-labelled (e.g. a down segment stored as an
+        up segment at the leaf AS)."""
+        return PathSegment(segment_type=segment_type,
+                           timestamp=self.timestamp, entries=self.entries)
+
+    def total_latency_ms(self) -> float:
+        """Control-plane latency estimate: intra-AS plus egress links."""
+        return sum(entry.static_info.latency_intra_ms
+                   + entry.static_info.latency_inter_ms
+                   for entry in self.entries)
+
+    def verify(self, pki) -> None:
+        """Verify every entry's chained signature against the PKI.
+
+        ``pki`` is a :class:`~repro.scion.pki.ControlPlanePki`. Raises
+        :class:`VerificationError` on the first invalid entry, including
+        when entries were reordered, dropped, or modified.
+        """
+        for index, entry in enumerate(self.entries):
+            previous = entries_digest(list(self.entries[:index]))
+            payload = entry.signed_payload(previous)
+            try:
+                pki.verify(entry.isd_as, payload, entry.signature)
+            except VerificationError as error:
+                raise VerificationError(
+                    f"segment {self.segment_id()}: entry {index} "
+                    f"({entry.isd_as}) failed verification: {error}") from error
+        self._verify_structure()
+
+    def _verify_structure(self) -> None:
+        """Interface-id continuity checks independent of cryptography."""
+        if self.entries[0].ingress_ifid != 0:
+            raise VerificationError("origin entry must have ingress 0")
+        if self.entries[-1].egress_ifid != 0:
+            raise VerificationError("terminal entry must have egress 0")
+        for index, entry in enumerate(self.entries[:-1]):
+            if entry.egress_ifid == 0:
+                raise VerificationError(
+                    f"non-terminal entry {index} has egress 0")
+        seen: set[IsdAs] = set()
+        for entry in self.entries:
+            if entry.isd_as in seen:
+                raise VerificationError(f"AS loop at {entry.isd_as}")
+            seen.add(entry.isd_as)

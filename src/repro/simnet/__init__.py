@@ -1,0 +1,48 @@
+"""Discrete-event network simulation substrate.
+
+This package is the foundation every other subsystem runs on. It provides:
+
+* :mod:`repro.simnet.events` — a deterministic event loop with simulated
+  time (milliseconds) and simpy-style generator processes,
+* :mod:`repro.simnet.packet` — the frame/packet model,
+* :mod:`repro.simnet.link` — point-to-point links with propagation delay,
+  serialization delay, jitter, loss, and MTU,
+* :mod:`repro.simnet.node` — the node base class and port plumbing,
+* :mod:`repro.simnet.network` — a container that wires nodes and links and
+  drives the loop,
+* :mod:`repro.simnet.trace` — packet-level tracing for debugging and tests.
+
+The paper's testbeds (a laptop-local setup and a distributed SCIONLab
+setup) are reconstructed on top of this substrate; see DESIGN.md §2.
+"""
+
+from repro.simnet.events import (
+    Event,
+    EventLoop,
+    Interrupt,
+    Process,
+    SerialResource,
+    Timeout,
+)
+from repro.simnet.link import Link, LinkConfig
+from repro.simnet.network import Network
+from repro.simnet.node import Node, Port
+from repro.simnet.packet import Packet
+from repro.simnet.trace import PacketTrace, TraceEntry
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Interrupt",
+    "Link",
+    "LinkConfig",
+    "Network",
+    "Node",
+    "Packet",
+    "PacketTrace",
+    "Port",
+    "Process",
+    "SerialResource",
+    "Timeout",
+    "TraceEntry",
+]

@@ -1,0 +1,136 @@
+"""Point-to-point link model.
+
+A link connects two node ports and charges each packet:
+
+* **serialization delay** — ``size / bandwidth`` (zero on infinite-bandwidth
+  links, used for the paper's loopback local setup),
+* **queueing delay** — packets serialize FIFO per direction; a packet must
+  wait until the transmitter is free,
+* **propagation delay** — fixed one-way latency plus optional uniform
+  jitter,
+* **loss** — each packet is dropped independently with ``loss_rate``.
+
+Packets larger than the MTU are dropped (and recorded in the trace), which
+is how path-MTU effects become observable to upper layers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.simnet.packet import DEFAULT_MTU, Packet
+from repro.units import transmission_delay_ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.events import EventLoop
+    from repro.simnet.node import Node
+    from repro.simnet.trace import PacketTrace
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Physical characteristics of a link.
+
+    Attributes:
+        latency_ms: one-way propagation delay.
+        bandwidth_mbps: serialization rate; <= 0 means infinite (loopback).
+        jitter_ms: maximum extra uniform random delay per packet.
+        loss_rate: independent drop probability in [0, 1].
+        mtu: maximum packet size in bytes.
+    """
+
+    latency_ms: float = 1.0
+    bandwidth_mbps: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    mtu: int = DEFAULT_MTU
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise SimulationError("link latency must be >= 0")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise SimulationError("loss_rate must be within [0, 1]")
+        if self.jitter_ms < 0:
+            raise SimulationError("jitter must be >= 0")
+        if self.mtu <= 0:
+            raise SimulationError("mtu must be positive")
+
+
+class Link:
+    """A bidirectional point-to-point link between two node ports."""
+
+    def __init__(self, loop: "EventLoop", rng: random.Random,
+                 a: "Node", a_port: int, b: "Node", b_port: int,
+                 config: LinkConfig, name: str = "",
+                 trace: "PacketTrace | None" = None) -> None:
+        self.loop = loop
+        self.rng = rng
+        self.config = config
+        self.name = name or f"{a.name}:{a_port}<->{b.name}:{b_port}"
+        self.trace = trace
+        #: Administrative state: a downed link silently drops everything
+        #: (fiber cut / interface down), letting experiments inject
+        #: failures mid-run.
+        self.up = True
+        self._endpoints = {a.name: (a, a_port), b.name: (b, b_port)}
+        # Transmitter-free times, one per direction, keyed by sender name.
+        self._tx_free_at = {a.name: 0.0, b.name: 0.0}
+        # Counters for stats/feedback (paper §4: per-path usage statistics).
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def peer_of(self, node_name: str) -> "Node":
+        """The node on the other end of the link from ``node_name``."""
+        if node_name not in self._endpoints:
+            raise SimulationError(
+                f"{node_name} is not attached to link {self.name}")
+        peer_name = next(name for name in self._endpoints
+                         if name != node_name)
+        return self._endpoints[peer_name][0]
+
+    def transmit(self, packet: Packet, sender_name: str) -> None:
+        """Send ``packet`` from the named endpoint toward the other one."""
+        if sender_name not in self._endpoints:
+            raise SimulationError(
+                f"{sender_name} is not attached to link {self.name}")
+        receiver, receiver_port = self._endpoints[
+            next(n for n in self._endpoints if n != sender_name)]
+        cfg = self.config
+
+        if not self.up:
+            self.packets_dropped += 1
+            self._record("drop-down", packet)
+            return
+        if packet.size > cfg.mtu:
+            self.packets_dropped += 1
+            self._record("drop-mtu", packet)
+            return
+        if cfg.loss_rate > 0.0 and self.rng.random() < cfg.loss_rate:
+            self.packets_dropped += 1
+            self._record("drop-loss", packet)
+            return
+
+        serialization = transmission_delay_ms(packet.size, cfg.bandwidth_mbps)
+        start = max(self.loop.now, self._tx_free_at[sender_name])
+        tx_done = start + serialization
+        self._tx_free_at[sender_name] = tx_done
+        jitter = self.rng.uniform(0.0, cfg.jitter_ms) if cfg.jitter_ms > 0 else 0.0
+        arrival = tx_done + cfg.latency_ms + jitter
+
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self._record("send", packet)
+        packet.hops += 1
+        self.loop.call_at(arrival, self._deliver, receiver, receiver_port, packet)
+
+    def _deliver(self, receiver: "Node", port: int, packet: Packet) -> None:
+        self._record("recv", packet)
+        receiver.receive(packet, port)
+
+    def _record(self, event: str, packet: Packet) -> None:
+        if self.trace is not None:
+            self.trace.record(self.loop.now, self.name, event, packet)

@@ -1,0 +1,25 @@
+"""AS-level topology modelling.
+
+SCION organizes autonomous systems (ASes) into isolation domains (ISDs)
+with core ASes providing inter-ISD connectivity (paper §4). This package
+provides:
+
+* :mod:`repro.topology.isd_as` — ISD-AS identifiers in SCION notation,
+* :mod:`repro.topology.graph` — the annotated AS-level multigraph
+  (link kinds, latencies, per-AS metadata such as geography and carbon
+  intensity),
+* :mod:`repro.topology.generator` — synthetic topology generators,
+* :mod:`repro.topology.defaults` — the canned topologies used by the
+  paper-reproduction experiments.
+"""
+
+from repro.topology.graph import AsInfo, AsTopology, InterAsLink, LinkKind
+from repro.topology.isd_as import IsdAs
+
+__all__ = [
+    "AsInfo",
+    "AsTopology",
+    "InterAsLink",
+    "IsdAs",
+    "LinkKind",
+]

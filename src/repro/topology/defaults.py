@@ -1,0 +1,182 @@
+"""Canned topologies reproducing the paper's two testbeds.
+
+* :func:`local_testbed` — the laptop setup of Figure 2: browser, HTTP
+  proxy and both file servers in one AS with sub-millisecond links. PLT
+  differences here isolate the extension + proxy detour overhead
+  (Figure 3).
+* :func:`remote_testbed` — the distributed setup of Figure 4: a client AS
+  in one ISD, servers in remote and nearby ASes. The legacy BGP route to
+  the remote server crosses a high-latency direct core link (shortest AS
+  path), while SCION's path-awareness finds a lower-latency two-segment
+  detour — producing Figure 5's SCION win. The nearby server's SCION and
+  IP paths coincide, producing Figure 6's small-overhead shape.
+* :func:`geofence_playground` — a 4-ISD Internet with redundant core
+  routes so ISD-level geofencing policies still leave compliant paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.generator import geo_latency_ms, make_asn
+from repro.topology.graph import AsTopology, LinkKind
+from repro.topology.isd_as import IsdAs
+
+
+@dataclass(frozen=True)
+class TestbedAses:
+    """Named ASes of a canned testbed, so experiments read clearly."""
+
+    client: IsdAs
+    local_core: IsdAs
+    nearby_server: IsdAs
+    remote_core: IsdAs
+    remote_server: IsdAs
+    third_core: IsdAs
+    third_server: IsdAs
+
+
+def local_testbed() -> AsTopology:
+    """Single-AS topology for the local (laptop) setup of Figure 2.
+
+    Everything lives in AS 1-ff00:0:110; hosts attach with ~0.05 ms
+    loopback-grade links when the experiment instantiates the simnet.
+    """
+    topo = AsTopology(name="local-testbed")
+    topo.add_as(IsdAs(1, make_asn(1, 0)), core=True, geo=(47.38, 8.54),
+                region="local", internal_latency_ms=0.05)
+    topo.validate()
+    return topo
+
+
+LOCAL_AS = IsdAs(1, make_asn(1, 0))
+
+
+def remote_testbed() -> tuple[AsTopology, TestbedAses]:
+    """Multi-ISD topology for the distributed setup of Figure 4.
+
+    Layout (one-way latencies):
+
+    * ISD 1 (Europe): core ``1-ff00:0:110``; client AS ``1-ff00:0:120``
+      and nearby-server AS ``1-ff00:0:121`` are its children (2.5 ms).
+    * ISD 2 (North America): core ``2-ff00:0:210``; remote-server AS
+      ``2-ff00:0:220`` is its child (2.5 ms).
+    * ISD 3 (Asia): core ``3-ff00:0:310``; third-origin server AS
+      ``3-ff00:0:320`` is its child (2.5 ms).
+    * Core links: 110–210 **direct but slow** (75 ms — think a congested
+      or circuitous transit route), 110–310 (22 ms) and 310–210 (24 ms)
+      forming a **faster detour** (46 ms total).
+
+    Legacy BGP prefers the shortest AS path and therefore routes
+    client→remote over the slow direct link; SCION's beaconing exposes
+    both the direct and the detour core segments and a latency-aware
+    policy picks the detour — the Figure 5 effect.
+    """
+    topo = AsTopology(name="remote-testbed")
+    ases = TestbedAses(
+        client=IsdAs(1, make_asn(1, 0x10)),
+        local_core=IsdAs(1, make_asn(1, 0)),
+        nearby_server=IsdAs(1, make_asn(1, 0x11)),
+        remote_core=IsdAs(2, make_asn(2, 0)),
+        remote_server=IsdAs(2, make_asn(2, 0x10)),
+        third_core=IsdAs(3, make_asn(3, 0)),
+        third_server=IsdAs(3, make_asn(3, 0x10)),
+    )
+    topo.add_as(ases.local_core, core=True, geo=(47.38, 8.54),
+                region="europe", co2_g_per_gb=30.0, esg_rating=0.8)
+    topo.add_as(ases.client, geo=(47.37, 8.55), region="europe",
+                co2_g_per_gb=25.0, esg_rating=0.8)
+    topo.add_as(ases.nearby_server, geo=(47.05, 8.30), region="europe",
+                co2_g_per_gb=28.0, esg_rating=0.7)
+    topo.add_as(ases.remote_core, core=True, geo=(40.71, -74.01),
+                region="north-america", co2_g_per_gb=80.0, esg_rating=0.5)
+    topo.add_as(ases.remote_server, geo=(39.95, -75.17),
+                region="north-america", co2_g_per_gb=85.0, esg_rating=0.5)
+    topo.add_as(ases.third_core, core=True, geo=(35.68, 139.69),
+                region="asia", co2_g_per_gb=60.0, esg_rating=0.6)
+    topo.add_as(ases.third_server, geo=(34.69, 135.50), region="asia",
+                co2_g_per_gb=65.0, esg_rating=0.6)
+
+    topo.add_link(ases.local_core, ases.client, LinkKind.PARENT,
+                  latency_ms=2.5, bandwidth_mbps=1000.0)
+    topo.add_link(ases.local_core, ases.nearby_server, LinkKind.PARENT,
+                  latency_ms=2.5, bandwidth_mbps=1000.0)
+    topo.add_link(ases.remote_core, ases.remote_server, LinkKind.PARENT,
+                  latency_ms=2.5, bandwidth_mbps=1000.0)
+    topo.add_link(ases.third_core, ases.third_server, LinkKind.PARENT,
+                  latency_ms=2.5, bandwidth_mbps=1000.0)
+    # Slow direct transatlantic route: shortest AS path, worst latency.
+    topo.add_link(ases.local_core, ases.remote_core, LinkKind.CORE,
+                  latency_ms=75.0, bandwidth_mbps=400.0)
+    # Faster detour via ISD 3.
+    topo.add_link(ases.local_core, ases.third_core, LinkKind.CORE,
+                  latency_ms=22.0, bandwidth_mbps=1000.0)
+    topo.add_link(ases.third_core, ases.remote_core, LinkKind.CORE,
+                  latency_ms=24.0, bandwidth_mbps=1000.0)
+    topo.validate()
+    return topo, ases
+
+
+def dual_homed_testbed() -> tuple[AsTopology, IsdAs, IsdAs]:
+    """A single-ISD topology with two disjoint paths for multipath.
+
+    Client AS ``1-ff00:0:120`` and server AS ``1-ff00:0:121`` are each
+    dual-homed to both cores ``1-ff00:0:110`` and ``1-ff00:0:111``; the
+    access links are deliberately bandwidth-constrained (300 Mbps), so
+    splitting a bulk transfer across the two core-disjoint paths roughly
+    doubles throughput — §1's "native inter-domain multipath".
+
+    Returns (topology, client AS, server AS).
+    """
+    topo = AsTopology(name="dual-homed")
+    core_a = IsdAs(1, make_asn(1, 0))
+    core_b = IsdAs(1, make_asn(1, 1))
+    client = IsdAs(1, make_asn(1, 0x10))
+    server = IsdAs(1, make_asn(1, 0x11))
+    topo.add_as(core_a, core=True, geo=(47.4, 8.5), region="eu")
+    topo.add_as(core_b, core=True, geo=(48.1, 11.6), region="eu")
+    topo.add_as(client, geo=(47.4, 8.6), region="eu")
+    topo.add_as(server, geo=(48.1, 11.7), region="eu")
+    topo.add_link(core_a, core_b, LinkKind.CORE, latency_ms=4.0,
+                  bandwidth_mbps=1000.0)
+    for core in (core_a, core_b):
+        topo.add_link(core, client, LinkKind.PARENT, latency_ms=3.0,
+                      bandwidth_mbps=300.0)
+        topo.add_link(core, server, LinkKind.PARENT, latency_ms=3.0,
+                      bandwidth_mbps=300.0)
+    topo.validate()
+    return topo, client, server
+
+
+def geofence_playground() -> AsTopology:
+    """Four-ISD Internet with redundant core routes for geofencing demos.
+
+    ISDs model regions (1=EU, 2=NA, 3=ASIA, 4=SA). Every pair of cores is
+    linked, so excluding any single transit ISD still leaves compliant
+    paths between the others — the property the geofencing example and
+    Ablation B rely on.
+    """
+    topo = AsTopology(name="geofence-playground")
+    regions = {1: ("eu", (50.1, 8.7)), 2: ("na", (40.7, -74.0)),
+               3: ("asia", (1.35, 103.8)), 4: ("sa", (-23.5, -46.6))}
+    cores: list[IsdAs] = []
+    for isd, (region, geo) in regions.items():
+        core = IsdAs(isd, make_asn(isd, 0))
+        topo.add_as(core, core=True, geo=geo, region=region,
+                    co2_g_per_gb=20.0 * isd, esg_rating=1.0 - 0.2 * isd,
+                    price_per_gb=0.5 * isd)
+        cores.append(core)
+        for leaf_index in range(2):
+            leaf = IsdAs(isd, make_asn(isd, 0x10 + leaf_index))
+            topo.add_as(leaf, geo=(geo[0] + 1.0, geo[1] + 1.0),
+                        region=region, co2_g_per_gb=20.0 * isd,
+                        esg_rating=1.0 - 0.2 * isd, price_per_gb=0.5 * isd)
+            topo.add_link(core, leaf, LinkKind.PARENT, latency_ms=3.0)
+    for i, core_a in enumerate(cores):
+        for core_b in cores[i + 1:]:
+            info_a = topo.as_info(core_a)
+            info_b = topo.as_info(core_b)
+            topo.add_link(core_a, core_b, LinkKind.CORE,
+                          latency_ms=geo_latency_ms(info_a.geo, info_b.geo))
+    topo.validate()
+    return topo

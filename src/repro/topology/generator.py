@@ -1,0 +1,158 @@
+"""Synthetic topology generators.
+
+The ablation experiments need Internets with many path choices (the paper
+notes SCION can offer "dozens to over a hundred" paths, §2). The
+generators here build multi-ISD topologies with meshed cores, provider
+trees, and peering links, with link latencies derived from great-circle
+distances so that "latency-optimal" is a meaningful, geography-grounded
+notion.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import TopologyError
+from repro.topology.graph import AsTopology, LinkKind
+from repro.topology.isd_as import IsdAs
+
+#: Effective propagation speed in fiber, km per millisecond (~2/3 c).
+FIBER_KM_PER_MS = 200.0
+
+
+def haversine_km(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Great-circle distance between two (lat, lon) points in km."""
+    lat1, lon1 = (math.radians(v) for v in a)
+    lat2, lon2 = (math.radians(v) for v in b)
+    d_lat = lat2 - lat1
+    d_lon = lon2 - lon1
+    h = (math.sin(d_lat / 2) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin(d_lon / 2) ** 2)
+    return 2 * 6371.0 * math.asin(math.sqrt(h))
+
+
+def geo_latency_ms(a: tuple[float, float] | None,
+                   b: tuple[float, float] | None,
+                   floor_ms: float = 1.0) -> float:
+    """One-way latency between two geo points, with a routing overhead
+    factor and a floor for co-located endpoints."""
+    if a is None or b is None:
+        return floor_ms
+    distance = haversine_km(a, b)
+    return max(floor_ms, distance / FIBER_KM_PER_MS * 1.3)
+
+
+def make_asn(isd: int, index: int) -> int:
+    """Build an AS number in the SCION documentation style ``ff00:0:<x>``.
+
+    ISD 1 gets ff00:0:110, 111, ...; ISD 2 gets ff00:0:210, ... so the
+    printable form matches the examples in the SCION book.
+    """
+    return (0xFF00 << 32) | (isd * 0x100 + 0x10 + index)
+
+
+def random_internet(n_isds: int = 3, cores_per_isd: int = 2,
+                    leaves_per_isd: int = 4, seed: int = 0,
+                    peering_probability: float = 0.3) -> AsTopology:
+    """Generate a multi-ISD Internet with rich path diversity.
+
+    Each ISD gets a geographic center; its ASes scatter around it. Cores
+    are meshed within an ISD and connected across ISDs (full core mesh),
+    leaves multi-home to every core of their ISD, and random peering links
+    join leaves of different ISDs. Latencies follow geography; carbon
+    intensity, ESG rating and pricing are randomized per AS so that every
+    Table-1 property class has non-trivial inputs.
+    """
+    if n_isds < 1 or cores_per_isd < 1:
+        raise TopologyError("need at least one ISD with one core AS")
+    rng = random.Random(seed)
+    topo = AsTopology(name=f"random-internet-{seed}")
+    # Spread ISD centers around the globe.
+    centers = [(rng.uniform(-55.0, 65.0), rng.uniform(-180.0, 180.0))
+               for _ in range(n_isds)]
+    cores: dict[int, list[IsdAs]] = {}
+    leaves: dict[int, list[IsdAs]] = {}
+
+    def scatter(center: tuple[float, float]) -> tuple[float, float]:
+        return (center[0] + rng.uniform(-4.0, 4.0),
+                center[1] + rng.uniform(-4.0, 4.0))
+
+    for isd_index in range(n_isds):
+        isd = isd_index + 1
+        center = centers[isd_index]
+        cores[isd] = []
+        leaves[isd] = []
+        for core_index in range(cores_per_isd):
+            isd_as = IsdAs(isd, make_asn(isd, core_index))
+            topo.add_as(isd_as, core=True, geo=scatter(center),
+                        region=f"region-{isd}",
+                        co2_g_per_gb=rng.uniform(10.0, 120.0),
+                        esg_rating=rng.uniform(0.0, 1.0),
+                        price_per_gb=rng.uniform(0.2, 3.0))
+            cores[isd].append(isd_as)
+        for leaf_index in range(leaves_per_isd):
+            isd_as = IsdAs(isd, make_asn(isd, 0x10 + leaf_index))
+            topo.add_as(isd_as, core=False, geo=scatter(center),
+                        region=f"region-{isd}",
+                        co2_g_per_gb=rng.uniform(10.0, 120.0),
+                        esg_rating=rng.uniform(0.0, 1.0),
+                        price_per_gb=rng.uniform(0.2, 3.0))
+            leaves[isd].append(isd_as)
+
+    def link_latency(a: IsdAs, b: IsdAs) -> float:
+        return geo_latency_ms(topo.as_info(a).geo, topo.as_info(b).geo)
+
+    # Intra-ISD core mesh.
+    for isd in cores:
+        isd_cores = cores[isd]
+        for i, core_a in enumerate(isd_cores):
+            for core_b in isd_cores[i + 1:]:
+                topo.add_link(core_a, core_b, LinkKind.CORE,
+                              latency_ms=link_latency(core_a, core_b))
+    # Inter-ISD core mesh (one link between every pair of cores in
+    # different ISDs keeps segment combination rich).
+    isd_list = sorted(cores)
+    for i, isd_a in enumerate(isd_list):
+        for isd_b in isd_list[i + 1:]:
+            for core_a in cores[isd_a]:
+                for core_b in cores[isd_b]:
+                    topo.add_link(core_a, core_b, LinkKind.CORE,
+                                  latency_ms=link_latency(core_a, core_b))
+    # Leaves multi-home to all cores of their ISD.
+    for isd in leaves:
+        for leaf in leaves[isd]:
+            for core in cores[isd]:
+                topo.add_link(core, leaf, LinkKind.PARENT,
+                              latency_ms=link_latency(core, leaf))
+    # Random cross-ISD peering between leaves.
+    all_leaves = [leaf for isd in leaves for leaf in leaves[isd]]
+    for i, leaf_a in enumerate(all_leaves):
+        for leaf_b in all_leaves[i + 1:]:
+            if topo.as_info(leaf_a).isd == topo.as_info(leaf_b).isd:
+                continue
+            if rng.random() < peering_probability:
+                topo.add_link(leaf_a, leaf_b, LinkKind.PEER,
+                              latency_ms=link_latency(leaf_a, leaf_b))
+    topo.validate()
+    return topo
+
+
+def line_topology(n_ases: int, isd: int = 1, latency_ms: float = 5.0) -> AsTopology:
+    """A single-ISD chain: core at one end, a provider chain below it.
+
+    Useful for tests that need a predictable single path.
+    """
+    if n_ases < 1:
+        raise TopologyError("line topology needs at least one AS")
+    topo = AsTopology(name=f"line-{n_ases}")
+    previous: IsdAs | None = None
+    for index in range(n_ases):
+        isd_as = IsdAs(isd, make_asn(isd, index))
+        topo.add_as(isd_as, core=(index == 0))
+        if previous is not None:
+            topo.add_link(previous, isd_as, LinkKind.PARENT,
+                          latency_ms=latency_ms)
+        previous = isd_as
+    topo.validate()
+    return topo

@@ -1,0 +1,102 @@
+"""ISD-AS identifiers.
+
+SCION addresses an AS by the pair (ISD number, AS number) written
+``isd-as``, where the AS number uses a dotted-hex BGP-style notation for
+values above 2^32, e.g. ``1-ff00:0:110``. This module parses and formats
+both the plain-decimal and the dotted-hex forms.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import AddressError
+
+#: AS numbers are 48-bit in SCION.
+MAX_ASN = (1 << 48) - 1
+#: ISD numbers are 16-bit.
+MAX_ISD = (1 << 16) - 1
+
+_HEX_ASN_RE = re.compile(
+    r"^([0-9a-fA-F]{1,4}):([0-9a-fA-F]{1,4}):([0-9a-fA-F]{1,4})$")
+
+
+def parse_asn(text: str) -> int:
+    """Parse an AS number in decimal (``64512``) or dotted-hex
+    (``ff00:0:110``) notation."""
+    match = _HEX_ASN_RE.match(text)
+    if match:
+        high, middle, low = (int(part, 16) for part in match.groups())
+        return (high << 32) | (middle << 16) | low
+    try:
+        value = int(text, 10)
+    except ValueError:
+        raise AddressError(f"invalid AS number {text!r}") from None
+    if not 0 <= value <= MAX_ASN:
+        raise AddressError(f"AS number out of range: {value}")
+    return value
+
+
+def format_asn(asn: int) -> str:
+    """Format an AS number; values >= 2^32 use dotted-hex notation."""
+    if not 0 <= asn <= MAX_ASN:
+        raise AddressError(f"AS number out of range: {asn}")
+    if asn < (1 << 32):
+        return str(asn)
+    return f"{asn >> 32:x}:{(asn >> 16) & 0xFFFF:x}:{asn & 0xFFFF:x}"
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IsdAs:
+    """An (ISD, AS) identifier.
+
+    Attributes:
+        isd: isolation domain number (1..65535; 0 means wildcard).
+        asn: AS number (48-bit; 0 means wildcard).
+    """
+
+    isd: int
+    asn: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.isd <= MAX_ISD:
+            raise AddressError(f"ISD out of range: {self.isd}")
+        if not 0 <= self.asn <= MAX_ASN:
+            raise AddressError(f"ASN out of range: {self.asn}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IsdAs":
+        """Parse ``"isd-asn"``, e.g. ``"1-ff00:0:110"`` or ``"2-64512"``."""
+        isd_text, separator, asn_text = text.partition("-")
+        if not separator:
+            raise AddressError(f"missing '-' in ISD-AS {text!r}")
+        try:
+            isd = int(isd_text, 10)
+        except ValueError:
+            raise AddressError(f"invalid ISD in {text!r}") from None
+        return cls(isd=isd, asn=parse_asn(asn_text))
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when either component is the 0 wildcard."""
+        return self.isd == 0 or self.asn == 0
+
+    def matches(self, other: "IsdAs") -> bool:
+        """Wildcard-aware match: 0 components match anything.
+
+        Used by the Path Policy Language's ACL entries (paper §4.1).
+        """
+        isd_ok = self.isd == 0 or other.isd == 0 or self.isd == other.isd
+        asn_ok = self.asn == 0 or other.asn == 0 or self.asn == other.asn
+        return isd_ok and asn_ok
+
+    def __str__(self) -> str:
+        return f"{self.isd}-{format_asn(self.asn)}"
+
+    def __lt__(self, other: "IsdAs") -> bool:
+        if not isinstance(other, IsdAs):
+            return NotImplemented
+        return (self.isd, self.asn) < (other.isd, other.asn)

@@ -1,0 +1,15 @@
+"""Shared transport machinery.
+
+Both transports the paper uses — QUIC over SCION for the path-aware side
+(§5.1) and TCP over BGP/IP for the legacy baseline — need the same core:
+reliable, ordered delivery with retransmission, RTT estimation, and a
+congestion window. :mod:`repro.transport.reliable` implements that engine
+once; :mod:`repro.ip.tcp` and :mod:`repro.quic` wrap it with their
+respective handshakes and stream models (one implicit stream for TCP;
+multiple independent streams without cross-stream head-of-line blocking
+for QUIC).
+"""
+
+from repro.transport.reliable import AckFrame, CloseFrame, ReliableChannel, Segment
+
+__all__ = ["AckFrame", "CloseFrame", "ReliableChannel", "Segment"]

@@ -1,0 +1,71 @@
+"""Unit helpers used throughout the simulator.
+
+The simulator measures time in **milliseconds** (float) and data sizes in
+**bytes** (int). These helpers exist so that scenario code reads naturally
+(``seconds(2)``, ``mbps_to_bytes_per_ms(100)``) instead of sprinkling
+conversion constants.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes in one kibibyte / mebibyte.
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Milliseconds in one second / minute.
+MS_PER_SECOND = 1000.0
+MS_PER_MINUTE = 60 * 1000.0
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to simulator milliseconds."""
+    return value * MS_PER_SECOND
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to simulator milliseconds."""
+    return value * MS_PER_MINUTE
+
+
+def milliseconds(value: float) -> float:
+    """Identity helper for readability in scenario definitions."""
+    return float(value)
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to simulator milliseconds."""
+    return value / 1000.0
+
+
+def kib(value: float) -> int:
+    """Convert kibibytes to bytes."""
+    return int(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(value * MIB)
+
+
+def mbps_to_bytes_per_ms(mbps: float) -> float:
+    """Convert a link rate in megabits/second to bytes per millisecond.
+
+    1 Mbps = 1e6 bits/s = 125 000 bytes/s = 125 bytes/ms.
+    """
+    return mbps * 125.0
+
+
+def bytes_per_ms_to_mbps(rate: float) -> float:
+    """Inverse of :func:`mbps_to_bytes_per_ms`."""
+    return rate / 125.0
+
+
+def transmission_delay_ms(size_bytes: int, bandwidth_mbps: float) -> float:
+    """Serialization delay of ``size_bytes`` on a ``bandwidth_mbps`` link.
+
+    Returns 0.0 for an infinite-bandwidth link (``bandwidth_mbps`` <= 0 is
+    treated as infinite, which the loopback links of the local testbed use).
+    """
+    if bandwidth_mbps <= 0:
+        return 0.0
+    return size_bytes / mbps_to_bytes_per_ms(bandwidth_mbps)

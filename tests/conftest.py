@@ -1,0 +1,98 @@
+"""Shared fixtures and factories for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property tests: the suite must pass identically on every
+# run (several tests drive seeded stochastic simulations whose tail
+# behaviour depends on the drawn examples).
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.crypto.mac import hop_mac
+from repro.internet.build import Internet
+from repro.scion.beacon import HopField
+from repro.scion.path import PathHop, PathMetadata, ScionPath
+from repro.simnet.events import EventLoop
+from repro.topology.defaults import LOCAL_AS, local_testbed, remote_testbed
+from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    """A fresh event loop."""
+    return EventLoop()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded RNG."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def remote_world():
+    """(Internet, TestbedAses) over the Figure 4 topology."""
+    topology, ases = remote_testbed()
+    return Internet(topology, seed=3), ases
+
+
+@pytest.fixture
+def local_world():
+    """An Internet over the single-AS laptop topology."""
+    return Internet(local_testbed(), seed=3)
+
+
+@pytest.fixture
+def local_as() -> IsdAs:
+    """The laptop topology's AS."""
+    return LOCAL_AS
+
+
+def make_path(ases: list[str], latency_ms: float = 10.0,
+              bandwidth_mbps: float = 1000.0, mtu: int = 1500,
+              co2: float = 100.0, esg: float = 0.5, price: float = 1.0,
+              loss: float = 0.0, jitter: float = 0.0,
+              regions: tuple[str, ...] = ()) -> ScionPath:
+    """Build a synthetic path for policy tests (no control plane needed).
+
+    Hop interface ids are synthesized (i, i+1); hop fields carry real
+    MACs under a throwaway key so structural code paths stay exercised.
+    """
+    key = b"\x07" * 32
+    parsed = [IsdAs.parse(text) for text in ases]
+    hops = []
+    chain = b""
+    for index, isd_as in enumerate(parsed):
+        ingress = 0 if index == 0 else index
+        egress = 0 if index == len(parsed) - 1 else index + 1
+        mac = hop_mac(key, 1_000_000, 63, ingress, egress, chain)
+        hops.append(PathHop(isd_as=isd_as, ingress=ingress, egress=egress,
+                            hop_field=HopField(ingress=ingress, egress=egress,
+                                               exp_time=63, mac=mac,
+                                               chain=chain)))
+        chain = mac
+    metadata = PathMetadata(
+        latency_ms=latency_ms,
+        bandwidth_mbps=bandwidth_mbps,
+        mtu=mtu,
+        loss_rate=loss,
+        jitter_ms=jitter,
+        hop_count=len(parsed),
+        ases=tuple(parsed),
+        isds=tuple(sorted({isd_as.isd for isd_as in parsed})),
+        regions=regions,
+        co2_g_per_gb=co2,
+        esg_min=esg,
+        price_per_gb=price,
+    )
+    return ScionPath(hops=tuple(hops), timestamp=1_000_000, metadata=metadata)

@@ -1,0 +1,137 @@
+"""The browser cache: storage rules, expiry, and effect on repeat PLT."""
+
+import pytest
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.cache import BrowserCache, cache_max_age_s
+from repro.core.browser.page import content_for_origin, synthetic_page
+from repro.core.extension.extension import FetchOutcome
+from repro.dns.resolver import Resolver
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.simnet.events import EventLoop
+from repro.topology.defaults import LOCAL_AS, local_testbed
+from repro.units import seconds
+
+
+def outcome_for(status=200, cache_control=None, used_scion=True):
+    headers = Headers({"Cache-Control": cache_control} if cache_control
+                      else {})
+    return FetchOutcome(
+        request=HttpRequest(method="GET", host="a.example", path="/x",
+                            headers=Headers()),
+        response=HttpResponse(status=status, headers=headers,
+                              body_size=100),
+        used_scion=used_scion, policy_compliant=used_scion, blocked=False,
+        elapsed_ms=5.0)
+
+
+class TestCacheControlParsing:
+    def test_max_age_extracted(self):
+        response = HttpResponse(status=200, headers=Headers(
+            {"Cache-Control": "public, max-age=300"}))
+        assert cache_max_age_s(response) == 300
+
+    def test_absent(self):
+        assert cache_max_age_s(HttpResponse(status=200)) is None
+
+    def test_malformed(self):
+        response = HttpResponse(status=200, headers=Headers(
+            {"Cache-Control": "max-age=soon"}))
+        assert cache_max_age_s(response) is None
+
+
+class TestStorageRules:
+    def make(self):
+        return BrowserCache(loop=EventLoop())
+
+    def test_cacheable_response_stored(self):
+        cache = self.make()
+        cache.store("a.example/x", outcome_for(cache_control="max-age=60"))
+        assert len(cache) == 1
+        assert cache.lookup("a.example/x") is not None
+
+    def test_no_cache_control_not_stored(self):
+        cache = self.make()
+        cache.store("a.example/x", outcome_for())
+        assert len(cache) == 0
+
+    def test_non_200_not_stored(self):
+        cache = self.make()
+        cache.store("a.example/x", outcome_for(
+            status=404, cache_control="max-age=60"))
+        assert len(cache) == 0
+
+    def test_max_age_zero_not_stored(self):
+        cache = self.make()
+        cache.store("a.example/x", outcome_for(cache_control="max-age=0"))
+        assert len(cache) == 0
+
+    def test_expiry(self):
+        loop = EventLoop()
+        cache = BrowserCache(loop=loop)
+        cache.store("a.example/x", outcome_for(cache_control="max-age=1"))
+        assert cache.lookup("a.example/x") is not None
+        loop.run(until=seconds(2))
+        assert cache.lookup("a.example/x") is None
+        assert len(cache) == 0
+
+    def test_hit_miss_counters(self):
+        cache = self.make()
+        cache.lookup("nope")
+        cache.store("a.example/x", outcome_for(cache_control="max-age=60"))
+        cache.lookup("a.example/x")
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_clear(self):
+        cache = self.make()
+        cache.store("a.example/x", outcome_for(cache_control="max-age=60"))
+        cache.clear()
+        assert cache.lookup("a.example/x") is None
+
+
+class TestRepeatLoads:
+    def build(self, cache_max_age_s=None):
+        internet = Internet(local_testbed(), seed=60)
+        client = internet.add_host("client", LOCAL_AS)
+        server = internet.add_host("fs", LOCAL_AS)
+        page = synthetic_page("fs.local", n_resources=5, seed=1)
+        HttpServer(server, content_for_origin(page, "fs.local"),
+                   serve_tcp=True, serve_quic=True,
+                   cache_max_age_s=cache_max_age_s)
+        resolver = Resolver(internet.loop, lookup_latency_ms=0.3)
+        resolver.register_host("fs.local", ip_address=server.addr,
+                               scion_address=server.addr)
+        browser = BraveBrowser(client, resolver)
+        return internet, browser, page
+
+    def test_second_load_fully_cached(self):
+        internet, browser, page = self.build(cache_max_age_s=600)
+        internet.loop.run_process(browser.load(page))
+        requests_before = browser.proxy.stats.total_requests()
+        second = internet.loop.run_process(browser.load(page))
+        assert all(outcome.from_cache for outcome in second.outcomes)
+        assert browser.proxy.stats.total_requests() == requests_before
+        # PLT collapses to parse time.
+        assert second.plt_ms < 5.0
+
+    def test_indicator_preserved_for_cached_resources(self):
+        internet, browser, page = self.build(cache_max_age_s=600)
+        internet.loop.run_process(browser.load(page))
+        second = internet.loop.run_process(browser.load(page))
+        assert second.indicator_state.value == "all-scion"
+
+    def test_uncacheable_server_means_no_cache_effect(self):
+        internet, browser, page = self.build(cache_max_age_s=None)
+        internet.loop.run_process(browser.load(page))
+        second = internet.loop.run_process(browser.load(page))
+        assert not any(outcome.from_cache for outcome in second.outcomes)
+
+    def test_cache_expires_between_loads(self):
+        internet, browser, page = self.build(cache_max_age_s=1)
+        internet.loop.run_process(browser.load(page))
+        internet.loop.run(until=internet.loop.now + seconds(5))
+        second = internet.loop.run_process(browser.load(page))
+        assert not any(outcome.from_cache for outcome in second.outcomes)

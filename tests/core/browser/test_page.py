@@ -1,0 +1,82 @@
+"""Page model and content-map derivation."""
+
+import pytest
+
+from repro.core.browser.page import (
+    Resource,
+    WebPage,
+    content_for_origin,
+    synthetic_page,
+)
+from repro.errors import BrowserError
+
+
+class TestSyntheticPage:
+    def test_deterministic_for_seed(self):
+        a = synthetic_page("a.example", n_resources=5, seed=3)
+        b = synthetic_page("a.example", n_resources=5, seed=3)
+        assert a == b
+
+    def test_different_seed_different_sizes(self):
+        a = synthetic_page("a.example", n_resources=5, seed=3)
+        b = synthetic_page("a.example", n_resources=5, seed=4)
+        assert [r.size for r in a.resources] != [r.size for r in b.resources]
+
+    def test_sizes_bounded_around_mean(self):
+        page = synthetic_page("a.example", n_resources=50,
+                              mean_resource_bytes=10_000, seed=1)
+        for resource in page.resources:
+            assert 5_000 <= resource.size <= 15_000
+
+    def test_third_party_resources(self):
+        page = synthetic_page("a.example", n_resources=4,
+                              third_party={"b.example": 2, "c.example": 1})
+        assert len(page.resources) == 7
+        assert page.origins() == {"a.example", "b.example", "c.example"}
+        assert len(page.third_party_resources()) == 3
+
+    def test_zero_resources_allowed(self):
+        page = synthetic_page("a.example", n_resources=0)
+        assert page.resources == ()
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(BrowserError):
+            synthetic_page("a.example", n_resources=-1)
+
+    def test_total_bytes(self):
+        page = synthetic_page("a.example", n_resources=3, html_size=1_000)
+        assert page.total_bytes() == 1_000 + sum(r.size
+                                                 for r in page.resources)
+
+    def test_urls(self):
+        page = synthetic_page("a.example", n_resources=1)
+        assert page.url == "a.example/index.html"
+        assert page.resources[0].url.startswith("a.example/asset-")
+
+
+class TestContentForOrigin:
+    def test_own_origin_includes_main_document(self):
+        page = synthetic_page("a.example", n_resources=2,
+                              third_party={"b.example": 1})
+        content = content_for_origin(page, "a.example")
+        assert "/index.html" in content
+        assert content["/index.html"].content_type == "text/html"
+        assert len(content) == 3
+
+    def test_third_party_origin_excludes_main_document(self):
+        page = synthetic_page("a.example", n_resources=2,
+                              third_party={"b.example": 1})
+        content = content_for_origin(page, "b.example")
+        assert "/index.html" not in content
+        assert len(content) == 1
+
+    def test_unrelated_origin_is_empty(self):
+        page = synthetic_page("a.example", n_resources=2)
+        assert content_for_origin(page, "zzz.example") == {}
+
+    def test_sizes_match(self):
+        page = WebPage(host="a", path="/i.html", html_size=500, resources=(
+            Resource(host="a", path="/r.png", size=777),))
+        content = content_for_origin(page, "a")
+        assert content["/r.png"].size == 777
+        assert content["/i.html"].size == 500

@@ -1,0 +1,69 @@
+"""The Strict-SCION store (HSTS semantics)."""
+
+from repro.core.extension.hsts import StrictScionStore
+from repro.simnet.events import EventLoop
+
+
+class TestStore:
+    def make(self):
+        loop = EventLoop()
+        return loop, StrictScionStore(loop=loop)
+
+    def test_observe_and_query(self):
+        _loop, store = self.make()
+        store.observe("a.example", max_age_s=60)
+        assert store.is_strict("a.example")
+        assert not store.is_strict("b.example")
+
+    def test_expiry(self):
+        loop, store = self.make()
+        store.observe("a.example", max_age_s=1)
+        loop.run(until=500.0)
+        assert store.is_strict("a.example")
+        loop.run(until=1_500.0)
+        assert not store.is_strict("a.example")
+
+    def test_expired_entry_removed(self):
+        loop, store = self.make()
+        store.observe("a.example", max_age_s=1)
+        loop.run(until=2_000.0)
+        store.is_strict("a.example")
+        assert store.active_hosts() == []
+
+    def test_refresh_extends_lifetime(self):
+        loop, store = self.make()
+        store.observe("a.example", max_age_s=1)
+        loop.run(until=900.0)
+        store.observe("a.example", max_age_s=1)
+        loop.run(until=1_500.0)
+        assert store.is_strict("a.example")
+
+    def test_max_age_zero_clears(self):
+        _loop, store = self.make()
+        store.observe("a.example", max_age_s=60)
+        store.observe("a.example", max_age_s=0)
+        assert not store.is_strict("a.example")
+
+    def test_negative_max_age_clears(self):
+        _loop, store = self.make()
+        store.observe("a.example", max_age_s=60)
+        store.observe("a.example", max_age_s=-1)
+        assert not store.is_strict("a.example")
+
+    def test_active_hosts(self):
+        _loop, store = self.make()
+        store.observe("a.example", max_age_s=60)
+        store.observe("b.example", max_age_s=60)
+        assert sorted(store.active_hosts()) == ["a.example", "b.example"]
+
+    def test_clear(self):
+        _loop, store = self.make()
+        store.observe("a.example", max_age_s=60)
+        store.clear()
+        assert not store.is_strict("a.example")
+
+    def test_observation_counter(self):
+        _loop, store = self.make()
+        store.observe("a.example", max_age_s=1)
+        store.observe("a.example", max_age_s=0)
+        assert store.observations == 2

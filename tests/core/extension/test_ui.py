@@ -1,0 +1,63 @@
+"""The page indicator state machine."""
+
+import pytest
+
+from repro.core.extension.ui import IndicatorState, PageIndicator
+
+
+class TestIndicator:
+    def test_empty(self):
+        assert PageIndicator().state() is IndicatorState.EMPTY
+
+    def test_all_scion(self):
+        indicator = PageIndicator()
+        for _ in range(3):
+            indicator.record(used_scion=True, compliant=True)
+        assert indicator.state() is IndicatorState.ALL_SCION
+
+    def test_no_scion(self):
+        indicator = PageIndicator()
+        indicator.record(used_scion=False, compliant=False)
+        assert indicator.state() is IndicatorState.NO_SCION
+
+    def test_some_scion(self):
+        indicator = PageIndicator()
+        indicator.record(used_scion=True, compliant=True)
+        indicator.record(used_scion=False, compliant=False)
+        assert indicator.state() is IndicatorState.SOME_SCION
+
+    def test_non_compliance_dominates_mix(self):
+        indicator = PageIndicator()
+        indicator.record(used_scion=True, compliant=False)
+        indicator.record(used_scion=True, compliant=True)
+        assert indicator.state() is IndicatorState.NON_COMPLIANT
+
+    def test_blocked_dominates_everything(self):
+        indicator = PageIndicator()
+        indicator.record(used_scion=True, compliant=False)
+        indicator.record(used_scion=False, compliant=False, blocked=True)
+        assert indicator.state() is IndicatorState.BLOCKED
+
+    def test_counts(self):
+        indicator = PageIndicator()
+        indicator.record(used_scion=True, compliant=True)
+        indicator.record(used_scion=False, compliant=False)
+        indicator.record(used_scion=False, compliant=False, blocked=True)
+        assert indicator.scion_resources == 1
+        assert indicator.ip_resources == 1
+        assert indicator.blocked_resources == 1
+        assert indicator.total_resources == 3
+
+    @pytest.mark.parametrize("scion,ip,blocked,noncompliant,expected", [
+        (5, 0, 0, 0, IndicatorState.ALL_SCION),
+        (0, 5, 0, 0, IndicatorState.NO_SCION),
+        (3, 2, 0, 0, IndicatorState.SOME_SCION),
+        (3, 2, 1, 0, IndicatorState.BLOCKED),
+        (3, 0, 0, 1, IndicatorState.NON_COMPLIANT),
+    ])
+    def test_state_table(self, scion, ip, blocked, noncompliant, expected):
+        indicator = PageIndicator(
+            scion_resources=scion, ip_resources=ip,
+            blocked_resources=blocked,
+            non_compliant_resources=noncompliant)
+        assert indicator.state() is expected

@@ -1,0 +1,232 @@
+"""PPL evaluation: ACL semantics, sequences, requirements, ordering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ppl.ast import AclEntry, Policy, Preference, Requirement
+from repro.core.ppl.evaluator import (
+    combine,
+    filter_paths,
+    metric_value,
+    order_paths,
+    permits,
+    select_path,
+)
+from repro.core.ppl.parser import parse_policy
+from repro.errors import NoPathError, PolicyError
+from repro.topology.isd_as import IsdAs
+from tests.conftest import make_path
+
+EU_PATH = make_path(["1-10", "1-1", "2-1", "2-20"], latency_ms=50,
+                    co2=100, price=2.0)
+ASIA_PATH = make_path(["1-10", "1-1", "3-1", "2-1", "2-20"], latency_ms=40,
+                      co2=300, bandwidth_mbps=2000, price=1.0)
+LOCAL_PATH = make_path(["1-10", "1-1", "1-11"], latency_ms=5, co2=30,
+                       mtu=1400)
+ALL = [EU_PATH, ASIA_PATH, LOCAL_PATH]
+
+
+def policy(source: str) -> Policy:
+    return parse_policy(source)
+
+
+class TestAclSemantics:
+    def test_empty_acl_allows_everything(self):
+        assert permits(policy('policy "p" { }'), EU_PATH)
+
+    def test_first_match_wins(self):
+        # +2-1 before -2-0: the specific allow shadows the ISD-wide deny,
+        # but only for AS 2-1 itself.
+        source = 'policy "p" { acl { + 2-1 - 2-0 + 0 } }'
+        core_only = make_path(["1-10", "1-1", "2-1"])
+        assert permits(policy(source), core_only)
+        assert not permits(policy(source), EU_PATH)  # 2-20 still denied
+
+    def test_deny_isd(self):
+        source = 'policy "p" { acl { - 3-0 + 0 } }'
+        assert permits(policy(source), EU_PATH)
+        assert not permits(policy(source), ASIA_PATH)
+
+    def test_deny_specific_as(self):
+        source = 'policy "p" { acl { - 2-20 + 0 } }'
+        assert not permits(policy(source), EU_PATH)
+        assert permits(policy(source), LOCAL_PATH)
+
+    def test_no_catch_all_defaults_to_deny(self):
+        source = 'policy "p" { acl { + 1-0 } }'  # only ISD 1 mentioned
+        assert permits(policy(source), LOCAL_PATH)   # all hops in ISD 1
+        assert not permits(policy(source), EU_PATH)  # ISD 2 hop unmatched
+
+    def test_allowlist_mode(self):
+        source = 'policy "p" { acl { + 1-0 + 2-0 - 0 } }'
+        assert permits(policy(source), EU_PATH)
+        assert not permits(policy(source), ASIA_PATH)
+
+    def test_has_catch_all_detection(self):
+        assert policy('policy "p" { acl { - 2-0 + 0 } }').has_catch_all()
+        assert not policy('policy "p" { acl { - 2-0 } }').has_catch_all()
+
+
+class TestSequences:
+    def seq(self, text):
+        return policy(f'policy "p" {{ sequence "{text}" }}')
+
+    def test_exact_match(self):
+        assert permits(self.seq("1-10 1-1 2-1 2-20"), EU_PATH)
+
+    def test_exact_mismatch_length(self):
+        assert not permits(self.seq("1-10 1-1 2-1"), EU_PATH)
+
+    def test_wildcard_star_spans_middle(self):
+        assert permits(self.seq("1-10 0* 2-20"), EU_PATH)
+        assert permits(self.seq("1-10 0* 2-20"), ASIA_PATH)
+        assert not permits(self.seq("1-10 0* 2-20"), LOCAL_PATH)
+
+    def test_star_matches_zero(self):
+        assert permits(self.seq("1-10 0* 1-1 1-11"), LOCAL_PATH)
+
+    def test_question_optional(self):
+        assert permits(self.seq("1-10 1-1 3-1? 2-1 2-20"), EU_PATH)
+        assert permits(self.seq("1-10 1-1 3-1? 2-1 2-20"), ASIA_PATH)
+
+    def test_plus_needs_one(self):
+        assert permits(self.seq("1-0+ 2-0+"), EU_PATH)
+        assert not permits(self.seq("1-0+ 3-0+"), EU_PATH)
+
+    def test_isd_wildcard_hops(self):
+        assert permits(self.seq("1-0 1-0 2-0 2-0"), EU_PATH)
+
+    @given(st.lists(st.sampled_from(["1-1", "1-2", "2-1", "2-2"]),
+                    min_size=1, max_size=6, unique=True))
+    def test_all_wildcard_star_matches_any_path_property(self, ases):
+        path = make_path(ases)
+        assert permits(self.seq("0*"), path)
+
+    @given(st.lists(st.sampled_from(["1-1", "1-2", "2-1", "3-1"]),
+                    min_size=1, max_size=6, unique=True))
+    def test_exact_self_sequence_matches_property(self, ases):
+        path = make_path(ases)
+        assert permits(self.seq(" ".join(ases)), path)
+
+
+class TestRequirements:
+    @pytest.mark.parametrize("source,path,expected", [
+        ('policy "p" { require latency <= 45 }', ASIA_PATH, True),
+        ('policy "p" { require latency <= 45 }', EU_PATH, False),
+        ('policy "p" { require bandwidth >= 1500 }', ASIA_PATH, True),
+        ('policy "p" { require bandwidth >= 1500 }', EU_PATH, False),
+        ('policy "p" { require mtu >= 1500 }', LOCAL_PATH, False),
+        ('policy "p" { require hops < 4 }', LOCAL_PATH, True),
+        ('policy "p" { require hops == 3 }', LOCAL_PATH, True),
+        ('policy "p" { require hops != 3 }', LOCAL_PATH, False),
+        ('policy "p" { require co2 < 150 }', EU_PATH, True),
+    ])
+    def test_constraints(self, source, path, expected):
+        assert permits(policy(source), path) is expected
+
+    def test_multiple_requirements_conjunction(self):
+        source = ('policy "p" { require latency <= 60 '
+                  'require co2 <= 150 }')
+        assert permits(policy(source), EU_PATH)
+        assert not permits(policy(source), ASIA_PATH)  # co2 too high
+
+    def test_unknown_metric_rejected_at_construction(self):
+        with pytest.raises(PolicyError):
+            Requirement(metric="warp", op="<=", value=1)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PolicyError):
+            Requirement(metric="latency", op="~=", value=1)
+
+
+class TestOrderingAndSelection:
+    def test_order_by_latency(self):
+        ordered = order_paths(policy('policy "p" { prefer latency asc }'),
+                              ALL)
+        assert ordered == [LOCAL_PATH, ASIA_PATH, EU_PATH]
+
+    def test_order_descending(self):
+        ordered = order_paths(
+            policy('policy "p" { prefer bandwidth desc }'), ALL)
+        assert ordered[0] == ASIA_PATH
+
+    def test_lexicographic_preferences(self):
+        # Equal CO2 below 1000 => all pass; first co2 asc, then latency.
+        a = make_path(["1-1", "2-1"], co2=50, latency_ms=30)
+        b = make_path(["1-1", "3-1"], co2=50, latency_ms=20)
+        c = make_path(["1-1", "4-1"], co2=40, latency_ms=90)
+        ordered = order_paths(
+            policy('policy "p" { prefer co2 asc prefer latency asc }'),
+            [a, b, c])
+        assert ordered == [c, b, a]
+
+    def test_no_preferences_orders_by_latency_tiebreak(self):
+        ordered = order_paths(policy('policy "p" { }'), ALL)
+        assert ordered[0] == LOCAL_PATH
+
+    def test_select_path_best(self):
+        best = select_path(policy('policy "p" { prefer co2 asc }'), ALL)
+        assert best == LOCAL_PATH
+
+    def test_select_path_raises_when_none_comply(self):
+        unsatisfiable = policy('policy "p" { require latency <= 1 }')
+        with pytest.raises(NoPathError):
+            select_path(unsatisfiable, ALL)
+
+    def test_filter_preserves_input_order(self):
+        source = 'policy "p" { require latency <= 60 }'
+        assert filter_paths(policy(source), ALL) == ALL
+
+    def test_ordering_is_deterministic_under_ties(self):
+        twin_a = make_path(["1-1", "2-1"], latency_ms=10)
+        twin_b = make_path(["1-1", "3-1"], latency_ms=10)
+        p = policy('policy "p" { prefer latency asc }')
+        assert order_paths(p, [twin_a, twin_b]) == \
+            order_paths(p, [twin_b, twin_a])
+
+
+class TestCombination:
+    def test_intersection_of_filters(self):
+        geo = policy('policy "geo" { acl { - 3-0 + 0 } }')
+        fast = policy('policy "fast" { require latency <= 60 }')
+        both = combine([geo, fast])
+        assert permits(both, EU_PATH)
+        assert not permits(both, ASIA_PATH)   # ACL kills it
+        assert permits(both, LOCAL_PATH)
+
+    def test_preferences_concatenate_in_order(self):
+        first = Policy(name="a", preferences=(Preference("co2"),))
+        second = Policy(name="b", preferences=(Preference("latency"),))
+        combined = combine([first, second])
+        assert [pref.metric for pref in combined.preferences] == \
+            ["co2", "latency"]
+
+    def test_combined_name(self):
+        combined = combine([Policy(name="x"), Policy(name="y")])
+        assert combined.name == "x+y"
+
+    def test_empty_combination_rejected(self):
+        with pytest.raises(PolicyError):
+            combine([])
+
+    def test_nested_evaluation(self):
+        geo = Policy(name="geo", acl=(
+            AclEntry(allow=False, pattern=IsdAs(2, 0)),
+            AclEntry(allow=True, pattern=IsdAs(0, 0))))
+        combined = combine([geo, Policy(name="noop")])
+        assert [p for p in filter_paths(combined, ALL)] == [LOCAL_PATH]
+
+
+class TestMetricValues:
+    @pytest.mark.parametrize("metric,expected", [
+        ("latency", 50.0), ("co2", 100.0), ("price", 2.0), ("hops", 4.0),
+        ("mtu", 1500.0), ("bandwidth", 1000.0), ("loss", 0.0),
+        ("jitter", 0.0), ("esg", 0.5),
+    ])
+    def test_extraction(self, metric, expected):
+        assert metric_value(EU_PATH, metric) == expected
+
+    def test_unknown_metric(self):
+        with pytest.raises(PolicyError):
+            metric_value(EU_PATH, "vibes")

@@ -1,0 +1,71 @@
+"""PPL tokenizer."""
+
+import pytest
+
+from repro.core.ppl.lexer import TokenType, tokenize
+from repro.errors import PolicyParseError
+
+
+def types(source):
+    return [token.type for token in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_are_words(self):
+        assert types("policy acl require prefer") == [TokenType.WORD] * 4
+
+    def test_isd_as_hex(self):
+        tokens = tokenize("1-ff00:0:110")
+        assert tokens[0].type is TokenType.ISD_AS
+        assert tokens[0].text == "1-ff00:0:110"
+
+    def test_isd_as_decimal_not_split_into_numbers(self):
+        tokens = tokenize("2-0")
+        assert [t.type for t in tokens[:-1]] == [TokenType.ISD_AS]
+
+    def test_bare_number(self):
+        tokens = tokenize("42 3.5")
+        assert [t.type for t in tokens[:-1]] == [TokenType.NUMBER] * 2
+
+    def test_operators(self):
+        assert types("<= >= < > == !=") == [TokenType.OPERATOR] * 6
+
+    def test_string_quotes_stripped(self):
+        tokens = tokenize('"geofence policy"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "geofence policy"
+
+    def test_signs_and_braces(self):
+        assert types("+ - { }") == [TokenType.PLUS, TokenType.MINUS,
+                                    TokenType.LBRACE, TokenType.RBRACE]
+
+    def test_end_sentinel(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+
+class TestCommentsAndWhitespace:
+    def test_comment_to_end_of_line(self):
+        assert texts("policy # this is ignored\nacl") == ["policy", "acl"]
+
+    def test_blank_input(self):
+        assert types("   \n\t  ") == []
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(PolicyParseError) as excinfo:
+            tokenize("policy $")
+        assert excinfo.value.position == 7
+
+    def test_unterminated_string(self):
+        with pytest.raises(PolicyParseError):
+            tokenize('"never closed')

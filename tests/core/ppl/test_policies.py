@@ -1,0 +1,57 @@
+"""Built-in policies."""
+
+from repro.core.ppl.evaluator import order_paths, permits, select_path
+from repro.core.ppl.policies import (
+    allow_all,
+    bandwidth_optimized,
+    co2_optimized,
+    latency_optimized,
+    price_optimized,
+)
+from tests.conftest import make_path
+
+FAST_DIRTY = make_path(["1-1", "2-1"], latency_ms=10, co2=500, price=5.0,
+                       bandwidth_mbps=100)
+SLOW_GREEN = make_path(["1-1", "3-1"], latency_ms=90, co2=20, price=0.5,
+                       bandwidth_mbps=4000)
+MIDDLE = make_path(["1-1", "4-1"], latency_ms=40, co2=120, price=2.0,
+                   bandwidth_mbps=1000)
+ALL = [FAST_DIRTY, SLOW_GREEN, MIDDLE]
+
+
+class TestBuiltins:
+    def test_allow_all_permits_everything(self):
+        policy = allow_all()
+        assert all(permits(policy, path) for path in ALL)
+        assert select_path(policy, ALL) == FAST_DIRTY  # latency ordering
+
+    def test_latency_optimized(self):
+        assert select_path(latency_optimized(), ALL) == FAST_DIRTY
+
+    def test_latency_bound_excludes(self):
+        policy = latency_optimized(max_latency_ms=50)
+        ordered = order_paths(policy, ALL)
+        assert SLOW_GREEN not in ordered
+        assert ordered[0] == FAST_DIRTY
+
+    def test_bandwidth_optimized(self):
+        assert select_path(bandwidth_optimized(), ALL) == SLOW_GREEN
+
+    def test_bandwidth_floor(self):
+        policy = bandwidth_optimized(min_bandwidth_mbps=500)
+        assert FAST_DIRTY not in order_paths(policy, ALL)
+
+    def test_co2_optimized(self):
+        assert select_path(co2_optimized(), ALL) == SLOW_GREEN
+
+    def test_co2_with_latency_budget(self):
+        # The user caps the performance cost of going green (§2).
+        policy = co2_optimized(max_latency_ms=50)
+        assert select_path(policy, ALL) == MIDDLE
+
+    def test_price_optimized(self):
+        assert select_path(price_optimized(), ALL) == SLOW_GREEN
+
+    def test_custom_names(self):
+        assert latency_optimized(name="speedy").name == "speedy"
+        assert co2_optimized().name == "co2-optimized"

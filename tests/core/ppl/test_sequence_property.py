@@ -1,0 +1,71 @@
+"""Property test: the sequence matcher against a brute-force reference.
+
+The evaluator's memoized matcher must agree with a naive exponential
+reference on randomly generated token lists and AS sequences — including
+all modifier combinations.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ppl.ast import SequenceToken, parse_pattern
+from repro.core.ppl.evaluator import _sequence_matches
+from repro.topology.isd_as import IsdAs
+
+PATTERNS = ["0", "1", "2", "1-1", "1-2", "2-1", "0-1"]
+MODIFIERS = ["", "?", "*", "+"]
+
+token_strategy = st.builds(
+    lambda pattern, modifier: SequenceToken(pattern=parse_pattern(pattern),
+                                            modifier=modifier),
+    st.sampled_from(PATTERNS),
+    st.sampled_from(MODIFIERS),
+)
+
+ases_strategy = st.lists(
+    st.sampled_from([IsdAs(1, 1), IsdAs(1, 2), IsdAs(2, 1), IsdAs(2, 2)]),
+    min_size=0, max_size=5).map(tuple)
+
+
+def reference_match(tokens, ases) -> bool:
+    """Exponential but obviously-correct matcher."""
+    if not tokens:
+        return not ases
+    head, rest = tokens[0], tokens[1:]
+    here = bool(ases) and head.pattern.matches(ases[0])
+    if head.modifier == "":
+        return here and reference_match(rest, ases[1:])
+    if head.modifier == "?":
+        return reference_match(rest, ases) or (
+            here and reference_match(rest, ases[1:]))
+    if head.modifier == "*":
+        return reference_match(rest, ases) or (
+            here and reference_match(tokens, ases[1:]))
+    # "+"
+    return here and (reference_match(rest, ases[1:])
+                     or reference_match(tokens, ases[1:]))
+
+
+@given(tokens=st.lists(token_strategy, min_size=0, max_size=4).map(tuple),
+       ases=ases_strategy)
+def test_matcher_agrees_with_reference(tokens, ases):
+    if not tokens:
+        # The production matcher is only called with >= 1 token (the
+        # parser rejects empty sequences); the reference defines the
+        # base case.
+        assert reference_match(tokens, ases) == (not ases)
+        return
+    assert _sequence_matches(tokens, ases) == reference_match(tokens, ases)
+
+
+@given(ases=ases_strategy.filter(bool))
+def test_star_wildcard_is_total(ases):
+    tokens = (SequenceToken(pattern=IsdAs(0, 0), modifier="*"),)
+    assert _sequence_matches(tokens, ases)
+
+
+@given(ases=ases_strategy.filter(bool))
+def test_plus_wildcard_needs_one(ases):
+    tokens = (SequenceToken(pattern=IsdAs(0, 0), modifier="+"),)
+    assert _sequence_matches(tokens, ases)
+    assert not _sequence_matches(tokens, ())

@@ -1,0 +1,87 @@
+"""SCION detection: curated list, learned origins, DNS TXT."""
+
+import pytest
+
+from repro.core.skip.detection import ScionDetector
+from repro.dns.resolver import Resolver
+from repro.scion.addr import HostAddr
+from repro.simnet.events import EventLoop
+
+IP = HostAddr.parse("2-ff00:0:220,origin")
+SCION = HostAddr.parse("2-ff00:0:220,rp")
+OTHER = HostAddr.parse("3-ff00:0:320,alt")
+
+
+@pytest.fixture
+def setup():
+    loop = EventLoop()
+    resolver = Resolver(loop, lookup_latency_ms=1.0)
+    resolver.register_host("txt.example", ip_address=IP, scion_address=SCION)
+    resolver.register_host("legacy.example", ip_address=IP)
+    detector = ScionDetector(resolver=resolver)
+    return loop, resolver, detector
+
+
+def detect(loop, detector, host):
+    def main():
+        result = yield from detector.detect(host)
+        return result
+
+    return loop.run_process(main())
+
+
+class TestSources:
+    def test_dns_txt_detection(self, setup):
+        loop, _resolver, detector = setup
+        result = detect(loop, detector, "txt.example")
+        assert result.scion_available
+        assert result.scion_address == SCION
+        assert result.source == "dns-txt"
+        assert detector.txt_hits == 1
+
+    def test_legacy_domain_not_scion(self, setup):
+        loop, _resolver, detector = setup
+        result = detect(loop, detector, "legacy.example")
+        assert not result.scion_available
+        assert result.ip_address == IP
+        assert result.source == "none"
+
+    def test_curated_takes_precedence(self, setup):
+        loop, _resolver, detector = setup
+        detector.add_curated("txt.example", OTHER)
+        result = detect(loop, detector, "txt.example")
+        assert result.scion_address == OTHER
+        assert result.source == "curated"
+
+    def test_learned_beats_txt_but_not_curated(self, setup):
+        loop, _resolver, detector = setup
+        detector.learn("txt.example", OTHER)
+        assert detect(loop, detector, "txt.example").source == "learned"
+        detector.add_curated("txt.example", SCION)
+        assert detect(loop, detector, "txt.example").source == "curated"
+
+    def test_curated_entry_keeps_ip_fallback(self, setup):
+        loop, _resolver, detector = setup
+        detector.add_curated("legacy.example", SCION)
+        result = detect(loop, detector, "legacy.example")
+        assert result.scion_address == SCION
+        assert result.ip_address == IP  # fallback preserved
+
+    def test_unknown_domain_yields_empty_result(self, setup):
+        loop, _resolver, detector = setup
+        result = detect(loop, detector, "ghost.example")
+        assert not result.scion_available
+        assert result.ip_address is None
+
+    def test_curated_works_for_unresolvable_domain(self, setup):
+        loop, _resolver, detector = setup
+        detector.add_curated("ghost.example", SCION)
+        result = detect(loop, detector, "ghost.example")
+        assert result.scion_available
+        assert result.ip_address is None
+
+    def test_detection_counter(self, setup):
+        loop, _resolver, detector = setup
+        detect(loop, detector, "txt.example")
+        detect(loop, detector, "legacy.example")
+        assert detector.detections == 2

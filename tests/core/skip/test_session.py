@@ -1,0 +1,83 @@
+"""Path selection semantics (opportunistic vs strict inputs)."""
+
+import pytest
+
+from repro.core.ppl.policies import co2_optimized, latency_optimized
+from repro.core.skip.session import ChoiceKind, PathSelector
+from repro.core.geofence import Geofence
+from repro.internet.build import Internet
+from repro.topology.defaults import remote_testbed
+from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture
+def setup():
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=1)
+    client = internet.add_host("client", ases.client)
+    return ases, client.daemon
+
+
+class TestChoices:
+    def test_compliant_choice(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon)
+        choice = selector.choose(ases.remote_server, latency_optimized())
+        assert choice.kind is ChoiceKind.SCION_COMPLIANT
+        assert choice.usable and choice.compliant
+        assert ases.third_core in choice.path.metadata.ases  # the detour
+
+    def test_policy_none_takes_first_candidate(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon)
+        choice = selector.choose(ases.remote_server, None)
+        assert choice.kind is ChoiceKind.SCION_COMPLIANT
+        assert choice.path is not None
+
+    def test_local_as_needs_no_path(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon)
+        choice = selector.choose(ases.client, latency_optimized())
+        assert choice.kind is ChoiceKind.LOCAL_AS
+        assert choice.path is None
+        assert choice.usable and choice.compliant
+
+    def test_unreachable_destination(self, setup):
+        _ases, daemon = setup
+        selector = PathSelector(daemon)
+        choice = selector.choose(IsdAs.parse("9-999"), None)
+        assert choice.kind is ChoiceKind.NO_SCION
+        assert not choice.usable
+
+    def test_policy_exhausted_default_falls_back(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon)
+        blocked_everything = Geofence(blocked_isds={2}).to_policy()
+        choice = selector.choose(ases.remote_server, blocked_everything)
+        assert choice.kind is ChoiceKind.POLICY_EXHAUSTED
+        assert not choice.usable
+
+    def test_policy_exhausted_with_noncompliant_enabled(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon, use_noncompliant=True)
+        blocked_everything = Geofence(blocked_isds={2}).to_policy()
+        choice = selector.choose(ases.remote_server, blocked_everything)
+        assert choice.kind is ChoiceKind.SCION_NONCOMPLIANT
+        assert choice.usable and not choice.compliant
+        assert choice.path is not None
+
+    def test_policy_preference_drives_choice(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon)
+        green = selector.choose(ases.remote_server, co2_optimized())
+        fast = selector.choose(ases.remote_server, latency_optimized())
+        assert green.path.fingerprint() != fast.path.fingerprint()
+        assert green.path.metadata.co2_g_per_gb < \
+            fast.path.metadata.co2_g_per_gb
+
+    def test_selection_counter(self, setup):
+        ases, daemon = setup
+        selector = PathSelector(daemon)
+        selector.choose(ases.remote_server, None)
+        selector.choose(ases.client, None)
+        assert selector.selections == 2

@@ -1,0 +1,69 @@
+"""Path usage statistics (the user-facing feedback panel)."""
+
+from repro.core.skip.stats import PathUsageStats
+
+
+class TestAccounting:
+    def test_scion_request_recorded(self):
+        stats = PathUsageStats()
+        stats.record_scion("a.example", "fp1", "[1 > 2]", 40.0,
+                           compliant=True)
+        stats.record_scion("a.example", "fp1", "[1 > 2]", 60.0,
+                           compliant=True)
+        record = stats.hosts["a.example"].paths["fp1"]
+        assert record.uses == 2
+        assert record.mean_latency_ms == 50.0
+
+    def test_non_compliant_counted(self):
+        stats = PathUsageStats()
+        stats.record_scion("a.example", "fp1", "[1 > 2]", 10.0,
+                           compliant=False)
+        assert stats.hosts["a.example"].non_compliant == 1
+
+    def test_ip_fallback_counted(self):
+        stats = PathUsageStats()
+        stats.record_ip("a.example", 5.0, scion_was_available=True)
+        stats.record_ip("a.example", 5.0, scion_was_available=False)
+        host = stats.hosts["a.example"]
+        assert host.ip_requests == 2
+        assert host.fallbacks == 1
+
+    def test_blocked_counted(self):
+        stats = PathUsageStats()
+        stats.record_blocked("a.example")
+        assert stats.hosts["a.example"].blocked_requests == 1
+
+    def test_totals(self):
+        stats = PathUsageStats()
+        stats.record_scion("a", "fp", "s", 1.0, compliant=True)
+        stats.record_ip("b", 1.0, scion_was_available=False)
+        stats.record_blocked("c")
+        assert stats.total_requests() == 3
+
+    def test_scion_share_excludes_blocked(self):
+        stats = PathUsageStats()
+        stats.record_scion("a", "fp", "s", 1.0, compliant=True)
+        stats.record_ip("a", 1.0, scion_was_available=False)
+        stats.record_blocked("a")
+        assert stats.scion_share() == 0.5
+
+    def test_scion_share_empty(self):
+        assert PathUsageStats().scion_share() == 0.0
+
+    def test_report_renders(self):
+        stats = PathUsageStats()
+        stats.record_scion("a.example", "fp", "[1 > 2]", 12.0,
+                           compliant=True)
+        report = stats.report()
+        assert "a.example" in report
+        assert "[1 > 2]" in report
+        assert "12.0 ms" in report
+
+    def test_empty_report(self):
+        assert "no traffic" in PathUsageStats().report()
+
+    def test_paths_tracked_per_fingerprint(self):
+        stats = PathUsageStats()
+        stats.record_scion("a", "fp1", "s1", 1.0, compliant=True)
+        stats.record_scion("a", "fp2", "s2", 2.0, compliant=True)
+        assert len(stats.hosts["a"].paths) == 2

@@ -1,0 +1,105 @@
+"""Geofencing: the UI model and its PPL compilation."""
+
+import pytest
+
+from repro.core.geofence import Geofence
+from repro.core.ppl.evaluator import permits
+from repro.errors import PolicyError
+from repro.topology.isd_as import IsdAs
+from tests.conftest import make_path
+
+VIA_ISD3 = make_path(["1-1", "3-1", "2-1"])
+VIA_ISD4 = make_path(["1-1", "4-1", "2-1"])
+DIRECT = make_path(["1-1", "2-1"])
+
+
+class TestBlocklistMode:
+    def test_blocked_isd_rejected(self):
+        geofence = Geofence(blocked_isds={3})
+        policy = geofence.to_policy()
+        assert not permits(policy, VIA_ISD3)
+        assert permits(policy, VIA_ISD4)
+        assert permits(policy, DIRECT)
+
+    def test_block_unblock_cycle(self):
+        geofence = Geofence()
+        geofence.block_isd(3)
+        assert not permits(geofence.to_policy(), VIA_ISD3)
+        geofence.unblock_isd(3)
+        assert permits(geofence.to_policy(), VIA_ISD3)
+
+    def test_block_single_as(self):
+        geofence = Geofence()
+        geofence.block_as(IsdAs.parse("3-1"))
+        policy = geofence.to_policy()
+        assert not permits(policy, VIA_ISD3)
+        other_as_in_isd3 = make_path(["1-1", "3-2", "2-1"])
+        assert permits(policy, other_as_in_isd3)
+
+    def test_unblock_missing_is_noop(self):
+        Geofence().unblock_isd(9)
+
+    def test_inactive_geofence_allows_everything(self):
+        geofence = Geofence()
+        assert not geofence.active
+        for path in (VIA_ISD3, VIA_ISD4, DIRECT):
+            assert permits(geofence.to_policy(), path)
+
+
+class TestAllowlistMode:
+    def test_allow_only(self):
+        geofence = Geofence()
+        geofence.allow_only({1, 2})
+        policy = geofence.to_policy()
+        assert permits(policy, DIRECT)
+        assert not permits(policy, VIA_ISD3)
+        assert not permits(policy, VIA_ISD4)
+
+    def test_allowlist_clears_blocklist(self):
+        geofence = Geofence(blocked_isds={4})
+        geofence.allow_only({1, 2})
+        assert geofence.blocked_isds == set()
+
+    def test_empty_allowlist_rejected(self):
+        with pytest.raises(PolicyError):
+            Geofence().allow_only(set())
+
+    def test_blocking_in_allowlist_mode_rejected(self):
+        geofence = Geofence()
+        geofence.allow_only({1})
+        with pytest.raises(PolicyError):
+            geofence.block_isd(2)
+        with pytest.raises(PolicyError):
+            geofence.block_as(IsdAs.parse("2-1"))
+
+    def test_clear_resets_everything(self):
+        geofence = Geofence()
+        geofence.allow_only({1})
+        geofence.clear()
+        assert not geofence.active
+        geofence.block_isd(5)  # blocklist mode works again
+        assert geofence.active
+
+
+class TestCompilation:
+    def test_blocklist_policy_shape(self):
+        policy = Geofence(blocked_isds={2, 3},
+                          blocked_ases={IsdAs.parse("4-9")}).to_policy()
+        rendered = policy.render()
+        assert "- 4-9" in rendered
+        assert "- 2-0" in rendered
+        assert "- 3-0" in rendered
+        assert rendered.strip().count("+ 0") == 1
+        assert policy.has_catch_all()
+
+    def test_specific_as_entries_precede_isd_entries(self):
+        policy = Geofence(blocked_isds={2},
+                          blocked_ases={IsdAs.parse("3-9")}).to_policy()
+        assert policy.acl[0].pattern == IsdAs.parse("3-9")
+
+    def test_allowlist_ends_with_deny_all(self):
+        geofence = Geofence()
+        geofence.allow_only({1})
+        policy = geofence.to_policy()
+        assert policy.acl[-1].allow is False
+        assert policy.acl[-1].pattern == IsdAs(0, 0)

@@ -1,0 +1,151 @@
+"""Path negotiation: header parsing, store, and end-to-end effect."""
+
+import pytest
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.geofence import Geofence
+from repro.core.negotiation import (
+    PATH_PREFERENCE_HEADER,
+    ServerPreferenceStore,
+    parse_preference_header,
+    preferences_as_policy,
+    render_preference_header,
+)
+from repro.core.ppl.ast import Preference
+from repro.core.ppl.policies import latency_optimized
+from repro.dns.resolver import Resolver
+from repro.errors import PolicyError
+from repro.http.message import Headers, HttpRequest, ResourceData
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import remote_testbed
+
+
+class TestHeaderFormat:
+    def test_parse_simple(self):
+        prefs = parse_preference_header("co2 asc, latency asc")
+        assert prefs == (Preference("co2"), Preference("latency"))
+
+    def test_parse_desc_and_default_direction(self):
+        prefs = parse_preference_header("bandwidth desc, price")
+        assert prefs == (Preference("bandwidth", descending=True),
+                         Preference("price"))
+
+    def test_render_round_trip(self):
+        prefs = (Preference("co2"), Preference("bandwidth", descending=True))
+        assert parse_preference_header(render_preference_header(prefs)) == \
+            prefs
+
+    @pytest.mark.parametrize("bad", ["", "warp asc", "co2 sideways",
+                                     "co2 asc extra tokens"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            parse_preference_header(bad)
+
+    def test_preferences_as_policy_has_no_constraints(self):
+        policy = preferences_as_policy("a.example", (Preference("co2"),))
+        assert policy.acl == ()
+        assert policy.requirements == ()
+        assert policy.has_catch_all()
+
+
+class TestStore:
+    def test_observe_and_lookup(self):
+        store = ServerPreferenceStore()
+        store.observe("a.example", "co2 asc")
+        assert store.preferences_for("a.example") == (Preference("co2"),)
+        assert store.preferences_for("b.example") is None
+
+    def test_malformed_observation_dropped(self):
+        store = ServerPreferenceStore()
+        store.observe("a.example", "garbage header !!!")
+        assert store.preferences_for("a.example") is None
+        assert store.observations == 1
+
+    def test_newer_observation_replaces(self):
+        store = ServerPreferenceStore()
+        store.observe("a.example", "co2 asc")
+        store.observe("a.example", "latency asc")
+        assert store.preferences_for("a.example") == (Preference("latency"),)
+
+    def test_forget(self):
+        store = ServerPreferenceStore()
+        store.observe("a.example", "co2 asc")
+        store.forget("a.example")
+        assert store.hosts() == []
+
+
+def build_world(server_prefs, user_policies=(), honor=True):
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=31)
+    client = internet.add_host("client", ases.client)
+    origin = internet.add_host("origin", ases.remote_server)
+    HttpServer(origin, {"/x.html": ResourceData(size=1_000)},
+               serve_tcp=True, serve_quic=True,
+               path_preferences=server_prefs)
+    resolver = Resolver(internet.loop)
+    resolver.register_host("nego.example", ip_address=origin.addr,
+                           scion_address=origin.addr)
+    browser = BraveBrowser(client, resolver)
+    browser.settings.honor_server_preferences = honor
+    browser.settings.extra_policies.extend(user_policies)
+    browser.extension.apply_settings()
+    return internet, ases, browser
+
+
+def fetch(internet, browser):
+    request = HttpRequest(method="GET", host="nego.example", path="/x.html",
+                          headers=Headers())
+
+    def main():
+        outcome = yield from browser.extension.handle_request(request)
+        return outcome
+
+    return internet.loop.run_process(main())
+
+
+class TestNegotiationEndToEnd:
+    def test_server_preference_steers_later_requests(self):
+        # The server prefers green paths; the user expressed nothing.
+        internet, _ases, browser = build_world((Preference("co2"),))
+        first = fetch(internet, browser)
+        second = fetch(internet, browser)
+        assert first.used_scion and second.used_scion
+        stats = browser.proxy.stats.hosts["nego.example"]
+        fingerprints = list(stats.paths)
+        # First request: latency tie-break picks the (dirty) detour;
+        # after negotiation the direct, lower-CO2 path wins.
+        assert len(fingerprints) == 2
+        assert browser.extension.server_preferences.preferences_for(
+            "nego.example") == (Preference("co2"),)
+
+    def test_user_preferences_dominate_server(self):
+        internet, _ases, browser = build_world(
+            (Preference("co2"),), user_policies=[latency_optimized()])
+        fetch(internet, browser)
+        second = fetch(internet, browser)
+        # The user insists on latency: both requests use the fast detour
+        # despite the server's green wish.
+        stats = browser.proxy.stats.hosts["nego.example"]
+        assert len(stats.paths) == 1
+
+    def test_honor_flag_disables_negotiation(self):
+        internet, _ases, browser = build_world((Preference("co2"),),
+                                               honor=False)
+        fetch(internet, browser)
+        fetch(internet, browser)
+        stats = browser.proxy.stats.hosts["nego.example"]
+        assert len(stats.paths) == 1  # server wish ignored
+
+    def test_server_cannot_override_geofence(self):
+        # Server prefers the detour's ISD... but the user geofenced it.
+        internet, _ases, browser = build_world(
+            (Preference("latency"),))
+        browser.extension.set_geofence(Geofence(blocked_isds={3}))
+        fetch(internet, browser)
+        outcome = fetch(internet, browser)
+        assert outcome.used_scion
+        # Every used path must avoid ISD 3 regardless of negotiation.
+        for stats_host in browser.proxy.stats.hosts.values():
+            for record in stats_host.paths.values():
+                assert "3-ff00" not in record.summary

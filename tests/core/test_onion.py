@@ -1,0 +1,141 @@
+"""Onion routing over SCION: correctness and anonymity properties."""
+
+import pytest
+
+from repro.core.onion import (
+    LAYER_OVERHEAD_BYTES,
+    OnionClient,
+    OnionEnvelope,
+    OnionRelay,
+    build_circuit_envelope,
+)
+from repro.errors import NoPathError
+from repro.http.message import Headers, HttpRequest, ResourceData
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.scion.addr import HostAddr
+from repro.topology.defaults import geofence_playground
+from repro.topology.generator import make_asn
+from repro.topology.isd_as import IsdAs
+
+CLIENT_AS = IsdAs(1, make_asn(1, 0x10))
+ENTRY_AS = IsdAs(2, make_asn(2, 0x10))
+EXIT_AS = IsdAs(3, make_asn(3, 0x10))
+ORIGIN_AS = IsdAs(4, make_asn(4, 0x10))
+
+
+@pytest.fixture
+def world():
+    internet = Internet(geofence_playground(), seed=50)
+    client_host = internet.add_host("client", CLIENT_AS)
+    entry_host = internet.add_host("entry", ENTRY_AS)
+    exit_host = internet.add_host("exit", EXIT_AS)
+    origin_host = internet.add_host("origin", ORIGIN_AS)
+    HttpServer(origin_host, {"/secret.html": ResourceData(size=2_500)},
+               serve_tcp=True, serve_quic=False)
+    entry = OnionRelay(entry_host)
+    exit_relay = OnionRelay(exit_host)
+    client = OnionClient(client_host, [entry, exit_relay])
+    return internet, client, entry, exit_relay, origin_host
+
+
+def get(path="/secret.html"):
+    return HttpRequest(method="GET", host="hidden.example", path=path,
+                       headers=Headers())
+
+
+def fetch(internet, client, origin_host, request=None):
+    def main():
+        response = yield from client.fetch(request or get(),
+                                           origin_host.addr)
+        return response
+
+    return internet.loop.run_process(main())
+
+
+class TestEnvelopes:
+    def test_build_circuit_envelope_structure(self):
+        entry = HostAddr(ENTRY_AS, "entry")
+        exit_addr = HostAddr(EXIT_AS, "exit")
+        envelope = build_circuit_envelope([entry, exit_addr], get())
+        # Outermost layer points at the SECOND relay (the entry peels it).
+        assert envelope.next_hop == exit_addr
+        inner = envelope.payload
+        assert isinstance(inner, OnionEnvelope)
+        assert inner.next_hop is None
+        kind, request, port = inner.payload
+        assert kind == "exit" and port == 80
+        assert request.path == "/secret.html"
+
+    def test_sizes_grow_per_layer(self):
+        request = get()
+        one = build_circuit_envelope([HostAddr(ENTRY_AS, "a")], request)
+        two = build_circuit_envelope([HostAddr(ENTRY_AS, "a"),
+                                      HostAddr(EXIT_AS, "b")], request)
+        assert two.size == one.size + LAYER_OVERHEAD_BYTES
+        assert one.size == request.wire_bytes() + LAYER_OVERHEAD_BYTES
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NoPathError):
+            build_circuit_envelope([], get())
+
+
+class TestCircuitFetch:
+    def test_fetch_through_two_hops(self, world):
+        internet, client, entry, exit_relay, origin_host = world
+        response = fetch(internet, client, origin_host)
+        assert response.status == 200
+        assert response.body_size == 2_500
+        assert entry.forwarded == 1
+        assert exit_relay.exited == 1
+
+    def test_missing_resource_propagates_404(self, world):
+        internet, client, _entry, _exit, origin_host = world
+        response = fetch(internet, client, origin_host,
+                         request=get("/none.html"))
+        assert response.status == 404
+
+    def test_dead_origin_yields_502(self, world):
+        internet, client, _entry, _exit, _origin = world
+        ghost = internet.add_host("ghost", ORIGIN_AS)
+        response = fetch(internet, client, ghost)
+        assert response.status == 502
+
+    def test_multiple_fetches_reuse_circuit_machinery(self, world):
+        internet, client, entry, exit_relay, origin_host = world
+        for _ in range(3):
+            assert fetch(internet, client, origin_host).status == 200
+        assert entry.forwarded == 3
+        assert exit_relay.exited == 3
+
+    def test_single_relay_circuit_rejected(self, world):
+        internet, _client, entry, _exit, _origin = world
+        with pytest.raises(NoPathError):
+            OnionClient(internet.host("client"), [entry])
+
+
+class TestAnonymity:
+    def test_entry_never_learns_destination(self, world):
+        internet, client, entry, _exit, origin_host = world
+        fetch(internet, client, origin_host)
+        assert entry.seen_exit_hosts == set()
+        # All the entry saw on the wire: the client connecting to it.
+        assert origin_host.addr not in entry.observed_peers
+
+    def test_exit_never_learns_client(self, world):
+        internet, client, _entry, exit_relay, origin_host = world
+        fetch(internet, client, origin_host)
+        client_addr = internet.host("client").addr
+        assert client_addr not in exit_relay.observed_peers
+        assert exit_relay.seen_exit_hosts == {"hidden.example"}
+
+    def test_origin_sees_only_the_exit(self, world):
+        internet, client, _entry, exit_relay, origin_host = world
+        fetch(internet, client, origin_host)
+        # The origin's TCP peer is the exit relay's host, not the client.
+        assert origin_host.datagrams_received > 0
+        client_addr = internet.host("client").addr
+        # No datagram from the client ever reached the origin: verify by
+        # the exit's client having done the fetch.
+        assert exit_relay.exit_client.stats.requests == 1
+        assert client_addr not in exit_relay.observed_peers

@@ -1,0 +1,80 @@
+"""Table 1 decision model."""
+
+from repro.core.properties import (
+    Layer,
+    Property,
+    PropertyClass,
+    Suitability,
+    best_layers,
+    decision_table,
+    render_table,
+    suitability,
+)
+
+
+class TestStructure:
+    def test_twelve_properties(self):
+        assert len(list(Property)) == 12
+
+    def test_table_covers_every_cell(self):
+        table = decision_table()
+        assert set(table) == set(Property)
+        for marks in table.values():
+            assert set(marks) == set(Layer)
+
+    def test_every_property_has_a_best_layer(self):
+        for prop in Property:
+            assert best_layers(prop)
+
+    def test_application_column_always_best(self):
+        """The paper's core argument: the app layer (the browser) can
+        address every property class."""
+        for prop in Property:
+            assert suitability(prop, Layer.APPLICATION) is Suitability.BEST
+
+
+class TestOsColumn:
+    def test_performance_and_quality_best(self):
+        for prop in (Property.LOW_LATENCY, Property.BANDWIDTH, Property.QOS,
+                     Property.JITTER, Property.LOSS_RATE, Property.PATH_MTU):
+            assert suitability(prop, Layer.OS) is Suitability.BEST
+
+    def test_privacy_and_esg_inappropriate(self):
+        for prop in (Property.GEOFENCING, Property.ONION_ROUTING,
+                     Property.CARBON_FOOTPRINT, Property.ETHICAL_ROUTING):
+            assert suitability(prop, Layer.OS) is Suitability.INAPPROPRIATE
+
+    def test_economics_possible(self):
+        for prop in (Property.ALLIED_AS_ROUTING, Property.PRICE_OPTIMIZATION):
+            assert suitability(prop, Layer.OS) is Suitability.POSSIBLE
+
+
+class TestUserColumn:
+    def test_abstracted_metrics_inappropriate(self):
+        assert suitability(Property.LOSS_RATE, Layer.USER) is \
+            Suitability.INAPPROPRIATE
+        assert suitability(Property.PATH_MTU, Layer.USER) is \
+            Suitability.INAPPROPRIATE
+
+    def test_intent_decisive_properties_best(self):
+        for prop in (Property.GEOFENCING, Property.CARBON_FOOTPRINT,
+                     Property.ETHICAL_ROUTING, Property.PRICE_OPTIMIZATION):
+            assert suitability(prop, Layer.USER) is Suitability.BEST
+
+    def test_performance_merely_possible(self):
+        assert suitability(Property.LOW_LATENCY, Layer.USER) is \
+            Suitability.POSSIBLE
+
+
+class TestRendering:
+    def test_render_contains_all_rows_and_groups(self):
+        text = render_table()
+        for prop in Property:
+            assert prop.spec.label in text
+        for group in PropertyClass:
+            assert group.value in text
+
+    def test_render_uses_mark_glyphs(self):
+        text = render_table()
+        for mark in ("●", "◐", "○"):
+            assert mark in text

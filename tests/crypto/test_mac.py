@@ -1,0 +1,79 @@
+"""Hop-field MACs: chaining and tamper detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mac import (
+    MAC_LENGTH,
+    derive_forwarding_key,
+    hop_mac,
+    verify_hop_mac,
+)
+from repro.errors import VerificationError
+
+KEY = derive_forwarding_key(b"master", "1-ff00:0:110")
+
+
+class TestDerivation:
+    def test_distinct_ases_get_distinct_keys(self):
+        a = derive_forwarding_key(b"master", "1-ff00:0:110")
+        b = derive_forwarding_key(b"master", "1-ff00:0:111")
+        assert a != b
+
+    def test_distinct_masters_get_distinct_keys(self):
+        a = derive_forwarding_key(b"m1", "1-ff00:0:110")
+        b = derive_forwarding_key(b"m2", "1-ff00:0:110")
+        assert a != b
+
+    def test_deterministic(self):
+        assert (derive_forwarding_key(b"m", "1-1")
+                == derive_forwarding_key(b"m", "1-1"))
+
+
+class TestHopMac:
+    def test_mac_length(self):
+        assert len(hop_mac(KEY, 1, 63, 1, 2)) == MAC_LENGTH
+
+    def test_roundtrip(self):
+        mac = hop_mac(KEY, 1000, 63, 3, 4, chain=b"prev")
+        verify_hop_mac(KEY, 1000, 63, 3, 4, mac, chain=b"prev")
+
+    @pytest.mark.parametrize("field,value", [
+        ("timestamp", 1001), ("exp_time", 62), ("ingress", 4), ("egress", 3),
+    ])
+    def test_any_field_change_detected(self, field, value):
+        inputs = {"timestamp": 1000, "exp_time": 63, "ingress": 3,
+                  "egress": 4}
+        mac = hop_mac(KEY, inputs["timestamp"], inputs["exp_time"],
+                      inputs["ingress"], inputs["egress"])
+        inputs[field] = value
+        with pytest.raises(VerificationError):
+            verify_hop_mac(KEY, inputs["timestamp"], inputs["exp_time"],
+                           inputs["ingress"], inputs["egress"], mac)
+
+    def test_chain_binds_previous_hop(self):
+        mac = hop_mac(KEY, 1000, 63, 1, 2, chain=b"segment-a")
+        with pytest.raises(VerificationError):
+            verify_hop_mac(KEY, 1000, 63, 1, 2, mac, chain=b"segment-b")
+
+    def test_wrong_key_detected(self):
+        other = derive_forwarding_key(b"master", "2-ff00:0:210")
+        mac = hop_mac(KEY, 1000, 63, 1, 2)
+        with pytest.raises(VerificationError):
+            verify_hop_mac(other, 1000, 63, 1, 2, mac)
+
+    def test_field_concatenation_not_ambiguous(self):
+        # (ingress=12, egress=3) must differ from (ingress=1, egress=23).
+        assert hop_mac(KEY, 1, 63, 12, 3) != hop_mac(KEY, 1, 63, 1, 23)
+
+    @settings(max_examples=50, deadline=None)
+    @given(timestamp=st.integers(min_value=0, max_value=2**40),
+           exp_time=st.integers(min_value=0, max_value=255),
+           ingress=st.integers(min_value=0, max_value=2**16),
+           egress=st.integers(min_value=0, max_value=2**16),
+           chain=st.binary(max_size=8))
+    def test_roundtrip_property(self, timestamp, exp_time, ingress, egress,
+                                chain):
+        mac = hop_mac(KEY, timestamp, exp_time, ingress, egress, chain)
+        verify_hop_mac(KEY, timestamp, exp_time, ingress, egress, mac, chain)

@@ -1,0 +1,116 @@
+"""From-scratch RSA: correctness, tamper resistance, determinism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import RsaPublicKey, generate_keypair, _is_probable_prime
+from repro.errors import CryptoError, VerificationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(random.Random(99), bits=256)
+
+
+class TestKeyGeneration:
+    def test_deterministic_from_seed(self):
+        a = generate_keypair(random.Random(5), bits=192)
+        b = generate_keypair(random.Random(5), bits=192)
+        assert a.public == b.public and a.d == b.d
+
+    def test_different_seeds_differ(self):
+        a = generate_keypair(random.Random(1), bits=192)
+        b = generate_keypair(random.Random(2), bits=192)
+        assert a.public != b.public
+
+    def test_modulus_width(self, keypair):
+        assert 250 <= keypair.public.bits <= 256
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_keypair(random.Random(0), bits=64)
+
+    def test_fingerprint_stable_and_short(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        signature = keypair.sign(b"hello world")
+        keypair.public.verify(b"hello world", signature)
+
+    def test_signature_deterministic(self, keypair):
+        assert keypair.sign(b"msg") == keypair.sign(b"msg")
+
+    def test_different_messages_different_signatures(self, keypair):
+        assert keypair.sign(b"a") != keypair.sign(b"b")
+
+    def test_wrong_message_fails(self, keypair):
+        signature = keypair.sign(b"original")
+        with pytest.raises(VerificationError):
+            keypair.public.verify(b"tampered", signature)
+
+    def test_tweaked_signature_fails(self, keypair):
+        signature = keypair.sign(b"message")
+        with pytest.raises(VerificationError):
+            keypair.public.verify(b"message", signature ^ 1)
+
+    def test_out_of_range_signature_fails(self, keypair):
+        with pytest.raises(VerificationError):
+            keypair.public.verify(b"message", keypair.public.n + 5)
+        with pytest.raises(VerificationError):
+            keypair.public.verify(b"message", -1)
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(random.Random(123), bits=256)
+        signature = keypair.sign(b"message")
+        with pytest.raises(VerificationError):
+            other.public.verify(b"message", signature)
+
+    def test_is_valid_signature_boolean(self, keypair):
+        signature = keypair.sign(b"x")
+        assert keypair.public.is_valid_signature(b"x", signature)
+        assert not keypair.public.is_valid_signature(b"y", signature)
+
+    def test_empty_message(self, keypair):
+        signature = keypair.sign(b"")
+        keypair.public.verify(b"", signature)
+
+    @settings(max_examples=25, deadline=None)
+    @given(message=st.binary(max_size=512))
+    def test_roundtrip_property(self, message):
+        keypair = generate_keypair(random.Random(7), bits=192)
+        keypair.public.verify(message, keypair.sign(message))
+
+    @settings(max_examples=25, deadline=None)
+    @given(message=st.binary(min_size=1, max_size=64),
+           flip=st.integers(min_value=0, max_value=7))
+    def test_bitflip_detected_property(self, message, flip):
+        keypair = generate_keypair(random.Random(7), bits=192)
+        signature = keypair.sign(message)
+        mutated = bytes([message[0] ^ (1 << flip)]) + message[1:]
+        assert not keypair.public.is_valid_signature(mutated, signature)
+
+
+class TestMillerRabin:
+    KNOWN_PRIMES = (2, 3, 5, 101, 7919, 104729, (1 << 61) - 1)
+    KNOWN_COMPOSITES = (1, 4, 100, 7917, 104730, 561, 41041)  # incl. Carmichael
+
+    def test_known_primes(self):
+        rng = random.Random(0)
+        for prime in self.KNOWN_PRIMES:
+            assert _is_probable_prime(prime, rng), prime
+
+    def test_known_composites(self):
+        rng = random.Random(0)
+        for composite in self.KNOWN_COMPOSITES:
+            assert not _is_probable_prime(composite, rng), composite
+
+    def test_negative_and_zero(self):
+        rng = random.Random(0)
+        assert not _is_probable_prime(0, rng)
+        assert not _is_probable_prime(-7, rng)

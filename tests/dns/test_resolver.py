@@ -1,0 +1,138 @@
+"""DNS: records, SCION TXT detection, caching, TTLs."""
+
+import pytest
+
+from repro.dns.records import DnsRecord, RecordType, parse_scion_txt, scion_txt_record
+from repro.dns.resolver import Resolver
+from repro.errors import AddressError, DnsError
+from repro.scion.addr import HostAddr
+from repro.simnet.events import EventLoop
+
+IP_ADDR = HostAddr.parse("2-ff00:0:220,origin")
+SCION_ADDR = HostAddr.parse("2-ff00:0:220,rp")
+
+
+class TestRecords:
+    def test_scion_txt_round_trip(self):
+        record = scion_txt_record("a.example", SCION_ADDR)
+        assert parse_scion_txt(record.value) == SCION_ADDR
+
+    def test_unrelated_txt_ignored(self):
+        assert parse_scion_txt("v=spf1 include:example.com") is None
+
+    def test_scion_token_among_others(self):
+        value = f"v=spf1 scion={SCION_ADDR} other=x"
+        assert parse_scion_txt(value) == SCION_ADDR
+
+    def test_malformed_scion_value_raises(self):
+        with pytest.raises(AddressError):
+            parse_scion_txt("scion=")
+        with pytest.raises(AddressError):
+            parse_scion_txt("scion=not-an-address")
+
+
+class TestResolver:
+    def make(self, latency=5.0):
+        loop = EventLoop()
+        resolver = Resolver(loop, lookup_latency_ms=latency)
+        resolver.register_host("a.example", ip_address=IP_ADDR,
+                               scion_address=SCION_ADDR)
+        resolver.register_host("legacy.example", ip_address=IP_ADDR)
+        return loop, resolver
+
+    def test_resolution_has_both_addresses(self):
+        loop, resolver = self.make()
+
+        def main():
+            resolution = yield from resolver.resolve("a.example")
+            return resolution
+
+        resolution = loop.run_process(main())
+        assert resolution.ip_address == IP_ADDR
+        assert resolution.scion_address == SCION_ADDR
+        assert resolution.has_scion
+
+    def test_legacy_only_domain(self):
+        loop, resolver = self.make()
+
+        def main():
+            resolution = yield from resolver.resolve("legacy.example")
+            return resolution
+
+        resolution = loop.run_process(main())
+        assert not resolution.has_scion
+        assert resolution.ip_address == IP_ADDR
+
+    def test_nxdomain(self):
+        loop, resolver = self.make()
+
+        def main():
+            with pytest.raises(DnsError, match="NXDOMAIN"):
+                yield from resolver.resolve("ghost.example")
+            return "done"
+
+        assert loop.run_process(main()) == "done"
+
+    def test_lookup_costs_latency(self):
+        loop, resolver = self.make(latency=7.0)
+
+        def main():
+            yield from resolver.resolve("a.example")
+            return loop.now
+
+        assert loop.run_process(main()) == 7.0
+
+    def test_cache_hit_is_instant(self):
+        loop, resolver = self.make(latency=7.0)
+
+        def main():
+            yield from resolver.resolve("a.example")
+            first = loop.now
+            yield from resolver.resolve("a.example")
+            return first, loop.now
+
+        first, second = loop.run_process(main())
+        assert first == second == 7.0
+        assert resolver.cache_hits == 1
+
+    def test_ttl_expiry_forces_refetch(self):
+        loop = EventLoop()
+        resolver = Resolver(loop, lookup_latency_ms=1.0)
+        resolver.register_host("a.example", ip_address=IP_ADDR, ttl_s=1)
+
+        def main():
+            yield from resolver.resolve("a.example")
+            yield loop.timeout(2_000.0)  # past the 1 s TTL
+            yield from resolver.resolve("a.example")
+            return resolver.cache_hits
+
+        assert loop.run_process(main()) == 0
+
+    def test_register_requires_an_address(self):
+        loop = EventLoop()
+        resolver = Resolver(loop)
+        with pytest.raises(DnsError):
+            resolver.register_host("empty.example")
+
+    def test_new_record_invalidates_cache(self):
+        loop, resolver = self.make()
+
+        def main():
+            yield from resolver.resolve("legacy.example")
+            resolver.add_record(scion_txt_record("legacy.example",
+                                                 SCION_ADDR))
+            resolution = yield from resolver.resolve("legacy.example")
+            return resolution
+
+        assert loop.run_process(main()).has_scion
+
+    def test_query_counter(self):
+        loop, resolver = self.make()
+
+        def main():
+            yield from resolver.resolve("a.example")
+            yield from resolver.resolve("a.example")
+            return None
+
+        loop.run_process(main())
+        assert resolver.queries == 2

@@ -1,0 +1,111 @@
+"""SCION reverse proxy fronting a legacy origin."""
+
+import pytest
+
+from repro.http.client import HttpClient
+from repro.http.message import Headers, HttpRequest, ResourceData
+from repro.http.reverse_proxy import ScionReverseProxy
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import remote_testbed
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=12)
+    client_host = internet.add_host("client", ases.client)
+    origin_host = internet.add_host("origin", ases.remote_server)
+    rp_host = internet.add_host("rp", ases.remote_server)
+    HttpServer(origin_host, {"/a.html": ResourceData(size=5_000)},
+               serve_tcp=True, serve_quic=False)
+    proxy = ScionReverseProxy(rp_host, origin_host.addr,
+                              advertise_strict_scion_max_age=120)
+    client = HttpClient(client_host)
+    return internet, ases, client_host, rp_host, proxy, client
+
+
+def get(path="/a.html"):
+    return HttpRequest(method="GET", host="origin.example", path=path,
+                       headers=Headers())
+
+
+class TestForwarding:
+    def test_scion_request_served_from_legacy_origin(self, world):
+        internet, ases, client_host, rp_host, proxy, client = world
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            response = yield from client.request(rp_host.addr, 443, get(),
+                                                 via="scion", path=path)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 200
+        assert response.body_size == 5_000
+        assert proxy.requests_forwarded == 1
+
+    def test_strict_scion_header_injected(self, world):
+        internet, ases, client_host, rp_host, _proxy, client = world
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            response = yield from client.request(rp_host.addr, 443, get(),
+                                                 via="scion", path=path)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.strict_scion_max_age() == 120
+
+    def test_404_passes_through(self, world):
+        internet, ases, client_host, rp_host, _proxy, client = world
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            response = yield from client.request(rp_host.addr, 443,
+                                                 get("/none"), via="scion",
+                                                 path=path)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 404
+
+    def test_no_injection_when_not_configured(self):
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=12)
+        client_host = internet.add_host("client", ases.client)
+        origin_host = internet.add_host("origin", ases.remote_server)
+        rp_host = internet.add_host("rp", ases.remote_server)
+        HttpServer(origin_host, {"/a.html": ResourceData(size=100)},
+                   serve_tcp=True, serve_quic=False)
+        ScionReverseProxy(rp_host, origin_host.addr)
+        client = HttpClient(client_host)
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            response = yield from client.request(rp_host.addr, 443, get(),
+                                                 via="scion", path=path)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.strict_scion_max_age() is None
+
+    def test_dead_backend_yields_502(self):
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=12)
+        client_host = internet.add_host("client", ases.client)
+        rp_host = internet.add_host("rp", ases.remote_server)
+        ghost = internet.add_host("ghost", ases.remote_server)
+        # Ghost runs no HTTP server: the proxy's upstream connect times out.
+        proxy = ScionReverseProxy(rp_host, ghost.addr)
+        client = HttpClient(client_host)
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            response = yield from client.request(rp_host.addr, 443, get(),
+                                                 via="scion", path=path)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 502
+        assert proxy.errors == 1

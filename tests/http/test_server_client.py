@@ -1,0 +1,157 @@
+"""HTTP server and pooling client over both transports."""
+
+import pytest
+
+from repro.http.client import HttpClient
+from repro.http.message import Headers, HttpRequest, ResourceData
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import remote_testbed
+
+CONTENT = {
+    "/index.html": ResourceData(size=10_000, content_type="text/html"),
+    "/logo.png": ResourceData(size=4_000, content_type="image/png"),
+}
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=10)
+    client_host = internet.add_host("client", ases.client)
+    server_host = internet.add_host("server", ases.remote_server)
+    server = HttpServer(server_host, CONTENT, serve_tcp=True,
+                        serve_quic=True, strict_scion_max_age=300)
+    client = HttpClient(client_host)
+    return internet, ases, client_host, server_host, server, client
+
+
+def get(path="/index.html", host="server.example", method="GET"):
+    return HttpRequest(method=method, host=host, path=path,
+                       headers=Headers())
+
+
+class TestServer:
+    def test_serves_over_tcp(self, world):
+        internet, _ases, _ch, server_host, server, client = world
+
+        def main():
+            response = yield from client.request(server_host.addr, 80, get(),
+                                                 via="ip")
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 200
+        assert response.body_size == 10_000
+        assert response.headers.get("Content-Type") == "text/html"
+        # Strict-SCION is only asserted on SCION-delivered responses.
+        assert response.strict_scion_max_age() is None
+
+    def test_serves_over_quic_scion_with_strict_header(self, world):
+        internet, ases, client_host, server_host, server, client = world
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            response = yield from client.request(server_host.addr, 443,
+                                                 get(), via="scion",
+                                                 path=path)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 200
+        assert response.strict_scion_max_age() == 300
+
+    def test_404_for_missing_resource(self, world):
+        internet, _ases, _ch, server_host, server, client = world
+
+        def main():
+            response = yield from client.request(
+                server_host.addr, 80, get("/missing.png"), via="ip")
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 404
+        assert server.not_found == 1
+
+    def test_head_omits_body(self, world):
+        internet, _ases, _ch, server_host, _server, client = world
+
+        def main():
+            response = yield from client.request(
+                server_host.addr, 80, get(method="HEAD"), via="ip")
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 200
+        assert response.body_size == 0
+
+    def test_request_accounting_by_transport(self, world):
+        internet, ases, client_host, server_host, server, client = world
+        path = client_host.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            yield from client.request(server_host.addr, 80, get(), via="ip")
+            yield from client.request(server_host.addr, 443, get(),
+                                      via="scion", path=path)
+            return None
+
+        internet.loop.run_process(main())
+        assert server.requests_by_transport == {"tcp": 1, "quic": 1}
+
+
+class TestClientPooling:
+    def test_sequential_requests_reuse_connection(self, world):
+        internet, _ases, _ch, server_host, _server, client = world
+
+        def main():
+            for _ in range(4):
+                yield from client.request(server_host.addr, 80, get(),
+                                          via="ip")
+            return None
+
+        internet.loop.run_process(main())
+        assert client.stats.requests == 4
+        assert client.stats.connections_opened == 1
+
+    def test_parallel_requests_open_up_to_limit(self, world):
+        internet, _ases, _ch, server_host, _server, client = world
+
+        def one():
+            response = yield from client.request(server_host.addr, 80,
+                                                 get(), via="ip")
+            return response.status
+
+        def main():
+            processes = [internet.loop.process(one()) for _ in range(10)]
+            statuses = yield internet.loop.all_of(processes)
+            return statuses
+
+        statuses = internet.loop.run_process(main())
+        assert statuses == [200] * 10
+        assert client.stats.connections_opened <= 6
+
+    def test_pool_keys_separate_paths(self, world):
+        internet, ases, client_host, server_host, _server, client = world
+        paths = client_host.daemon.paths(ases.remote_server)
+        assert len(paths) >= 2
+
+        def main():
+            for path in paths:
+                yield from client.request(server_host.addr, 443, get(),
+                                          via="scion", path=path)
+            return None
+
+        internet.loop.run_process(main())
+        assert client.stats.connections_opened == 2  # one per path
+
+    def test_bytes_fetched_accumulates(self, world):
+        internet, _ases, _ch, server_host, _server, client = world
+
+        def main():
+            yield from client.request(server_host.addr, 80, get(), via="ip")
+            yield from client.request(server_host.addr, 80,
+                                      get("/logo.png"), via="ip")
+            return None
+
+        internet.loop.run_process(main())
+        assert client.stats.bytes_fetched == 14_000

@@ -1,0 +1,201 @@
+"""Cross-subsystem integration: the whole paper pipeline in one place.
+
+These tests exercise browser → extension → proxy → policy → daemon →
+combinator → QUIC → SCION data plane → origin server (and the BGP/TCP
+baseline), asserting system-level invariants that no unit test can see.
+"""
+
+import pytest
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.page import content_for_origin, synthetic_page
+from repro.core.extension.ui import IndicatorState
+from repro.core.geofence import Geofence
+from repro.core.ppl.policies import co2_optimized, latency_optimized
+from repro.dns.resolver import Resolver
+from repro.http.message import ResourceData
+from repro.http.reverse_proxy import ScionReverseProxy
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import geofence_playground, remote_testbed
+from repro.topology.generator import make_asn
+from repro.topology.isd_as import IsdAs
+
+
+def build_remote_world(seed=20, advertise_strict=None):
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=seed, trace=True)
+    client = internet.add_host("client", ases.client)
+    origin = internet.add_host("origin", ases.remote_server)
+    rp_host = internet.add_host("rp", ases.remote_server)
+    page = synthetic_page("site.example", n_resources=5, seed=seed)
+    HttpServer(origin, content_for_origin(page, "site.example"),
+               serve_tcp=True, serve_quic=False)
+    ScionReverseProxy(rp_host, origin.addr,
+                      advertise_strict_scion_max_age=advertise_strict)
+    resolver = Resolver(internet.loop, lookup_latency_ms=2.0)
+    resolver.register_host("site.example", ip_address=origin.addr,
+                           scion_address=rp_host.addr)
+    browser = BraveBrowser(client, resolver)
+    return internet, ases, browser, page
+
+
+class TestFullStack:
+    def test_page_load_over_scion_reverse_proxy(self):
+        internet, _ases, browser, page = build_remote_world()
+        result = internet.loop.run_process(browser.load(page))
+        assert not result.failed
+        assert result.indicator_state is IndicatorState.ALL_SCION
+        assert result.scion_count == len(result.outcomes)
+
+    def test_extension_disabled_uses_bgp_route(self):
+        internet, ases, browser, page = build_remote_world()
+        browser.disable_extension()
+        result = internet.loop.run_process(browser.load(page))
+        assert result.scion_count == 0
+        # The BGP route crosses the slow direct core link; the traffic
+        # must appear on it and never on the detour through ISD 3.
+        direct = f"{ases.local_core}"
+        sends = internet.network.trace.events("send")
+        assert any(f"3-" in entry.link for entry in sends) is False
+
+    def test_policy_choice_visible_in_dataplane(self):
+        """A latency policy must route packets through ISD 3 (the
+        detour); a CO2 policy must route them over the direct link."""
+        internet, ases, browser, page = build_remote_world()
+        browser.settings.extra_policies.append(latency_optimized())
+        browser.extension.apply_settings()
+        internet.network.trace.entries.clear()
+        internet.loop.run_process(browser.load(page))
+        detour_used = any("3-ff00" in entry.link
+                          for entry in internet.network.trace.events("send"))
+        assert detour_used
+
+        internet2, _ases2, browser2, page2 = build_remote_world()
+        browser2.settings.extra_policies.append(co2_optimized())
+        browser2.extension.apply_settings()
+        internet2.network.trace.entries.clear()
+        internet2.loop.run_process(browser2.load(page2))
+        detour_used2 = any("3-ff00" in entry.link
+                           for entry in internet2.network.trace.events("send"))
+        assert not detour_used2
+
+    def test_strict_scion_pin_full_cycle(self):
+        internet, _ases, browser, page = build_remote_world(
+            advertise_strict=3600)
+        internet.loop.run_process(browser.load(page))
+        assert browser.extension.hsts.is_strict("site.example")
+        # Policy becomes unsatisfiable -> pinned origin blocks hard.
+        browser.extension.set_geofence(Geofence(blocked_isds={2}))
+        result = internet.loop.run_process(browser.load(page))
+        assert result.failed
+
+    def test_proxy_stats_reflect_the_load(self):
+        internet, _ases, browser, page = build_remote_world()
+        internet.loop.run_process(browser.load(page))
+        stats = browser.proxy.stats
+        host_stats = stats.hosts["site.example"]
+        assert host_stats.scion_requests == len(page.resources) + 1
+        assert host_stats.ip_requests == 0
+        assert stats.scion_share() == 1.0
+
+
+class TestGeofencingEndToEnd:
+    def test_no_packet_crosses_blocked_isd(self):
+        topology = geofence_playground()
+        internet = Internet(topology, seed=21, trace=True)
+        client_as = IsdAs(1, make_asn(1, 0x10))
+        server_as = IsdAs(2, make_asn(2, 0x10))
+        client = internet.add_host("client", client_as)
+        server = internet.add_host("server", server_as)
+        page = synthetic_page("geo.example", n_resources=4, seed=1)
+        HttpServer(server, content_for_origin(page, "geo.example"),
+                   serve_tcp=True, serve_quic=True)
+        resolver = Resolver(internet.loop)
+        resolver.register_host("geo.example", ip_address=server.addr,
+                               scion_address=server.addr)
+        browser = BraveBrowser(client, resolver)
+        browser.extension.set_geofence(Geofence(blocked_isds={3, 4}))
+        result = internet.loop.run_process(browser.load(page))
+        assert not result.failed
+        assert result.scion_count == len(result.outcomes)
+        for entry in internet.network.trace.events("send"):
+            assert "3-ff00" not in entry.link
+            assert "4-ff00" not in entry.link
+
+    def test_allowlist_geofence(self):
+        topology = geofence_playground()
+        internet = Internet(topology, seed=22, trace=True)
+        client_as = IsdAs(1, make_asn(1, 0x10))
+        server_as = IsdAs(2, make_asn(2, 0x10))
+        client = internet.add_host("client", client_as)
+        server = internet.add_host("server", server_as)
+        page = synthetic_page("geo.example", n_resources=2, seed=1)
+        HttpServer(server, content_for_origin(page, "geo.example"),
+                   serve_tcp=True, serve_quic=True)
+        resolver = Resolver(internet.loop)
+        resolver.register_host("geo.example", ip_address=server.addr,
+                               scion_address=server.addr)
+        browser = BraveBrowser(client, resolver)
+        geofence = Geofence()
+        geofence.allow_only({1, 2})
+        browser.extension.set_geofence(geofence)
+        result = internet.loop.run_process(browser.load(page))
+        assert result.scion_count == len(result.outcomes)
+
+    def test_unsatisfiable_geofence_falls_back_with_indicator(self):
+        internet, _ases, browser, page = build_remote_world()
+        browser.extension.set_geofence(Geofence(blocked_isds={2}))
+        result = internet.loop.run_process(browser.load(page))
+        assert not result.failed
+        assert result.scion_count == 0
+        assert result.indicator_state is IndicatorState.NO_SCION
+        assert browser.proxy.stats.hosts["site.example"].fallbacks > 0
+
+
+class TestControlDataPlaneAgreement:
+    def test_metadata_latency_matches_measured_rtt(self):
+        """The latency the control plane advertises must equal what the
+        data plane delivers (within router processing epsilon)."""
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=23)
+        client = internet.add_host("client", ases.client)
+        server = internet.add_host("server", ases.remote_server)
+        socket_server = server.udp_socket(9)
+
+        def echo():
+            while True:
+                datagram = yield socket_server.recv()
+                socket_server.send(datagram.src, datagram.src_port, b"r", 16,
+                                   via="scion", path=datagram.path.reverse())
+
+        internet.loop.process(echo())
+
+        def probe(path):
+            socket = client.udp_socket()
+            start = internet.loop.now
+            socket.send(server.addr, 9, b"p", 16, via="scion", path=path)
+            yield socket.recv()
+            return internet.loop.now - start
+
+        for path in client.daemon.paths(ases.remote_server):
+            rtt = internet.loop.run_process(probe(path))
+            assert rtt == pytest.approx(2 * path.metadata.latency_ms,
+                                        rel=0.02)
+
+    def test_path_mtu_metadata_enforced_by_links(self):
+        """Oversized datagrams must be dropped by exactly the links whose
+        MTU the metadata reported."""
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=24, trace=True)
+        client = internet.add_host("client", ases.client)
+        server = internet.add_host("server", ases.remote_server)
+        server.udp_socket(9)
+        path = client.daemon.paths(ases.remote_server)[0]
+        socket = client.udp_socket()
+        oversize = path.metadata.mtu + 200
+        socket.send(server.addr, 9, b"jumbo", oversize, via="scion",
+                    path=path)
+        internet.run()
+        assert server.datagrams_received == 0
+        assert internet.network.trace.drops()

@@ -1,0 +1,109 @@
+"""Failure injection: the full stack under packet loss and broken parts.
+
+The transports must hide loss from the web layer; blocked or absent
+components must degrade pages, not crash them.
+"""
+
+import pytest
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.page import content_for_origin, synthetic_page
+from repro.core.extension.ui import IndicatorState
+from repro.dns.resolver import Resolver
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import remote_testbed
+from repro.topology.graph import AsTopology
+
+
+def lossy_remote_testbed(loss_rate: float):
+    """The remote testbed with loss on every inter-AS link."""
+    topology, ases = remote_testbed()
+    lossy = AsTopology(name="lossy-remote")
+    for info in topology.ases():
+        lossy.add_as(info.isd_as, core=info.core, geo=info.geo,
+                     region=info.region,
+                     internal_latency_ms=info.internal_latency_ms,
+                     co2_g_per_gb=info.co2_g_per_gb,
+                     esg_rating=info.esg_rating)
+    for link in topology.links():
+        lossy.add_link(link.a, link.b, link.kind,
+                       latency_ms=link.latency_ms,
+                       bandwidth_mbps=link.bandwidth_mbps,
+                       loss_rate=loss_rate)
+    lossy.validate()
+    return lossy, ases
+
+
+def build_browser_world(topology, ases, seed=40):
+    internet = Internet(topology, seed=seed)
+    client = internet.add_host("client", ases.client)
+    server = internet.add_host("server", ases.remote_server)
+    page = synthetic_page("site.example", n_resources=4, seed=seed)
+    HttpServer(server, content_for_origin(page, "site.example"),
+               serve_tcp=True, serve_quic=True)
+    resolver = Resolver(internet.loop, lookup_latency_ms=2.0)
+    resolver.register_host("site.example", ip_address=server.addr,
+                           scion_address=server.addr)
+    return internet, BraveBrowser(client, resolver), page
+
+
+class TestLoss:
+    @pytest.mark.parametrize("loss", [0.02, 0.08])
+    def test_page_loads_completely_despite_loss(self, loss):
+        topology, ases = lossy_remote_testbed(loss)
+        internet, browser, page = build_browser_world(topology, ases)
+        result = internet.loop.run_process(browser.load(page))
+        assert not result.failed
+        assert all(outcome.ok for outcome in result.outcomes)
+
+    def test_loss_costs_time_not_correctness(self):
+        clean_topo, ases = lossy_remote_testbed(0.0)
+        lossy_topo, _ases = lossy_remote_testbed(0.08)
+        clean_net, clean_browser, page = build_browser_world(clean_topo, ases)
+        lossy_net, lossy_browser, page2 = build_browser_world(lossy_topo,
+                                                              ases)
+        clean = clean_net.loop.run_process(clean_browser.load(page))
+        lossy = lossy_net.loop.run_process(lossy_browser.load(page2))
+        assert lossy.plt_ms > clean.plt_ms
+        assert lossy.scion_count == clean.scion_count
+
+    def test_baseline_also_survives_loss(self):
+        topology, ases = lossy_remote_testbed(0.05)
+        internet, browser, page = build_browser_world(topology, ases)
+        browser.disable_extension()
+        result = internet.loop.run_process(browser.load(page))
+        assert not result.failed
+        assert all(outcome.ok for outcome in result.outcomes)
+
+
+class TestBrokenComponents:
+    def test_missing_dns_degrades_to_blocked_resources(self):
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=41)
+        client = internet.add_host("client", ases.client)
+        server = internet.add_host("server", ases.remote_server)
+        page = synthetic_page("site.example", n_resources=2, seed=1,
+                              third_party={"unregistered.example": 2})
+        HttpServer(server, content_for_origin(page, "site.example"),
+                   serve_tcp=True, serve_quic=True)
+        resolver = Resolver(internet.loop)
+        resolver.register_host("site.example", ip_address=server.addr,
+                               scion_address=server.addr)
+        browser = BraveBrowser(client, resolver)
+        result = internet.loop.run_process(browser.load(page))
+        assert not result.failed  # main origin still loads
+        assert result.blocked_count == 2  # the unresolvable third party
+
+    def test_dead_origin_fails_page_cleanly(self):
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=42)
+        client = internet.add_host("client", ases.client)
+        ghost = internet.add_host("ghost", ases.remote_server)
+        page = synthetic_page("ghost.example", n_resources=2, seed=1)
+        resolver = Resolver(internet.loop)
+        resolver.register_host("ghost.example", ip_address=ghost.addr)
+        browser = BraveBrowser(client, resolver)
+        result = internet.loop.run_process(browser.load(page))
+        assert result.failed
+        assert result.indicator_state is IndicatorState.BLOCKED

@@ -1,0 +1,111 @@
+"""§4.3's discovery loop: learning SCION availability from the
+``Strict-SCION`` header's address advertisement.
+
+A legacy origin has **no** DNS TXT record; its operator configures the
+header to point at a nearby reverse proxy. The first fetch goes over IP,
+the advertisement teaches the proxy, and every subsequent fetch rides
+SCION.
+"""
+
+import pytest
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.page import content_for_origin, synthetic_page
+from repro.dns.resolver import Resolver
+from repro.http.message import Headers, HttpRequest, HttpResponse, ResourceData
+from repro.http.reverse_proxy import ScionReverseProxy
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.topology.defaults import remote_testbed
+
+
+class TestHeaderParsing:
+    def test_addr_directive_parsed(self):
+        response = HttpResponse(status=200, headers=Headers({
+            "Strict-SCION": 'max-age=60; addr="2-ff00:0:220,rp"'}))
+        address = response.strict_scion_address()
+        assert str(address) == "2-ff00:0:220,rp"
+        assert response.strict_scion_max_age() == 60
+
+    def test_addr_without_quotes(self):
+        response = HttpResponse(status=200, headers=Headers({
+            "Strict-SCION": "max-age=60; addr=2-ff00:0:220,rp"}))
+        assert response.strict_scion_address() is not None
+
+    def test_malformed_addr_ignored(self):
+        response = HttpResponse(status=200, headers=Headers({
+            "Strict-SCION": 'max-age=60; addr="garbage"'}))
+        assert response.strict_scion_address() is None
+        assert response.strict_scion_max_age() == 60
+
+    def test_absent(self):
+        assert HttpResponse(status=200).strict_scion_address() is None
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=30)
+    client = internet.add_host("client", ases.client)
+    origin = internet.add_host("origin", ases.remote_server)
+    rp_host = internet.add_host("rp", ases.remote_server)
+    page = synthetic_page("learned.example", n_resources=3, seed=1)
+    # The origin is legacy-only but advertises the reverse proxy's SCION
+    # address on every response (max-age=0: advertise without pinning).
+    HttpServer(origin, content_for_origin(page, "learned.example"),
+               serve_tcp=True, serve_quic=False,
+               advertise_scion_address=rp_host.addr)
+    ScionReverseProxy(rp_host, origin.addr)
+    resolver = Resolver(internet.loop, lookup_latency_ms=1.0)
+    # Deliberately NO scion_address in DNS: discovery must come from the
+    # header alone.
+    resolver.register_host("learned.example", ip_address=origin.addr)
+    browser = BraveBrowser(client, resolver)
+    return internet, browser, page, rp_host
+
+
+def fetch_once(internet, browser):
+    request = HttpRequest(method="GET", host="learned.example",
+                          path="/index.html", headers=Headers())
+
+    def main():
+        outcome = yield from browser.extension.handle_request(request)
+        return outcome
+
+    return internet.loop.run_process(main())
+
+
+class TestDiscoveryLoop:
+    def test_first_fetch_ip_then_scion(self, world):
+        internet, browser, _page, rp_host = world
+        first = fetch_once(internet, browser)
+        assert not first.used_scion  # nothing known yet
+        assert browser.proxy.detector.learned["learned.example"] == \
+            rp_host.addr
+        second = fetch_once(internet, browser)
+        assert second.used_scion
+
+    def test_advertisement_does_not_pin_strict(self, world):
+        internet, browser, _page, _rp = world
+        fetch_once(internet, browser)
+        # max-age=0: availability advertised, strict mode NOT pinned.
+        assert not browser.extension.hsts.is_strict("learned.example")
+
+    def test_full_page_load_upgrades_over_time(self, world):
+        internet, browser, page, _rp = world
+        first = internet.loop.run_process(browser.load(page))
+        second = internet.loop.run_process(browser.load(page))
+        assert first.scion_count < len(first.outcomes)
+        assert second.scion_count == len(second.outcomes)
+
+    def test_learned_source_reported(self, world):
+        internet, browser, _page, _rp = world
+        fetch_once(internet, browser)
+
+        def main():
+            detection, _choice = yield from browser.proxy.check_scion(
+                "learned.example")
+            return detection
+
+        detection = internet.loop.run_process(main())
+        assert detection.source == "learned"

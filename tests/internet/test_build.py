@@ -1,0 +1,146 @@
+"""The Internet builder: wiring, hosts, and dual-stack consistency."""
+
+import pytest
+
+from repro.errors import AddressError, TopologyError, TransportError
+from repro.internet.build import Internet, router_name
+from repro.topology.defaults import remote_testbed
+from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    return Internet(topology, seed=2), topology, ases
+
+
+class TestConstruction:
+    def test_one_router_per_as(self, world):
+        internet, topology, _ases = world
+        assert set(internet.routers) == {info.isd_as
+                                         for info in topology.ases()}
+        for isd_as, router in internet.routers.items():
+            assert router.name == router_name(isd_as)
+
+    def test_interas_links_use_topology_ifids(self, world):
+        internet, topology, _ases = world
+        for link in topology.links():
+            router = internet.routers[link.a]
+            assert link.a_ifid in router.ports
+            assert link.a_ifid in router.external_ifids
+
+    def test_ip_tables_installed(self, world):
+        internet, topology, ases = world
+        table = internet.routers[ases.client].ip_table
+        assert ases.remote_server in table
+
+    def test_segment_store_populated(self, world):
+        internet, _topology, ases = world
+        assert internet.segment_store.ups(ases.client)
+
+    def test_core_ases_exposed(self, world):
+        internet, _topology, ases = world
+        assert ases.local_core in internet.core_ases
+        assert ases.client not in internet.core_ases
+
+
+class TestHosts:
+    def test_add_host_wires_router_and_daemon(self, world):
+        internet, _topology, ases = world
+        host = internet.add_host("h1", ases.client)
+        assert host.daemon is not None
+        assert host.daemon.isd_as == ases.client
+        router = internet.routers[ases.client]
+        assert "h1" in router.host_ports
+
+    def test_duplicate_host_rejected(self, world):
+        internet, _topology, ases = world
+        internet.add_host("h1", ases.client)
+        with pytest.raises(TopologyError):
+            internet.add_host("h1", ases.client)
+
+    def test_unknown_as_rejected(self, world):
+        internet, _topology, _ases = world
+        with pytest.raises(TopologyError):
+            internet.add_host("h1", IsdAs.parse("8-8"))
+
+    def test_host_lookup(self, world):
+        internet, _topology, ases = world
+        host = internet.add_host("h1", ases.client)
+        assert internet.host("h1") is host
+        with pytest.raises(TopologyError):
+            internet.host("nope")
+
+    def test_host_accepts_string_as(self, world):
+        internet, _topology, ases = world
+        host = internet.add_host("h1", str(ases.client))
+        assert host.addr.isd_as == ases.client
+
+    def test_scion_send_without_path_to_remote_rejected(self, world):
+        internet, _topology, ases = world
+        client = internet.add_host("c", ases.client)
+        server = internet.add_host("s", ases.remote_server)
+        socket = client.udp_socket()
+        with pytest.raises(TransportError, match="needs a path"):
+            socket.send(server.addr, 1, b"x", 8, via="scion", path=None)
+
+    def test_unknown_via_rejected(self, world):
+        internet, _topology, ases = world
+        client = internet.add_host("c", ases.client)
+        socket = client.udp_socket()
+        with pytest.raises(AddressError):
+            socket.send(client.addr, 1, b"x", 8, via="carrier-pigeon")
+
+    def test_port_collision_rejected(self, world):
+        internet, _topology, ases = world
+        client = internet.add_host("c", ases.client)
+        client.udp_socket(80)
+        with pytest.raises(AddressError):
+            client.udp_socket(80)
+
+    def test_closed_socket_frees_port(self, world):
+        internet, _topology, ases = world
+        client = internet.add_host("c", ases.client)
+        socket = client.udp_socket(80)
+        socket.close()
+        client.udp_socket(80)
+
+
+class TestConsistency:
+    def test_ip_and_scion_agree_on_local_delivery(self, world):
+        internet, _topology, ases = world
+        sender = internet.add_host("a", ases.client)
+        receiver = internet.add_host("b", ases.client)
+        inbox = []
+
+        def listen():
+            socket = receiver.udp_socket(5)
+            while True:
+                datagram = yield socket.recv()
+                inbox.append(datagram.via)
+
+        internet.loop.process(listen())
+        socket = sender.udp_socket()
+        socket.send(receiver.addr, 5, b"x", 8, via="ip")
+        socket.send(receiver.addr, 5, b"x", 8, via="scion")
+        internet.run()
+        assert sorted(inbox) == ["ip", "scion"]
+
+    def test_undeliverable_counted(self, world):
+        internet, _topology, ases = world
+        sender = internet.add_host("a", ases.client)
+        receiver = internet.add_host("b", ases.client)
+        socket = sender.udp_socket()
+        socket.send(receiver.addr, 4242, b"x", 8, via="ip")  # nobody bound
+        internet.run()
+        assert receiver.undeliverable == 1
+
+    def test_no_host_drop_counted_at_router(self, world):
+        internet, _topology, ases = world
+        sender = internet.add_host("a", ases.client)
+        from repro.scion.addr import HostAddr
+        ghost = HostAddr(ases.client, "ghost")
+        socket = sender.udp_socket()
+        socket.send(ghost, 1, b"x", 8, via="ip")
+        internet.run()
+        assert internet.routers[ases.client].no_host == 1

@@ -1,0 +1,163 @@
+"""BGP route computation: valley-free policy, preferences, obliviousness."""
+
+import pytest
+
+from repro.ip.bgp import Relationship, compute_routes, relationship_of
+from repro.topology.defaults import remote_testbed
+from repro.topology.generator import random_internet
+from repro.topology.graph import AsTopology, LinkKind
+from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture(scope="module")
+def testbed_rib():
+    topology, ases = remote_testbed()
+    return topology, ases, compute_routes(topology)
+
+
+class TestRelationships:
+    def test_parent_link_roles(self):
+        topo = AsTopology()
+        topo.add_as("1-1", core=True)
+        topo.add_as("1-2")
+        link = topo.add_link("1-1", "1-2", LinkKind.PARENT)
+        assert relationship_of(link, IsdAs.parse("1-1")) is \
+            Relationship.CUSTOMER
+        assert relationship_of(link, IsdAs.parse("1-2")) is \
+            Relationship.PROVIDER
+
+    def test_core_link_is_peering(self):
+        topo = AsTopology()
+        topo.add_as("1-1", core=True)
+        topo.add_as("2-1", core=True)
+        link = topo.add_link("1-1", "2-1", LinkKind.CORE)
+        assert relationship_of(link, IsdAs.parse("1-1")) is Relationship.PEER
+
+
+class TestConvergence:
+    def test_full_reachability_on_testbed(self, testbed_rib):
+        topology, _ases, rib = testbed_rib
+        ases = [info.isd_as for info in topology.ases()]
+        for src in ases:
+            for dst in ases:
+                assert rib.route(src, dst) is not None, (src, dst)
+
+    def test_as_path_endpoints(self, testbed_rib):
+        _topology, ases, rib = testbed_rib
+        path = rib.as_path(ases.client, ases.remote_server)
+        assert path[0] == ases.client
+        assert path[-1] == ases.remote_server
+
+    def test_paths_loop_free(self, testbed_rib):
+        topology, _ases, rib = testbed_rib
+        all_ases = [info.isd_as for info in topology.ases()]
+        for src in all_ases:
+            for dst in all_ases:
+                path = rib.as_path(src, dst)
+                assert len(path) == len(set(path))
+
+    def test_converges_on_random_internet(self):
+        topology = random_internet(seed=21)
+        rib = compute_routes(topology)
+        leaves = [info.isd_as for info in topology.ases()]
+        assert rib.route(leaves[0], leaves[-1]) is not None
+
+
+class TestPolicySemantics:
+    def test_shortest_as_path_preferred_over_latency(self, testbed_rib):
+        """The crux of Figure 5: BGP takes the slow direct core link."""
+        _topology, ases, rib = testbed_rib
+        path = rib.as_path(ases.client, ases.remote_server)
+        assert ases.third_core not in path  # ignores the faster detour
+        assert rib.path_latency_ms(ases.client, ases.remote_server) > 75.0
+
+    def test_valley_free_no_transit_through_customer(self):
+        """A multihomed customer must not carry provider-to-provider
+        traffic."""
+        topo = AsTopology()
+        topo.add_as("1-1", core=True)
+        topo.add_as("1-2", core=True)
+        topo.add_as("1-3")  # customer of both cores
+        topo.add_link("1-1", "1-3", LinkKind.PARENT)
+        topo.add_link("1-2", "1-3", LinkKind.PARENT)
+        # The cores are NOT linked: the only physical path between them
+        # runs through their shared customer, which valley-freeness bans.
+        rib = compute_routes(topo)
+        assert rib.route(IsdAs.parse("1-1"), IsdAs.parse("1-2")) is None
+
+    def test_customer_route_preferred_over_peer(self):
+        topo = AsTopology()
+        topo.add_as("1-1", core=True)
+        topo.add_as("1-2", core=True)
+        topo.add_as("1-3")
+        topo.add_link("1-1", "1-2", LinkKind.CORE)     # peer path to 1-3?
+        topo.add_link("1-1", "1-3", LinkKind.PARENT)   # own customer
+        topo.add_link("1-2", "1-3", LinkKind.PARENT)
+        rib = compute_routes(topo)
+        route = rib.route(IsdAs.parse("1-1"), IsdAs.parse("1-3"))
+        # 1-1 must use its direct customer link, not transit via peer 1-2.
+        assert route.as_path == (IsdAs.parse("1-1"), IsdAs.parse("1-3"))
+        assert route.learned_from is Relationship.CUSTOMER
+
+    def test_forwarding_table_has_no_self_entry(self, testbed_rib):
+        _topology, ases, rib = testbed_rib
+        table = rib.forwarding_table(ases.client)
+        assert ases.client not in table
+
+    def test_path_latency_includes_intra_as(self, testbed_rib):
+        topology, ases, rib = testbed_rib
+        latency = rib.path_latency_ms(ases.client, ases.nearby_server)
+        links = 2.5 + 2.5
+        intra = sum(topology.as_info(x).internal_latency_ms
+                    for x in rib.as_path(ases.client, ases.nearby_server))
+        assert latency == pytest.approx(links + intra)
+
+    @pytest.mark.parametrize("seed", [1, 7, 19, 33, 51])
+    def test_all_routes_valley_free_property(self, seed):
+        """Structural check over random Internets: every chosen route's
+        relationship sequence must match up* peer? down* — no AS ever
+        transits traffic between two of its providers/peers."""
+        topology = random_internet(seed=seed)
+        rib = compute_routes(topology)
+        ases = [info.isd_as for info in topology.ases()]
+        checked = 0
+        for src in ases:
+            for dst in ases:
+                if src == dst:
+                    continue
+                route = rib.route(src, dst)
+                if route is None:
+                    continue
+                assert self._is_valley_free(rib, src, dst), (src, dst)
+                checked += 1
+        assert checked > 0
+
+    @staticmethod
+    def _is_valley_free(rib, src, dst) -> bool:
+        phase = "up"  # up -> peer -> down
+        current = src
+        while current != dst:
+            route = rib.route(current, dst)
+            link = route.egress_link
+            step = relationship_of(link, current)
+            if step is Relationship.CUSTOMER:
+                phase = "down"
+            elif step is Relationship.PEER:
+                if phase != "up":
+                    return False
+                phase = "down"  # at most one peering edge, then descend
+            else:  # PROVIDER
+                if phase != "up":
+                    return False
+            current = link.other(current)
+        return True
+
+    def test_deterministic_tie_break(self):
+        topology = random_internet(seed=33)
+        a = compute_routes(topology)
+        b = compute_routes(topology)
+        sample = [info.isd_as for info in topology.ases()][:5]
+        for src in sample:
+            for dst in sample:
+                if src != dst:
+                    assert a.as_path(src, dst) == b.as_path(src, dst)

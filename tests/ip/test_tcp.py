@@ -1,0 +1,153 @@
+"""TCP over the simulated Internet: handshake, transfer, failure modes."""
+
+import pytest
+
+from repro.errors import HandshakeError
+from repro.internet.build import Internet
+from repro.ip.tcp import TcpListener, tcp_connect
+from repro.topology.defaults import remote_testbed
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=8)
+    client = internet.add_host("client", ases.client)
+    server = internet.add_host("server", ases.remote_server)
+    return internet, ases, client, server
+
+
+def echo_handler(connection):
+    while True:
+        try:
+            message = yield connection.recv()
+        except Exception:
+            return
+        connection.send(("echo", message), 1_000)
+
+
+class TestHandshake:
+    def test_connect_takes_one_rtt(self, world):
+        internet, ases, client, server = world
+        TcpListener(server, 80, echo_handler)
+        rtt = 2 * internet.bgp.path_latency_ms(ases.client,
+                                               ases.remote_server)
+
+        def main():
+            start = internet.loop.now
+            yield from tcp_connect(client, server.addr, 80)
+            return internet.loop.now - start
+
+        elapsed = internet.loop.run_process(main())
+        assert elapsed == pytest.approx(rtt, rel=0.05)
+
+    def test_connect_to_closed_port_times_out(self, world):
+        internet, _ases, client, server = world
+
+        def main():
+            with pytest.raises(HandshakeError):
+                yield from tcp_connect(client, server.addr, 81,
+                                       timeout_ms=50.0, retries=2)
+            return "gave-up"
+
+        assert internet.loop.run_process(main()) == "gave-up"
+
+    def test_rtt_seeds_connection_estimate(self, world):
+        internet, ases, client, server = world
+        TcpListener(server, 80, echo_handler)
+
+        def main():
+            connection = yield from tcp_connect(client, server.addr, 80)
+            return connection.srtt_ms
+
+        srtt = internet.loop.run_process(main())
+        expected = 2 * internet.bgp.path_latency_ms(ases.client,
+                                                    ases.remote_server)
+        assert srtt == pytest.approx(expected, rel=0.05)
+
+
+class TestTransfer:
+    def test_request_response(self, world):
+        internet, _ases, client, server = world
+        TcpListener(server, 80, echo_handler)
+
+        def main():
+            connection = yield from tcp_connect(client, server.addr, 80)
+            connection.send("ping", 500)
+            reply = yield connection.recv()
+            return reply
+
+        assert internet.loop.run_process(main()) == ("echo", "ping")
+
+    def test_keep_alive_multiple_requests(self, world):
+        internet, _ases, client, server = world
+        listener = TcpListener(server, 80, echo_handler)
+
+        def main():
+            connection = yield from tcp_connect(client, server.addr, 80)
+            replies = []
+            for index in range(5):
+                connection.send(index, 200)
+                reply = yield connection.recv()
+                replies.append(reply[1])
+            return replies
+
+        assert internet.loop.run_process(main()) == list(range(5))
+        assert listener.accepted == 1  # one connection served all five
+
+    def test_concurrent_connections_demultiplexed(self, world):
+        internet, _ases, client, server = world
+        TcpListener(server, 80, echo_handler)
+
+        def one(tag):
+            connection = yield from tcp_connect(client, server.addr, 80)
+            connection.send(tag, 300)
+            reply = yield connection.recv()
+            return reply[1]
+
+        def main():
+            processes = [internet.loop.process(one(f"c{i}"))
+                         for i in range(4)]
+            values = yield internet.loop.all_of(processes)
+            return values
+
+        assert internet.loop.run_process(main()) == ["c0", "c1", "c2", "c3"]
+
+    def test_works_over_scion_datagrams(self, world):
+        """The paper maps TCP streams onto SCION; the connection layer is
+        transport-agnostic by design."""
+        internet, ases, client, server = world
+        TcpListener(server, 80, echo_handler)
+        path = client.daemon.paths(ases.remote_server)[0]
+
+        def main():
+            connection = yield from tcp_connect(
+                client, server.addr, 80, via="scion", path=path)
+            connection.send("over-scion", 500)
+            reply = yield connection.recv()
+            return reply
+
+        assert internet.loop.run_process(main()) == ("echo", "over-scion")
+
+    def test_transfer_over_lossy_topology(self):
+        topology, ases = remote_testbed()
+        # Inject loss on every inter-AS link.
+        lossy = type(topology)(name="lossy")
+        for info in topology.ases():
+            lossy.add_as(info.isd_as, core=info.core,
+                         internal_latency_ms=info.internal_latency_ms)
+        for link in topology.links():
+            lossy.add_link(link.a, link.b, link.kind,
+                           latency_ms=link.latency_ms, loss_rate=0.05)
+        internet = Internet(lossy, seed=5)
+        client = internet.add_host("client", ases.client)
+        server = internet.add_host("server", ases.remote_server)
+        TcpListener(server, 80, echo_handler)
+
+        def main():
+            connection = yield from tcp_connect(client, server.addr, 80)
+            connection.send("lossy", 20_000)
+            reply = yield connection.recv()
+            return reply
+
+        assert internet.loop.run_process(main()) == ("echo", "lossy")

@@ -1,0 +1,100 @@
+"""Multipath transfers: disjointness, splitting, and actual speedup."""
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.internet.build import Internet
+from repro.quic.multipath import (
+    BulkSink,
+    disjoint_paths,
+    multipath_send,
+    split_by_bandwidth,
+)
+from repro.topology.defaults import dual_homed_testbed
+from tests.conftest import make_path
+
+
+class TestDisjointSelection:
+    def test_overlapping_paths_rejected(self):
+        a = make_path(["1-1", "1-2", "1-4"])
+        b = make_path(["1-1", "1-3", "1-4"])
+        # a and b share no interface ids by construction in make_path?
+        # make_path synthesizes ifids by position, so they collide;
+        # verify the function filters on genuine interface overlap.
+        chosen = disjoint_paths([a, b])
+        assert len(chosen) == 1
+
+    def test_real_topology_gives_two_disjoint_paths(self):
+        topology, client_as, server_as = dual_homed_testbed()
+        internet = Internet(topology, seed=1)
+        client = internet.add_host("client", client_as)
+        candidates = client.daemon.paths(server_as)
+        chosen = disjoint_paths(candidates)
+        assert len(chosen) == 2
+        assert not set(chosen[0].interfaces()) & set(chosen[1].interfaces())
+
+    def test_max_paths_cap(self):
+        topology, client_as, server_as = dual_homed_testbed()
+        internet = Internet(topology, seed=1)
+        client = internet.add_host("client", client_as)
+        candidates = client.daemon.paths(server_as)
+        assert len(disjoint_paths(candidates, max_paths=1)) == 1
+
+
+class TestSplitting:
+    def test_proportional_split(self):
+        fast = make_path(["1-1", "1-2"], bandwidth_mbps=300)
+        slow = make_path(["1-1", "1-3"], bandwidth_mbps=100)
+        shares = split_by_bandwidth(4000, [fast, slow])
+        assert shares == [3000, 1000]
+
+    def test_shares_sum_exactly(self):
+        paths = [make_path(["1-1", f"1-{i}"], bandwidth_mbps=bw)
+                 for i, bw in enumerate((7, 11, 13), start=2)]
+        shares = split_by_bandwidth(10_001, paths)
+        assert sum(shares) == 10_001
+
+    def test_unknown_bandwidth_splits_equally(self):
+        paths = [make_path(["1-1", "1-2"], bandwidth_mbps=0),
+                 make_path(["1-1", "1-3"], bandwidth_mbps=0)]
+        assert split_by_bandwidth(1000, paths) == [500, 500]
+
+
+class TestTransfer:
+    SIZE = 2_000_000  # 2 MB
+
+    def build(self):
+        topology, client_as, server_as = dual_homed_testbed()
+        internet = Internet(topology, seed=2)
+        client = internet.add_host("client", client_as)
+        server = internet.add_host("server", server_as)
+        sink = BulkSink(server)
+        return internet, client, server, sink
+
+    def test_single_path_transfer(self):
+        internet, client, server, sink = self.build()
+        paths = client.daemon.paths(server.addr.isd_as)
+        elapsed = internet.loop.run_process(
+            multipath_send(client, server.addr, 4443, self.SIZE, paths[:1]))
+        assert elapsed > 0
+        assert sink.bytes_received == self.SIZE
+
+    def test_multipath_speedup(self):
+        internet, client, server, sink = self.build()
+        paths = disjoint_paths(client.daemon.paths(server.addr.isd_as))
+        single = internet.loop.run_process(
+            multipath_send(client, server.addr, 4443, self.SIZE, paths[:1]))
+        multi = internet.loop.run_process(
+            multipath_send(client, server.addr, 4443, self.SIZE, paths))
+        assert multi < 0.75 * single
+        assert sink.bytes_received == 2 * self.SIZE
+
+    def test_empty_path_list_rejected(self):
+        internet, client, server, _sink = self.build()
+
+        def main():
+            with pytest.raises(NoPathError):
+                yield from multipath_send(client, server.addr, 4443, 100, [])
+            return "ok"
+
+        assert internet.loop.run_process(main()) == "ok"

@@ -1,0 +1,45 @@
+"""SCION host addresses."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.scion.addr import HostAddr
+from repro.topology.isd_as import MAX_ASN, MAX_ISD, IsdAs
+
+
+class TestHostAddr:
+    def test_parse_and_str_round_trip(self):
+        text = "1-ff00:0:110,10.0.0.1"
+        assert str(HostAddr.parse(text)) == text
+
+    def test_components(self):
+        address = HostAddr.parse("2-64512,server-3")
+        assert address.isd_as == IsdAs(2, 64512)
+        assert address.host == "server-3"
+
+    @pytest.mark.parametrize("bad", ["1-ff00:0:110", "1-1,", ",host",
+                                     "nonsense"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            HostAddr.parse(bad)
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(AddressError):
+            HostAddr(isd_as=IsdAs(1, 1), host="")
+
+    def test_hashable_and_ordered(self):
+        a = HostAddr(IsdAs(1, 1), "a")
+        b = HostAddr(IsdAs(1, 1), "b")
+        c = HostAddr(IsdAs(1, 2), "a")
+        assert len({a, b, c, HostAddr(IsdAs(1, 1), "a")}) == 3
+        assert sorted([c, b, a]) == [a, b, c]
+
+    @given(isd=st.integers(min_value=0, max_value=MAX_ISD),
+           asn=st.integers(min_value=0, max_value=MAX_ASN),
+           host=st.text(alphabet=st.characters(
+               whitelist_categories=("Ll", "Nd")), min_size=1, max_size=12))
+    def test_round_trip_property(self, isd, asn, host):
+        address = HostAddr(IsdAs(isd, asn), host)
+        assert HostAddr.parse(str(address)) == address

@@ -1,0 +1,184 @@
+"""Beaconing: segment discovery, signing, and store contents."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import BeaconingError, VerificationError
+from repro.scion.beaconing import BeaconingService
+from repro.scion.pki import ControlPlanePki
+from repro.scion.segments import SegmentType
+from repro.topology.defaults import remote_testbed
+from repro.topology.generator import line_topology, random_internet
+from repro.topology.graph import AsTopology
+
+
+@pytest.fixture(scope="module")
+def built():
+    topology, ases = remote_testbed()
+    pki = ControlPlanePki(topology, seed=2)
+    service = BeaconingService(topology, pki, verify_on_extend=True)
+    return topology, ases, pki, service.build_store()
+
+
+class TestStoreContents:
+    def test_every_leaf_has_up_segments(self, built):
+        topology, _ases, _pki, store = built
+        for info in topology.ases():
+            if not info.core:
+                assert store.ups(info.isd_as), info.isd_as
+
+    def test_up_and_down_mirror_each_other(self, built):
+        _topology, ases, _pki, store = built
+        ups = {segment.segment_id() for segment in store.ups(ases.client)}
+        downs = {segment.segment_id() for segment in store.downs(ases.client)}
+        assert ups == downs
+
+    def test_core_segments_between_every_core_pair(self, built):
+        topology, _ases, _pki, store = built
+        cores = [info.isd_as for info in topology.core_ases()]
+        for i, a in enumerate(cores):
+            for b in cores[i + 1:]:
+                assert store.cores_between(a, b), (a, b)
+
+    def test_core_segment_types(self, built):
+        _topology, ases, _pki, store = built
+        for segment in store.cores_between(ases.local_core, ases.remote_core):
+            assert segment.segment_type is SegmentType.CORE
+
+    def test_up_segments_originate_at_core(self, built):
+        topology, ases, _pki, store = built
+        for segment in store.ups(ases.client):
+            assert topology.as_info(segment.origin).core
+            assert segment.terminal == ases.client
+
+    def test_multihop_core_segment_found(self, built):
+        # local_core -> third_core -> remote_core must have been beaconed.
+        _topology, ases, _pki, store = built
+        segments = store.cores_between(ases.local_core, ases.remote_core)
+        lengths = {len(segment.entries) for segment in segments}
+        assert 2 in lengths  # direct
+        assert 3 in lengths  # detour via ISD 3
+
+
+class TestSignatures:
+    def test_all_segments_verify(self, built):
+        _topology, ases, pki, store = built
+        for segment in store.ups(ases.client):
+            segment.verify(pki)
+        for segment in store.cores_between(ases.local_core, ases.remote_core):
+            segment.verify(pki)
+
+    def test_modified_entry_detected(self, built):
+        _topology, ases, pki, store = built
+        segment = store.ups(ases.client)[0]
+        entry = segment.entries[0]
+        forged_info = dataclasses.replace(entry.static_info,
+                                          co2_g_per_gb=0.0)  # greenwashing
+        forged_entry = dataclasses.replace(entry, static_info=forged_info)
+        forged = dataclasses.replace(
+            segment, entries=(forged_entry,) + segment.entries[1:])
+        with pytest.raises(VerificationError):
+            forged.verify(pki)
+
+    def test_truncated_segment_detected(self, built):
+        _topology, ases, pki, store = built
+        segments = [s for s in store.cores_between(ases.local_core,
+                                                   ases.remote_core)
+                    if len(s.entries) == 3]
+        truncated = dataclasses.replace(segments[0],
+                                        entries=segments[0].entries[:2])
+        with pytest.raises(VerificationError):
+            truncated.verify(pki)
+
+    def test_reordered_entries_detected(self, built):
+        _topology, ases, pki, store = built
+        segments = [s for s in store.cores_between(ases.local_core,
+                                                   ases.remote_core)
+                    if len(s.entries) == 3]
+        entries = segments[0].entries
+        reordered = dataclasses.replace(
+            segments[0], entries=(entries[1], entries[0], entries[2]))
+        with pytest.raises(VerificationError):
+            reordered.verify(pki)
+
+
+class TestStaticInfo:
+    def test_link_metadata_matches_topology(self, built):
+        topology, ases, _pki, store = built
+        segment = store.ups(ases.client)[0]
+        origin_entry = segment.entries[0]
+        link = topology.link_by_ifid(segment.origin,
+                                     origin_entry.egress_ifid)
+        assert origin_entry.static_info.latency_inter_ms == link.latency_ms
+        assert origin_entry.static_info.bandwidth_mbps == link.bandwidth_mbps
+
+    def test_terminal_entry_has_no_egress_link(self, built):
+        _topology, ases, _pki, store = built
+        segment = store.ups(ases.client)[0]
+        terminal = segment.entries[-1]
+        assert terminal.egress_ifid == 0
+        assert terminal.static_info.latency_inter_ms == 0.0
+
+    def test_as_metadata_propagates(self, built):
+        topology, ases, _pki, store = built
+        segment = store.ups(ases.client)[0]
+        for entry in segment.entries:
+            info = topology.as_info(entry.isd_as)
+            assert entry.static_info.co2_g_per_gb == info.co2_g_per_gb
+            assert entry.static_info.geo == info.geo
+
+
+class TestPropagationPolicy:
+    def test_beacons_per_target_caps_diversity(self):
+        # Two-level hierarchy: the leaf multi-homes to two mid-tier ASes,
+        # so one core origin can reach it over two distinct beacon paths.
+        from repro.topology.graph import LinkKind
+        topology = AsTopology()
+        topology.add_as("1-1", core=True)
+        topology.add_as("1-2")
+        topology.add_as("1-3")
+        topology.add_as("1-4")
+        topology.add_link("1-1", "1-2", LinkKind.PARENT, latency_ms=1.0)
+        topology.add_link("1-1", "1-3", LinkKind.PARENT, latency_ms=2.0)
+        topology.add_link("1-2", "1-4", LinkKind.PARENT, latency_ms=1.0)
+        topology.add_link("1-3", "1-4", LinkKind.PARENT, latency_ms=1.0)
+        pki = ControlPlanePki(topology, seed=9)
+        narrow = BeaconingService(topology, pki, beacons_per_target=1)
+        wide = BeaconingService(topology, pki, beacons_per_target=8)
+        leaf = topology.ases()[-1].isd_as
+        assert len(narrow.build_store().ups(leaf)) == 1
+        assert len(wide.build_store().ups(leaf)) == 2
+
+    def test_lowest_latency_beacon_kept_first(self, built):
+        _topology, ases, _pki, store = built
+        segments = store.cores_between(ases.local_core, ases.remote_core)
+        latencies = [segment.total_latency_ms() for segment in segments]
+        assert min(latencies) < 75.0 + 1.0  # the detour was discovered
+
+    def test_no_loops_in_any_segment(self, built):
+        topology, _ases, _pki, store = built
+        for info in topology.ases():
+            for segment in store.ups(info.isd_as):
+                ases_on_path = segment.ases
+                assert len(ases_on_path) == len(set(ases_on_path))
+
+    def test_line_topology_single_path(self):
+        topology = line_topology(4)
+        pki = ControlPlanePki(topology, seed=1)
+        store = BeaconingService(topology, pki).build_store()
+        tail = topology.ases()[-1].isd_as
+        segments = store.ups(tail)
+        assert len(segments) == 1
+        assert len(segments[0].entries) == 4
+
+    def test_no_core_as_rejected(self):
+        topology = AsTopology()
+        topology.add_as("1-1")
+        pki_less = BeaconingService.__new__(BeaconingService)
+        pki_less.topology = topology
+        # build via proper constructor: no core -> BeaconingError
+        pki = ControlPlanePki.__new__(ControlPlanePki)
+        service = BeaconingService(topology, pki)
+        with pytest.raises(BeaconingError):
+            service.build_store()

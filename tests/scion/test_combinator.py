@@ -1,0 +1,171 @@
+"""Segment combination: path construction and metadata aggregation."""
+
+import pytest
+
+from repro.scion.beaconing import BeaconingService
+from repro.scion.combinator import combine_segments
+from repro.scion.pki import ControlPlanePki
+from repro.topology.defaults import remote_testbed
+from repro.topology.generator import random_internet
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology, ases = remote_testbed()
+    pki = ControlPlanePki(topology, seed=2)
+    store = BeaconingService(topology, pki).build_store()
+    cores = {info.isd_as for info in topology.core_ases()}
+    return topology, ases, store, cores
+
+
+def paths_between(world, src, dst, **kwargs):
+    _topology, _ases, store, cores = world
+    return combine_segments(src, dst, store, core_ases=cores, **kwargs)
+
+
+class TestCases:
+    def test_same_as_yields_empty(self, world):
+        _topology, ases, _store, _cores = world
+        assert paths_between(world, ases.client, ases.client) == []
+
+    def test_leaf_to_leaf_cross_isd(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_server)
+        assert len(paths) == 2  # direct core link and the detour
+        for path in paths:
+            assert path.src_as == ases.client
+            assert path.dst_as == ases.remote_server
+
+    def test_leaf_to_leaf_same_isd_via_shared_core(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.nearby_server)
+        assert len(paths) == 1
+        assert paths[0].metadata.ases == (ases.client, ases.local_core,
+                                          ases.nearby_server)
+
+    def test_leaf_to_core(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_core)
+        assert paths
+        assert all(path.dst_as == ases.remote_core for path in paths)
+
+    def test_core_to_leaf(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.local_core, ases.remote_server)
+        assert paths
+        assert all(path.src_as == ases.local_core for path in paths)
+
+    def test_core_to_core(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.local_core, ases.remote_core)
+        latencies = sorted(path.metadata.latency_ms for path in paths)
+        assert latencies[0] < latencies[-1]  # detour and direct both found
+
+    def test_max_paths_cap(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_server,
+                              max_paths=1)
+        assert len(paths) == 1
+
+    def test_sorted_by_latency(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_server)
+        latencies = [path.metadata.latency_ms for path in paths]
+        assert latencies == sorted(latencies)
+
+
+class TestMetadataAgainstGroundTruth:
+    def test_latency_matches_topology(self, world):
+        topology, ases, _store, _cores = world
+        best = paths_between(world, ases.client, ases.remote_server)[0]
+        # detour: client->110 (2.5) + 110->310 (22) + 310->210 (24) +
+        # 210->220 (2.5) links, plus each AS's internal latency once.
+        links = 2.5 + 22.0 + 24.0 + 2.5
+        intra = sum(topology.as_info(isd_as).internal_latency_ms
+                    for isd_as in best.metadata.ases)
+        assert best.metadata.latency_ms == pytest.approx(links + intra)
+
+    def test_bandwidth_is_bottleneck(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_server)
+        direct = next(path for path in paths
+                      if ases.third_core not in path.metadata.ases)
+        assert direct.metadata.bandwidth_mbps == 400.0  # the slow core link
+
+    def test_co2_sums_over_ases(self, world):
+        topology, ases, _store, _cores = world
+        path = paths_between(world, ases.client, ases.nearby_server)[0]
+        expected = sum(topology.as_info(isd_as).co2_g_per_gb
+                       for isd_as in path.metadata.ases)
+        assert path.metadata.co2_g_per_gb == pytest.approx(expected)
+
+    def test_isds_and_regions(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_server)
+        detour = next(path for path in paths
+                      if ases.third_core in path.metadata.ases)
+        assert detour.metadata.isds == (1, 2, 3)
+        assert set(detour.metadata.regions) == {"europe", "asia",
+                                                "north-america"}
+
+    def test_hop_count_counts_distinct_ases(self, world):
+        _topology, ases, _store, _cores = world
+        path = paths_between(world, ases.client, ases.nearby_server)[0]
+        assert path.metadata.hop_count == 3
+
+    def test_crossover_core_counted_once(self, world):
+        _topology, ases, _store, _cores = world
+        path = paths_between(world, ases.client, ases.nearby_server)[0]
+        # The shared core appears in two processing steps but once in
+        # AS-level metadata.
+        assert len(path.hops) == 4
+        assert len(path.metadata.ases) == 3
+
+
+class TestStructure:
+    def test_no_path_traverses_an_as_twice(self):
+        topology = random_internet(n_isds=3, cores_per_isd=2,
+                                   leaves_per_isd=3, seed=13)
+        pki = ControlPlanePki(topology, seed=13)
+        store = BeaconingService(topology, pki).build_store()
+        cores = {info.isd_as for info in topology.core_ases()}
+        leaves = [info.isd_as for info in topology.ases() if not info.core]
+        for src in leaves[:3]:
+            for dst in leaves[-3:]:
+                if src == dst:
+                    continue
+                for path in combine_segments(src, dst, store,
+                                             core_ases=cores):
+                    assert len(path.metadata.ases) == \
+                        len(set(path.metadata.ases)), path.summary()
+
+    def test_fingerprints_unique(self, world):
+        _topology, ases, _store, _cores = world
+        paths = paths_between(world, ases.client, ases.remote_server)
+        prints = [path.fingerprint() for path in paths]
+        assert len(prints) == len(set(prints))
+
+    def test_interface_continuity(self, world):
+        """Consecutive steps at the same AS share no interface; egress of
+        one AS connects to ingress of the next over a real link."""
+        topology, ases, _store, _cores = world
+        for path in paths_between(world, ases.client, ases.remote_server):
+            for step in path.hops:
+                if step.egress:
+                    link = topology.link_by_ifid(step.isd_as, step.egress)
+                    assert link is not None
+
+    def test_rich_internet_offers_many_paths(self):
+        topology = random_internet(n_isds=3, cores_per_isd=2,
+                                   leaves_per_isd=4, seed=42)
+        pki = ControlPlanePki(topology, seed=42)
+        store = BeaconingService(topology, pki).build_store()
+        cores = {info.isd_as for info in topology.core_ases()}
+        leaves = [info.isd_as for info in topology.ases() if not info.core]
+        counts = []
+        for src in leaves[:2]:
+            for dst in leaves[-2:]:
+                counts.append(len(combine_segments(src, dst, store,
+                                                   core_ases=cores)))
+        # The paper: "dozens to over a hundred potential paths".
+        assert max(counts) >= 8

@@ -1,0 +1,106 @@
+"""Path server lookups and the per-host daemon."""
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.scion.beaconing import BeaconingService
+from repro.scion.daemon import PathDaemon
+from repro.scion.path_server import PathServer
+from repro.scion.pki import ControlPlanePki
+from repro.topology.defaults import remote_testbed
+from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    pki = ControlPlanePki(topology, seed=2)
+    store = BeaconingService(topology, pki).build_store()
+    server = PathServer(store)
+    cores = {info.isd_as for info in topology.core_ases()}
+    return topology, ases, pki, server, cores
+
+
+def make_daemon(world, verify=False):
+    _topology, ases, pki, server, cores = world
+    return PathDaemon(isd_as=ases.client, path_server=server,
+                      core_ases=cores, pki=pki if verify else None)
+
+
+class TestPathServer:
+    def test_lookup_counters(self, world):
+        _topology, ases, _pki, server, _cores = world
+        server.up_segments(ases.client)
+        server.down_segments(ases.remote_server)
+        server.core_segments(ases.local_core, ases.remote_core)
+        assert server.stats.up_lookups == 1
+        assert server.stats.down_lookups == 1
+        assert server.stats.core_lookups == 1
+        assert server.stats.total() == 3
+        assert server.stats.segments_served > 0
+
+    def test_core_lookup_orientation_agnostic(self, world):
+        _topology, ases, _pki, server, _cores = world
+        forward = server.core_segments(ases.local_core, ases.remote_core)
+        backward = server.core_segments(ases.remote_core, ases.local_core)
+        assert {s.segment_id() for s in forward} == \
+            {s.segment_id() for s in backward}
+
+
+class TestDaemon:
+    def test_paths_sorted_by_latency(self, world):
+        daemon = make_daemon(world)
+        _topology, ases, _pki, _server, _cores = world
+        paths = daemon.paths(ases.remote_server)
+        latencies = [path.metadata.latency_ms for path in paths]
+        assert latencies == sorted(latencies)
+
+    def test_local_as_yields_empty(self, world):
+        daemon = make_daemon(world)
+        _topology, ases, _pki, _server, _cores = world
+        assert daemon.paths(ases.client) == []
+
+    def test_unreachable_raises(self, world):
+        daemon = make_daemon(world)
+        with pytest.raises(NoPathError):
+            daemon.paths(IsdAs.parse("9-999"))
+
+    def test_try_paths_swallows_nopath(self, world):
+        daemon = make_daemon(world)
+        assert daemon.try_paths(IsdAs.parse("9-999")) == []
+
+    def test_cache_hits_counted(self, world):
+        daemon = make_daemon(world)
+        _topology, ases, _pki, _server, _cores = world
+        daemon.paths(ases.remote_server)
+        daemon.paths(ases.remote_server)
+        assert daemon.stats.queries == 2
+        assert daemon.stats.cache_hits == 1
+
+    def test_cache_returns_copies(self, world):
+        daemon = make_daemon(world)
+        _topology, ases, _pki, _server, _cores = world
+        first = daemon.paths(ases.remote_server)
+        first.clear()
+        assert daemon.paths(ases.remote_server)
+
+    def test_flush_cache(self, world):
+        daemon = make_daemon(world)
+        _topology, ases, _pki, server, _cores = world
+        daemon.paths(ases.remote_server)
+        before = server.stats.total()
+        daemon.flush_cache()
+        daemon.paths(ases.remote_server)
+        assert server.stats.total() > before
+
+    def test_verification_counted(self, world):
+        daemon = make_daemon(world, verify=True)
+        _topology, ases, _pki, _server, _cores = world
+        daemon.paths(ases.remote_server)
+        assert daemon.stats.segments_verified > 0
+
+    def test_max_paths_respected(self, world):
+        _topology, ases, pki, server, cores = world
+        daemon = PathDaemon(isd_as=ases.client, path_server=server,
+                            core_ases=cores, max_paths=1)
+        assert len(daemon.paths(ases.remote_server)) == 1

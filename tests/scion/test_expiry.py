@@ -1,0 +1,83 @@
+"""Hop-field expiration: paths age out of the daemon and the data plane."""
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.internet.build import Internet
+from repro.scion.beaconing import BeaconingService
+from repro.scion.path import EXP_TIME_UNIT_S
+from repro.scion.path_server import PathServer
+from repro.scion.daemon import PathDaemon
+from repro.scion.pki import ControlPlanePki
+from repro.topology.defaults import remote_testbed
+from repro.units import seconds
+
+
+class TestPathExpiry:
+    def test_expiry_from_exp_time(self):
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=1)
+        client = internet.add_host("client", ases.client)
+        path = client.daemon.paths(ases.remote_server)[0]
+        # default exp_time=63 -> 64 units of 337.5 s = 6 h validity
+        assert path.expiry_ms() == pytest.approx(seconds(64 * EXP_TIME_UNIT_S))
+        assert not path.is_expired(0.0)
+        assert path.is_expired(path.expiry_ms())
+
+    def make_short_lived_world(self, exp_time=0):
+        """A world whose beacons expire after one unit (337.5 s)."""
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=1)
+        pki = internet.pki
+        service = BeaconingService(topology, pki, exp_time=exp_time)
+        internet.segment_store = service.build_store()
+        internet.path_server = PathServer(internet.segment_store)
+        client = internet.add_host("client", ases.client)
+        client.daemon = PathDaemon(
+            isd_as=ases.client, path_server=internet.path_server,
+            core_ases=set(internet.core_ases), clock=internet.loop)
+        server = internet.add_host("server", ases.remote_server)
+        return internet, ases, client, server
+
+    def test_daemon_filters_expired_paths(self):
+        internet, ases, client, _server = self.make_short_lived_world()
+        assert client.daemon.paths(ases.remote_server)
+        internet.loop.run(until=seconds(EXP_TIME_UNIT_S + 1))
+        with pytest.raises(NoPathError):
+            client.daemon.paths(ases.remote_server)
+
+    def test_daemon_cache_respects_expiry(self):
+        internet, ases, client, _server = self.make_short_lived_world()
+        client.daemon.paths(ases.remote_server)  # populate the cache
+        internet.loop.run(until=seconds(EXP_TIME_UNIT_S + 1))
+        with pytest.raises(NoPathError):
+            client.daemon.paths(ases.remote_server)
+
+    def test_router_drops_expired_path_packets(self):
+        internet, ases, client, server = self.make_short_lived_world()
+        path = client.daemon.paths(ases.remote_server)[0]
+        server.udp_socket(9)
+        internet.loop.run(until=seconds(EXP_TIME_UNIT_S + 1))
+        socket = client.udp_socket()
+        socket.send(server.addr, 9, b"stale", 32, via="scion", path=path)
+        internet.run()
+        assert server.datagrams_received == 0
+        assert any(router.expired_drops > 0
+                   for router in internet.routers.values())
+
+    def test_fresh_paths_forward_normally(self):
+        internet, ases, client, server = self.make_short_lived_world()
+        path = client.daemon.paths(ases.remote_server)[0]
+        server.udp_socket(9)
+        socket = client.udp_socket()
+        socket.send(server.addr, 9, b"fresh", 32, via="scion", path=path)
+        internet.run()
+        assert server.datagrams_received == 1
+
+    def test_default_exp_time_outlives_experiments(self):
+        topology, ases = remote_testbed()
+        internet = Internet(topology, seed=1)
+        client = internet.add_host("client", ases.client)
+        path = client.daemon.paths(ases.remote_server)[0]
+        one_hour = seconds(3600)
+        assert not path.is_expired(one_hour)

@@ -1,0 +1,107 @@
+"""Control-plane PKI: TRCs, certificate chains, tamper detection."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.scion.pki import AsCertificate, ControlPlanePki
+from repro.topology.defaults import remote_testbed
+from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture(scope="module")
+def pki():
+    topology, _ases = remote_testbed()
+    return ControlPlanePki(topology, seed=11)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return remote_testbed()
+
+
+class TestTrcs:
+    def test_one_trc_per_isd(self, pki, testbed):
+        topology, _ases = testbed
+        assert sorted(pki.trcs) == topology.isds()
+
+    def test_trc_lists_exactly_the_isd_cores(self, pki, testbed):
+        topology, _ases = testbed
+        for isd, trc in pki.trcs.items():
+            expected = {info.isd_as for info in topology.core_ases()
+                        if info.isd == isd}
+            assert set(trc.core_keys) == expected
+
+
+class TestCertificates:
+    def test_every_as_has_a_certificate(self, pki, testbed):
+        topology, _ases = testbed
+        for info in topology.ases():
+            assert info.isd_as in pki.certificates
+
+    def test_core_as_self_issues(self, pki, testbed):
+        _topology, ases = testbed
+        certificate = pki.certificates[ases.local_core]
+        assert certificate.issuer == ases.local_core
+
+    def test_leaf_issued_by_isd_core(self, pki, testbed):
+        _topology, ases = testbed
+        certificate = pki.certificates[ases.client]
+        assert certificate.issuer == ases.local_core
+
+    def test_chain_verifies(self, pki, testbed):
+        topology, _ases = testbed
+        for info in topology.ases():
+            pki.verify_certificate(pki.certificates[info.isd_as])
+
+    def test_tampered_certificate_fails(self, pki, testbed):
+        _topology, ases = testbed
+        genuine = pki.certificates[ases.client]
+        forged = dataclasses.replace(genuine, subject=ases.nearby_server)
+        with pytest.raises(VerificationError):
+            pki.verify_certificate(forged)
+
+    def test_issuer_outside_trc_fails(self, pki, testbed):
+        _topology, ases = testbed
+        genuine = pki.certificates[ases.client]
+        forged = dataclasses.replace(genuine, issuer=ases.client)
+        with pytest.raises(VerificationError):
+            pki.verify_certificate(forged)
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self, pki, testbed):
+        _topology, ases = testbed
+        signature = pki.sign(ases.client, b"beacon-bytes")
+        pki.verify(ases.client, b"beacon-bytes", signature)
+
+    def test_cross_as_signature_rejected(self, pki, testbed):
+        _topology, ases = testbed
+        signature = pki.sign(ases.client, b"payload")
+        with pytest.raises(VerificationError):
+            pki.verify(ases.nearby_server, b"payload", signature)
+
+    def test_unknown_as_rejected(self, pki):
+        ghost = IsdAs.parse("9-999")
+        with pytest.raises(VerificationError):
+            pki.verify(ghost, b"x", 1)
+
+    def test_forwarding_keys_distinct(self, pki, testbed):
+        topology, _ases = testbed
+        keys = {pki.forwarding_key(info.isd_as) for info in topology.ases()}
+        assert len(keys) == len(topology.ases())
+
+    def test_deterministic_from_seed(self, testbed):
+        topology, ases = testbed
+        a = ControlPlanePki(topology, seed=5)
+        b = ControlPlanePki(topology, seed=5)
+        assert a.certificates[ases.client].public_key == \
+            b.certificates[ases.client].public_key
+
+    def test_different_seeds_differ(self, testbed):
+        topology, ases = testbed
+        a = ControlPlanePki(topology, seed=5)
+        b = ControlPlanePki(topology, seed=6)
+        assert a.certificates[ases.client].public_key != \
+            b.certificates[ases.client].public_key

@@ -1,0 +1,305 @@
+"""Event loop, processes, and synchronization primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.events import EventLoop, Interrupt, SerialResource
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self, loop):
+        assert loop.now == 0.0
+
+    def test_call_later_advances_time(self, loop):
+        seen = []
+        loop.call_later(5.0, seen.append, "a")
+        loop.run()
+        assert seen == ["a"]
+        assert loop.now == 5.0
+
+    def test_events_run_in_time_order(self, loop):
+        seen = []
+        loop.call_later(10.0, seen.append, "late")
+        loop.call_later(1.0, seen.append, "early")
+        loop.call_later(5.0, seen.append, "mid")
+        loop.run()
+        assert seen == ["early", "mid", "late"]
+
+    def test_same_time_events_run_in_insertion_order(self, loop):
+        seen = []
+        for label in ("a", "b", "c"):
+            loop.call_later(2.0, seen.append, label)
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            loop.call_later(-1.0, lambda: None)
+
+    def test_call_at_in_the_past_rejected(self, loop):
+        loop.call_later(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.call_at(1.0, lambda: None)
+
+    def test_run_until_stops_before_future_events(self, loop):
+        seen = []
+        loop.call_later(10.0, seen.append, "future")
+        loop.run(until=5.0)
+        assert seen == []
+        assert loop.now == 5.0
+        loop.run()
+        assert seen == ["future"]
+
+    def test_run_until_advances_time_even_when_idle(self, loop):
+        loop.run(until=42.0)
+        assert loop.now == 42.0
+
+    def test_max_events_guard(self, loop):
+        def reschedule():
+            loop.call_later(1.0, reschedule)
+
+        loop.call_later(0.0, reschedule)
+        with pytest.raises(SimulationError, match="runaway"):
+            loop.run(max_events=100)
+
+    def test_events_processed_counter(self, loop):
+        for _ in range(3):
+            loop.call_soon(lambda: None)
+        loop.run()
+        assert loop.events_processed == 3
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, loop):
+        event = loop.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(42)
+        loop.run()
+        assert seen == [42]
+
+    def test_callback_after_trigger_still_fires(self, loop):
+        event = loop.event()
+        event.succeed("x")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        loop.run()
+        assert seen == ["x"]
+
+    def test_double_trigger_rejected(self, loop):
+        event = loop.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, loop):
+        event = loop.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_ok_property(self, loop):
+        good = loop.event().succeed()
+        bad = loop.event().fail(ValueError("boom"))
+        assert good.ok and not bad.ok
+
+
+class TestProcess:
+    def test_process_returns_value(self, loop):
+        def worker():
+            yield loop.timeout(3.0)
+            return "done"
+
+        assert loop.run_process(worker()) == "done"
+        assert loop.now == 3.0
+
+    def test_timeout_value_passed_through(self, loop):
+        def worker():
+            value = yield loop.timeout(1.0, value="tick")
+            return value
+
+        assert loop.run_process(worker()) == "tick"
+
+    def test_process_exception_propagates(self, loop):
+        def worker():
+            yield loop.timeout(1.0)
+            raise RuntimeError("exploded")
+
+        with pytest.raises(RuntimeError, match="exploded"):
+            loop.run_process(worker())
+
+    def test_failed_event_raises_inside_process(self, loop):
+        event = loop.event()
+        loop.call_later(1.0, event.fail, ValueError("bad"))
+
+        def worker():
+            with pytest.raises(ValueError, match="bad"):
+                yield event
+            return "recovered"
+
+        assert loop.run_process(worker()) == "recovered"
+
+    def test_deadlocked_process_detected(self, loop):
+        def worker():
+            yield loop.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            loop.run_process(worker())
+
+    def test_yielding_non_event_fails_process(self, loop):
+        def worker():
+            yield 42  # type: ignore[misc]
+
+        with pytest.raises(SimulationError, match="expected an Event"):
+            loop.run_process(worker())
+
+    def test_nested_yield_from(self, loop):
+        def inner():
+            yield loop.timeout(2.0)
+            return 10
+
+        def outer():
+            value = yield from inner()
+            yield loop.timeout(1.0)
+            return value + 1
+
+        assert loop.run_process(outer()) == 11
+        assert loop.now == 3.0
+
+    def test_interrupt_raises_in_process(self, loop):
+        def worker():
+            try:
+                yield loop.timeout(100.0)
+            except Interrupt as interrupt:
+                return f"interrupted:{interrupt.cause}"
+            return "finished"
+
+        process = loop.process(worker())
+        loop.call_later(5.0, process.interrupt, "reason")
+        loop.run()
+        assert process.value == "interrupted:reason"
+
+    def test_interrupt_after_finish_is_noop(self, loop):
+        def worker():
+            yield loop.timeout(1.0)
+            return "ok"
+
+        process = loop.process(worker())
+        loop.run()
+        process.interrupt()
+        loop.run()
+        assert process.value == "ok"
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self, loop):
+        def worker(delay, value):
+            yield loop.timeout(delay)
+            return value
+
+        def main():
+            processes = [loop.process(worker(d, d)) for d in (3.0, 1.0, 2.0)]
+            values = yield loop.all_of(processes)
+            return values
+
+        assert loop.run_process(main()) == [3.0, 1.0, 2.0]
+        assert loop.now == 3.0
+
+    def test_all_of_empty_succeeds_immediately(self, loop):
+        def main():
+            values = yield loop.all_of([])
+            return values
+
+        assert loop.run_process(main()) == []
+
+    def test_all_of_fails_on_first_failure(self, loop):
+        def bad():
+            yield loop.timeout(1.0)
+            raise ValueError("bad child")
+
+        def good():
+            yield loop.timeout(5.0)
+
+        def main():
+            with pytest.raises(ValueError, match="bad child"):
+                yield loop.all_of([loop.process(bad()), loop.process(good())])
+            return "handled"
+
+        assert loop.run_process(main()) == "handled"
+
+    def test_any_of_returns_first(self, loop):
+        def main():
+            fast = loop.timeout(1.0, value="fast")
+            slow = loop.timeout(9.0, value="slow")
+            event, value = yield loop.any_of([fast, slow])
+            return value, loop.now
+
+        value, finished_at = loop.run_process(main())
+        assert value == "fast"
+        assert finished_at == 1.0
+
+    def test_any_of_requires_events(self, loop):
+        with pytest.raises(SimulationError):
+            loop.any_of([])
+
+
+class TestSerialResource:
+    def test_serializes_two_users(self, loop):
+        resource = SerialResource(loop)
+        finish_times = []
+
+        def worker():
+            yield from resource.use(10.0)
+            finish_times.append(loop.now)
+
+        loop.process(worker())
+        loop.process(worker())
+        loop.run()
+        assert finish_times == [10.0, 20.0]
+
+    def test_capacity_allows_parallelism(self, loop):
+        resource = SerialResource(loop, capacity=2)
+        finish_times = []
+
+        def worker():
+            yield from resource.use(10.0)
+            finish_times.append(loop.now)
+
+        for _ in range(4):
+            loop.process(worker())
+        loop.run()
+        assert finish_times == [10.0, 10.0, 20.0, 20.0]
+
+    def test_fifo_ordering(self, loop):
+        resource = SerialResource(loop)
+        order = []
+
+        def worker(label):
+            yield from resource.use(1.0)
+            order.append(label)
+
+        for label in ("a", "b", "c"):
+            loop.process(worker(label))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_without_acquire_rejected(self, loop):
+        resource = SerialResource(loop)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            SerialResource(loop, capacity=0)
+
+    def test_in_use_tracking(self, loop):
+        resource = SerialResource(loop)
+
+        def worker():
+            yield resource.acquire()
+            assert resource.in_use == 1
+            yield loop.timeout(1.0)
+            resource.release()
+
+        loop.run_process(worker())
+        assert resource.in_use == 0

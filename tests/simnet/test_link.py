@@ -1,0 +1,165 @@
+"""Link model: delays, queueing, loss, MTU, jitter."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.link import LinkConfig
+from repro.simnet.network import Network
+from repro.simnet.node import Node
+from repro.simnet.packet import Packet
+
+
+class Sink(Node):
+    """Records arrival times of received packets."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.arrivals = []
+
+    def receive(self, packet, ifid):
+        self.packets_received += 1
+        self.arrivals.append((self.loop.now, packet))
+
+
+def two_nodes(**link_kwargs):
+    net = Network(seed=7)
+    a, b = Sink("a"), Sink("b")
+    net.add_nodes([a, b])
+    net.connect("a", "b", **link_kwargs)
+    return net, a, b
+
+
+def send(node, size=100, dst="b"):
+    node.send(Packet(src=node.name, dst=dst, payload=None, size=size), 1)
+
+
+class TestPropagation:
+    def test_latency_only(self):
+        net, a, b = two_nodes(latency_ms=7.5)
+        send(a)
+        net.run()
+        assert b.arrivals[0][0] == pytest.approx(7.5)
+
+    def test_infinite_bandwidth_has_no_serialization_delay(self):
+        net, a, b = two_nodes(latency_ms=1.0, bandwidth_mbps=0.0,
+                              mtu=2_000_000)
+        send(a, size=1_000_000)
+        net.run()
+        assert b.arrivals[0][0] == pytest.approx(1.0)
+
+    def test_serialization_delay(self):
+        # 1250 bytes at 10 Mbps = 1250 / 1250 bytes-per-ms = 1.0 ms
+        net, a, b = two_nodes(latency_ms=2.0, bandwidth_mbps=10.0)
+        send(a, size=1250)
+        net.run()
+        assert b.arrivals[0][0] == pytest.approx(3.0)
+
+    def test_fifo_queueing_per_direction(self):
+        net, a, b = two_nodes(latency_ms=0.0, bandwidth_mbps=10.0)
+        send(a, size=1250)
+        send(a, size=1250)
+        net.run()
+        times = [t for t, _packet in b.arrivals]
+        assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_directions_do_not_share_transmitter(self):
+        net, a, b = two_nodes(latency_ms=0.0, bandwidth_mbps=10.0)
+        send(a, size=1250, dst="b")
+        b.send(Packet(src="b", dst="a", payload=None, size=1250), 1)
+        net.run()
+        assert a.arrivals[0][0] == pytest.approx(1.0)
+        assert b.arrivals[0][0] == pytest.approx(1.0)
+
+    def test_jitter_bounded_and_applied(self):
+        net, a, b = two_nodes(latency_ms=5.0, jitter_ms=3.0)
+        for _ in range(50):
+            send(a)
+        net.run()
+        delays = [t for t, _packet in b.arrivals]
+        assert all(5.0 <= t <= 8.0 for t in delays)
+        assert max(delays) - min(delays) > 0.1  # jitter actually varies
+
+
+class TestDrops:
+    def test_oversized_packet_dropped(self):
+        net, a, b = two_nodes(latency_ms=1.0, mtu=500)
+        send(a, size=501)
+        net.run()
+        assert b.packets_received == 0
+        assert net.links[0].packets_dropped == 1
+
+    def test_mtu_boundary_passes(self):
+        net, a, b = two_nodes(latency_ms=1.0, mtu=500)
+        send(a, size=500)
+        net.run()
+        assert b.packets_received == 1
+
+    def test_loss_rate_statistics(self):
+        net, a, b = two_nodes(latency_ms=0.1, loss_rate=0.3)
+        for _ in range(500):
+            send(a)
+        net.run()
+        loss = 1 - b.packets_received / 500
+        assert 0.2 < loss < 0.4
+
+    def test_zero_loss_never_drops(self):
+        net, a, b = two_nodes(latency_ms=0.1, loss_rate=0.0)
+        for _ in range(100):
+            send(a)
+        net.run()
+        assert b.packets_received == 100
+
+    def test_full_loss_drops_everything(self):
+        net, a, b = two_nodes(latency_ms=0.1, loss_rate=1.0)
+        for _ in range(20):
+            send(a)
+        net.run()
+        assert b.packets_received == 0
+
+
+class TestLinkConfigValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkConfig(latency_ms=-1.0)
+
+    def test_loss_rate_range(self):
+        with pytest.raises(SimulationError):
+            LinkConfig(loss_rate=1.5)
+        with pytest.raises(SimulationError):
+            LinkConfig(loss_rate=-0.1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkConfig(jitter_ms=-0.5)
+
+    def test_zero_mtu_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkConfig(mtu=0)
+
+
+class TestCounters:
+    def test_bytes_and_packets_counted(self):
+        net, a, b = two_nodes(latency_ms=1.0)
+        send(a, size=300)
+        send(a, size=200)
+        net.run()
+        link = net.links[0]
+        assert link.packets_sent == 2
+        assert link.bytes_sent == 500
+
+    def test_peer_of(self):
+        net, a, b = two_nodes()
+        link = net.links[0]
+        assert link.peer_of("a") is b
+        assert link.peer_of("b") is a
+        with pytest.raises(SimulationError):
+            link.peer_of("stranger")
+
+    def test_hop_counter_incremented(self):
+        net, a, b = two_nodes(latency_ms=1.0)
+        packet = Packet(src="a", dst="b", payload=None, size=10)
+        a.send(packet, 1)
+        net.run()
+        assert packet.hops == 1

@@ -1,0 +1,51 @@
+"""The exception hierarchy: catchability contracts callers rely on."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("subclass", [
+        errors.SimulationError, errors.TopologyError, errors.AddressError,
+        errors.CryptoError, errors.BeaconingError, errors.SegmentError,
+        errors.NoPathError, errors.PolicyError, errors.TransportError,
+        errors.HttpError, errors.DnsError, errors.ProxyError,
+        errors.BrowserError,
+    ])
+    def test_everything_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_verification_is_crypto_error(self):
+        assert issubclass(errors.VerificationError, errors.CryptoError)
+
+    def test_parse_error_is_policy_error(self):
+        assert issubclass(errors.PolicyParseError, errors.PolicyError)
+
+    def test_strict_mode_violation_is_proxy_error(self):
+        assert issubclass(errors.StrictModeViolation, errors.ProxyError)
+
+    def test_transport_specializations(self):
+        assert issubclass(errors.ConnectionClosedError, errors.TransportError)
+        assert issubclass(errors.HandshakeError, errors.TransportError)
+
+    def test_http_error_carries_status(self):
+        assert errors.HttpError("no route", status=502).status == 502
+        assert errors.HttpError("low level").status == 0
+
+    def test_parse_error_carries_position(self):
+        assert errors.PolicyParseError("bad", position=7).position == 7
+        assert errors.PolicyParseError("bad").position is None
+
+
+class TestRunAll:
+    def test_run_all_writes_report(self, tmp_path):
+        """The EXPERIMENTS.md generator must stay runnable end to end."""
+        from repro.experiments import run_all
+        target = tmp_path / "EXPERIMENTS.md"
+        run_all.main(str(target))
+        text = target.read_text()
+        assert "Figure 3" in text
+        assert "Ablation E" in text
+        assert "| yes |" in text
+        assert "NO" not in text.replace("NOT", "")  # every claim holds

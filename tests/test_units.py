@@ -1,0 +1,44 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_seconds(self):
+        assert units.seconds(2.5) == 2500.0
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120_000.0
+
+    def test_milliseconds_identity(self):
+        assert units.milliseconds(7) == 7.0
+
+    def test_microseconds(self):
+        assert units.microseconds(1500) == 1.5
+
+
+class TestSizes:
+    def test_kib(self):
+        assert units.kib(2) == 2048
+
+    def test_mib(self):
+        assert units.mib(1) == 1_048_576
+
+
+class TestRates:
+    def test_mbps_round_trip(self):
+        rate = units.mbps_to_bytes_per_ms(100.0)
+        assert units.bytes_per_ms_to_mbps(rate) == pytest.approx(100.0)
+
+    def test_one_mbps_is_125_bytes_per_ms(self):
+        assert units.mbps_to_bytes_per_ms(1.0) == 125.0
+
+    def test_transmission_delay(self):
+        # 1250 bytes at 10 Mbps -> 1 ms
+        assert units.transmission_delay_ms(1250, 10.0) == pytest.approx(1.0)
+
+    def test_infinite_bandwidth_zero_delay(self):
+        assert units.transmission_delay_ms(10**9, 0.0) == 0.0
+        assert units.transmission_delay_ms(10**9, -1.0) == 0.0

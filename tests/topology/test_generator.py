@@ -1,0 +1,131 @@
+"""Topology generators and geo-latency helpers."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.defaults import (
+    LOCAL_AS,
+    geofence_playground,
+    local_testbed,
+    remote_testbed,
+)
+from repro.topology.generator import (
+    geo_latency_ms,
+    haversine_km,
+    line_topology,
+    make_asn,
+    random_internet,
+)
+from repro.topology.graph import LinkKind
+
+
+class TestGeo:
+    def test_haversine_known_distance(self):
+        zurich = (47.38, 8.54)
+        new_york = (40.71, -74.01)
+        assert haversine_km(zurich, new_york) == pytest.approx(6330, rel=0.02)
+
+    def test_haversine_zero(self):
+        point = (10.0, 20.0)
+        assert haversine_km(point, point) == 0.0
+
+    def test_latency_floor(self):
+        point = (10.0, 20.0)
+        assert geo_latency_ms(point, point) == 1.0
+        assert geo_latency_ms(None, point) == 1.0
+
+    def test_latency_scales_with_distance(self):
+        near = geo_latency_ms((0.0, 0.0), (0.0, 1.0))
+        far = geo_latency_ms((0.0, 0.0), (0.0, 50.0))
+        assert far > near * 10
+
+
+class TestMakeAsn:
+    def test_scion_doc_style(self):
+        from repro.topology.isd_as import format_asn
+        assert format_asn(make_asn(1, 0)) == "ff00:0:110"
+        assert format_asn(make_asn(2, 1)) == "ff00:0:211"
+
+
+class TestRandomInternet:
+    def test_deterministic(self):
+        a = random_internet(seed=4)
+        b = random_internet(seed=4)
+        assert [str(x.isd_as) for x in a.ases()] == \
+            [str(x.isd_as) for x in b.ases()]
+        assert len(a.links()) == len(b.links())
+
+    def test_structure(self):
+        topo = random_internet(n_isds=3, cores_per_isd=2, leaves_per_isd=4,
+                               seed=1)
+        assert len(topo.isds()) == 3
+        assert len(topo.core_ases()) == 6
+        assert len(topo.ases()) == 18
+        topo.validate()
+
+    def test_leaves_multihomed(self):
+        topo = random_internet(n_isds=2, cores_per_isd=2, leaves_per_isd=2,
+                               seed=2)
+        for info in topo.ases():
+            if not info.core:
+                assert len(topo.parents(info.isd_as)) == 2
+
+    def test_cross_isd_core_mesh(self):
+        topo = random_internet(n_isds=2, cores_per_isd=2, leaves_per_isd=1,
+                               seed=3)
+        core_links = [link for link in topo.links()
+                      if link.kind is LinkKind.CORE
+                      and link.a.isd != link.b.isd]
+        assert len(core_links) == 4  # 2 cores x 2 cores
+
+    def test_zero_isds_rejected(self):
+        with pytest.raises(TopologyError):
+            random_internet(n_isds=0)
+
+    def test_peering_probability_zero_means_no_peers(self):
+        topo = random_internet(seed=5, peering_probability=0.0)
+        assert not any(link.kind is LinkKind.PEER for link in topo.links())
+
+
+class TestLineTopology:
+    def test_single_as(self):
+        topo = line_topology(1)
+        assert len(topo.ases()) == 1
+        assert topo.ases()[0].core
+
+    def test_chain_links(self):
+        topo = line_topology(4, latency_ms=2.0)
+        parent_links = [link for link in topo.links()
+                        if link.kind is LinkKind.PARENT]
+        assert len(parent_links) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+
+
+class TestCannedTopologies:
+    def test_local_testbed(self):
+        topo = local_testbed()
+        assert len(topo.ases()) == 1
+        assert topo.as_info(LOCAL_AS).core
+
+    def test_remote_testbed_latencies(self):
+        topo, ases = remote_testbed()
+        direct = [link for link in topo.links()
+                  if {link.a, link.b} == {ases.local_core, ases.remote_core}]
+        assert direct[0].latency_ms == 75.0
+        # the detour is strictly faster in total
+        detour = sum(link.latency_ms for link in topo.links()
+                     if ases.third_core in (link.a, link.b)
+                     and link.kind is LinkKind.CORE)
+        assert detour < direct[0].latency_ms
+
+    def test_geofence_playground_redundancy(self):
+        topo = geofence_playground()
+        cores = topo.core_ases()
+        assert len(cores) == 4
+        # full core mesh: every pair of cores directly linked
+        core_links = [link for link in topo.links()
+                      if link.kind is LinkKind.CORE]
+        assert len(core_links) == 6

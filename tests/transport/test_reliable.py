@@ -1,0 +1,235 @@
+"""The reliability engine: ordering, retransmission, flow behaviour.
+
+The channel pair here is wired through a configurable lossy/delayed
+"wire" driven by the simulation loop, so loss recovery and RTO behaviour
+are tested without the full network stack.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.simnet.events import EventLoop
+from repro.transport.reliable import INITIAL_CWND, ReliableChannel
+
+
+class Wire:
+    """A lossy, delayed, possibly reordering bidirectional wire."""
+
+    def __init__(self, loop, latency_ms=5.0, loss_rate=0.0, seed=0):
+        self.loop = loop
+        self.latency_ms = latency_ms
+        self.loss_rate = loss_rate
+        self.rng = random.Random(seed)
+        self.a = ReliableChannel(loop, transmit=self._send_to_b,
+                                 initial_rtt_ms=2 * latency_ms)
+        self.b = ReliableChannel(loop, transmit=self._send_to_a,
+                                 initial_rtt_ms=2 * latency_ms)
+        self.frames_crossed = 0
+
+    def _send_to_b(self, frame, size):
+        self._relay(self.b, frame)
+
+    def _send_to_a(self, frame, size):
+        self._relay(self.a, frame)
+
+    def _relay(self, target, frame):
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            return
+        self.frames_crossed += 1
+        self.loop.call_later(self.latency_ms, target.on_frame, frame)
+
+
+def transfer(loop, wire, messages):
+    """Send messages a->b; collect what b delivers."""
+    received = []
+
+    def receiver():
+        for _ in range(len(messages)):
+            message = yield wire.b.recv_message()
+            received.append(message)
+
+    process = loop.process(receiver())
+    for payload, size in messages:
+        wire.a.send_message(payload, size)
+    loop.run()
+    assert process.ok, process.exception
+    return received
+
+
+class TestDelivery:
+    def test_single_small_message(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        assert transfer(loop, wire, [("hello", 100)]) == ["hello"]
+
+    def test_large_message_segmented(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        assert transfer(loop, wire, [("big", 50_000)]) == ["big"]
+        assert wire.a.stats.segments_sent >= 40
+
+    def test_in_order_delivery(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        messages = [(f"m{i}", 2_000) for i in range(20)]
+        assert transfer(loop, wire, messages) == [f"m{i}" for i in range(20)]
+
+    def test_zero_size_message(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        assert transfer(loop, wire, [("empty", 0)]) == ["empty"]
+
+    def test_negative_size_rejected(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        with pytest.raises(TransportError):
+            wire.a.send_message("x", -1)
+
+    def test_bidirectional(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        results = []
+
+        def side(channel, label):
+            message = yield channel.recv_message()
+            results.append((label, message))
+
+        loop.process(side(wire.a, "a"))
+        loop.process(side(wire.b, "b"))
+        wire.a.send_message("to-b", 500)
+        wire.b.send_message("to-a", 500)
+        loop.run()
+        assert sorted(results) == [("a", "to-a"), ("b", "to-b")]
+
+
+class TestLossRecovery:
+    @pytest.mark.parametrize("loss", [0.05, 0.2])
+    def test_delivery_despite_loss(self, loss):
+        loop = EventLoop()
+        wire = Wire(loop, loss_rate=loss, seed=3)
+        messages = [(f"m{i}", 5_000) for i in range(10)]
+        assert transfer(loop, wire, messages) == [f"m{i}" for i in range(10)]
+        assert wire.a.stats.retransmissions > 0
+
+    def test_rto_fires_when_all_acks_lost(self):
+        loop = EventLoop()
+        wire = Wire(loop, loss_rate=0.6, seed=7)
+        assert transfer(loop, wire, [("stubborn", 1_000)]) == ["stubborn"]
+        assert wire.a.stats.timeouts > 0
+
+    def test_no_retransmissions_on_clean_wire(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        transfer(loop, wire, [(f"m{i}", 3_000) for i in range(5)])
+        assert wire.a.stats.retransmissions == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(loss=st.floats(min_value=0.0, max_value=0.35),
+           sizes=st.lists(st.integers(min_value=0, max_value=30_000),
+                          min_size=1, max_size=8),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_exactly_once_in_order_property(self, loss, sizes, seed):
+        loop = EventLoop()
+        wire = Wire(loop, loss_rate=loss, seed=seed)
+        messages = [(index, size) for index, size in enumerate(sizes)]
+        received = transfer(loop, wire, messages)
+        assert received == list(range(len(sizes)))
+
+
+class TestCongestionAndRtt:
+    def test_cwnd_limits_burst(self):
+        loop = EventLoop()
+        sent_before_any_ack = []
+        channel = ReliableChannel(
+            loop, transmit=lambda frame, size: sent_before_any_ack.append(frame))
+        channel.send_message("burst", 100_000)  # ~84 segments
+        # Before the loop runs any timer, only one cwnd of segments went out.
+        assert len(sent_before_any_ack) == INITIAL_CWND
+
+    def test_unresponsive_peer_breaks_channel(self):
+        loop = EventLoop()
+        channel = ReliableChannel(loop, transmit=lambda f, s: None,
+                                  initial_rtt_ms=1.0)
+        channel.send_message("void", 100)
+
+        def receiver():
+            with pytest.raises(ConnectionClosedError, match="unresponsive"):
+                yield channel.recv_message()
+            return True
+
+        process = loop.process(receiver())
+        loop.run()
+        assert channel.broken
+        assert process.value is True
+
+    def test_rtt_estimate_tracks_wire(self):
+        loop = EventLoop()
+        wire = Wire(loop, latency_ms=20.0)
+        transfer(loop, wire, [(f"m{i}", 10_000) for i in range(5)])
+        assert wire.a.srtt_ms == pytest.approx(40.0, rel=0.3)
+
+    def test_rto_bounded_below(self):
+        loop = EventLoop()
+        channel = ReliableChannel(loop, transmit=lambda f, s: None,
+                                  initial_rtt_ms=0.01)
+        assert channel.rto_ms >= 10.0
+
+
+class TestClose:
+    def test_close_wakes_pending_receiver(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+
+        def receiver():
+            with pytest.raises(ConnectionClosedError):
+                yield wire.b.recv_message()
+            return "closed"
+
+        process = loop.process(receiver())
+        wire.a.close()
+        loop.run()
+        assert process.value == "closed"
+
+    def test_send_after_close_rejected(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        wire.a.close()
+        with pytest.raises(ConnectionClosedError):
+            wire.a.send_message("late", 10)
+
+    def test_recv_after_remote_close_with_empty_queue(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        wire.a.close()
+        loop.run()
+
+        def receiver():
+            with pytest.raises(ConnectionClosedError):
+                yield wire.b.recv_message()
+            return True
+
+        assert loop.run_process(receiver())
+
+    def test_buffered_data_still_readable_after_close(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        wire.a.send_message("last-words", 100)
+        loop.run()
+        wire.a.close()
+        loop.run()
+
+        def receiver():
+            message = yield wire.b.recv_message()
+            return message
+
+        assert loop.run_process(receiver()) == "last-words"
+
+    def test_double_close_is_noop(self):
+        loop = EventLoop()
+        wire = Wire(loop)
+        wire.a.close()
+        wire.a.close()
