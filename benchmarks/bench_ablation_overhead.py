@@ -5,7 +5,7 @@ Zeroes the extension cost, the proxy cost, and both, quantifying §5.2's
 the overhead to disappear".
 """
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import WORKERS, publish
 
 from repro.experiments.ablations import ablation_a_trial, run_ablation_overhead
 
@@ -15,7 +15,7 @@ TRIALS = 10
 def test_ablation_overhead(benchmark):
     benchmark(lambda: ablation_a_trial("full detour", seed=1))
 
-    result = run_ablation_overhead(trials=TRIALS)
+    result = run_ablation_overhead(trials=TRIALS, workers=WORKERS)
     publish("ablation_overhead", result.render())
 
     full = result.median("full detour")

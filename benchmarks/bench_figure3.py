@@ -7,7 +7,7 @@ shape asserted: SCION-only ≈ mixed ≈ baseline + ~100 ms, strict-SCION
 markedly shorter, BGP/IP-only fastest.
 """
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import WORKERS, publish
 
 from repro.experiments.local_setup import figure3_trial, run_figure3
 
@@ -17,7 +17,7 @@ TRIALS = 15
 def test_figure3(benchmark):
     benchmark(lambda: figure3_trial("SCION-only", seed=1))
 
-    result = run_figure3(trials=TRIALS)
+    result = run_figure3(trials=TRIALS, workers=WORKERS)
     publish("figure3", result.render())
 
     baseline = result.median("BGP/IP-only")

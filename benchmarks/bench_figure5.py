@@ -7,7 +7,7 @@ page variants — the paper's "PLT improves significantly when the
 resource is loaded via SCION".
 """
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import WORKERS, publish
 
 from repro.experiments.remote_setup import FAR_ORIGIN, remote_trial, run_figure5
 
@@ -18,7 +18,7 @@ def test_figure5(benchmark):
     benchmark(lambda: remote_trial(FAR_ORIGIN, "single origin / SCION",
                                    seed=1))
 
-    result = run_figure5(trials=TRIALS)
+    result = run_figure5(trials=TRIALS, workers=WORKERS)
     publish("figure5", result.render())
 
     assert result.median("single origin / SCION") < \

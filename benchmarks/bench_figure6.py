@@ -6,7 +6,7 @@ paths are similar, the extension adds a small overhead compared to the
 baseline".
 """
 
-from benchmarks.conftest import publish
+from benchmarks.conftest import WORKERS, publish
 
 from repro.experiments.remote_setup import NEAR_ORIGIN, remote_trial, run_figure6
 
@@ -17,7 +17,7 @@ def test_figure6(benchmark):
     benchmark(lambda: remote_trial(NEAR_ORIGIN, "single origin / SCION",
                                    seed=1))
 
-    result = run_figure6(trials=TRIALS)
+    result = run_figure6(trials=TRIALS, workers=WORKERS)
     publish("figure6", result.render())
 
     scion = result.median("single origin / SCION")

@@ -1,0 +1,46 @@
+"""Simulator performance — the repo's own hot paths, not a paper figure.
+
+Times the two fixed workloads ``repro.perf`` defines (raw event-loop
+throughput and the serial-vs-parallel figure-3-sized battery) and
+records them in ``BENCH_results.json`` so successive PRs inherit a
+perf trajectory to compare against.
+"""
+
+from benchmarks.conftest import WORKERS, publish
+
+from repro import perf
+
+#: Conservative floor: the seed-state loop already exceeded 300k ev/s on
+#: a single modest core; a large regression should fail the bench.
+MIN_EVENTS_PER_SEC = 100_000
+
+
+def test_perf_event_loop(benchmark):
+    result = benchmark(
+        lambda: perf.measure_event_throughput(n_events=100_000, repeats=1))
+
+    publish("perf_event_loop",
+            (f"== event-loop throughput ==\n"
+             f"raw callbacks : {result['events_per_sec']:>12,.0f} events/s\n"
+             f"coroutine     : "
+             f"{result['coroutine_events_per_sec']:>12,.0f} events/s"),
+            metrics=result)
+    assert result["events_per_sec"] > MIN_EVENTS_PER_SEC
+    assert result["coroutine_events_per_sec"] > MIN_EVENTS_PER_SEC / 10
+
+
+def test_perf_parallel_battery(benchmark):
+    benchmark(lambda: perf.measure_battery(trials=2, n_resources=6,
+                                           workers=1))
+
+    result = perf.measure_battery(trials=8, n_resources=12, workers=WORKERS)
+    publish("perf_battery",
+            (f"== figure-3 battery, serial vs parallel ==\n"
+             f"serial            : {result['serial_s']:>8.2f} s\n"
+             f"parallel ({result['workers']} workers): "
+             f"{result['parallel_s']:>8.2f} s\n"
+             f"speedup           : {result['speedup']:>8.2f}x\n"
+             f"deterministic     : {result['identical']}"),
+            metrics=result)
+    assert result["identical"], \
+        "parallel battery must be bit-identical to serial"

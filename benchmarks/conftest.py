@@ -4,19 +4,38 @@ Every ``bench_*`` module regenerates one of the paper's tables/figures:
 it runs the experiment pipeline (at a reduced trial count so the bench
 suite stays minutes-scale), asserts the paper's qualitative shape,
 prints the rows, and persists them under ``results/`` so the output
-survives pytest's capture.
+survives pytest's capture. :func:`publish` also appends a
+machine-readable row to ``BENCH_results.json`` at the repo root, so the
+bench suite contributes to the same perf trajectory ``repro.perf``
+records.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import pathlib
+
+from repro.experiments.harness import resolve_workers
+from repro.perf import append_rows, machine_fingerprint
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
+#: Trial-level parallelism for batteries ($REPRO_WORKERS or all cores).
+WORKERS = resolve_workers()
 
-def publish(name: str, text: str) -> None:
-    """Print a rendered experiment and persist it to results/<name>.txt."""
+
+def publish(name: str, text: str,
+            metrics: dict[str, Any] | None = None) -> None:
+    """Print a rendered experiment, persist it to results/<name>.txt, and
+    append a machine-readable row (machine context plus ``metrics``) to
+    BENCH_results.json."""
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    row = machine_fingerprint()
+    row.update({"source": "benchmarks", "name": name, "workers": WORKERS})
+    if metrics:
+        row.update(metrics)
+    append_rows([row])

@@ -25,6 +25,7 @@
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 
@@ -90,7 +91,8 @@ def ablation_a_trial(condition: str, seed: int,
 
 
 def run_ablation_overhead(trials: int = 15, n_resources: int = 12,
-                          base_seed: int = 700) -> ExperimentResult:
+                          base_seed: int = 700,
+                          workers: int | None = None) -> ExperimentResult:
     """Ablation A: which component the Figure 3 overhead comes from."""
     result = ExperimentResult(
         name="Ablation A — extension/proxy overhead decomposition",
@@ -99,8 +101,9 @@ def run_ablation_overhead(trials: int = 15, n_resources: int = 12,
     )
     for condition in ABLATION_A_CONDITIONS:
         stats = run_condition(
-            lambda seed, c=condition: ablation_a_trial(c, seed, n_resources),
-            trials=trials, base_seed=base_seed)
+            functools.partial(ablation_a_trial, condition,
+                              n_resources=n_resources),
+            trials=trials, base_seed=base_seed, workers=workers)
         result.add(condition, stats)
     result.notes.append(
         "'free both' approximates the paper's predicted tighter browser "

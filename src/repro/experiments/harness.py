@@ -10,12 +10,38 @@ independent and the whole battery is reproducible.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import atexit
+import multiprocessing
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ReproError
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """The effective trial-level parallelism.
+
+    Explicit ``workers`` wins; otherwise the ``REPRO_WORKERS`` environment
+    variable; otherwise ``os.cpu_count()``. Always at least 1 (serial).
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ReproError(f"{WORKERS_ENV}={env!r} is not an integer")
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -61,15 +87,94 @@ def summarize(samples: list[float]) -> BoxStats:
     return BoxStats.from_samples(samples)
 
 
+# ---------------------------------------------------------------------------
+# Parallel trial execution
+# ---------------------------------------------------------------------------
+#
+# Trials are independent by contract (each builds a fresh world from its
+# seed), so a battery parallelizes perfectly. The pool uses the *spawn*
+# start method: workers import the trial function by reference instead of
+# inheriting arbitrary forked state, which keeps parallel runs bit-identical
+# to serial ones on every platform. One pool is kept alive per worker count
+# so its startup cost amortizes across the many `run_condition` calls a
+# full `run_all` regeneration makes.
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def _shutdown_pool() -> None:
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(_shutdown_pool)
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        _shutdown_pool()
+        _pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"))
+        _pool_workers = workers
+    return _pool
+
+
+def _run_trial(payload: tuple[Callable[[int], float], int]) -> float:
+    trial, seed = payload
+    return trial(seed)
+
+
+def _picklable(trial: Callable[[int], float]) -> bool:
+    try:
+        pickle.dumps(trial)
+        return True
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return False
+
+
+def run_samples(trial: Callable[[int], float], seeds: Sequence[int],
+                workers: int | None = None) -> list[float]:
+    """``[trial(seed) for seed in seeds]``, fanned out over ``workers``
+    processes when possible.
+
+    The seed→trial mapping is positional and the pool preserves input
+    order, so the returned samples are identical to a serial run no
+    matter how trials interleave across workers. Falls back to serial
+    execution for non-picklable trials (e.g. lambdas/closures) and when
+    a worker pool breaks mid-battery.
+    """
+    workers = min(resolve_workers(workers), len(seeds))
+    if workers > 1 and _picklable(trial):
+        pool = _shared_pool(workers)
+        payloads = [(trial, seed) for seed in seeds]
+        chunksize = max(1, len(seeds) // (workers * 4))
+        try:
+            return list(pool.map(_run_trial, payloads, chunksize=chunksize))
+        except BrokenProcessPool:
+            _shutdown_pool()
+    return [trial(seed) for seed in seeds]
+
+
 def run_condition(trial: Callable[[int], float], trials: int,
-                  base_seed: int = 0) -> BoxStats:
+                  base_seed: int = 0, workers: int | None = None) -> BoxStats:
     """Run ``trial(seed)`` for ``trials`` distinct seeds and summarize.
 
     Each call must build its own world from the seed — nothing may leak
-    between trials (caches, pooled connections, HSTS state).
+    between trials (caches, pooled connections, HSTS state). With
+    ``workers`` > 1 (default: ``os.cpu_count()``, overridable via the
+    ``REPRO_WORKERS`` env var) trials fan out over a spawn-based process
+    pool; results are bit-identical to a serial run because each trial
+    is a pure function of its seed and samples are collected in seed
+    order.
     """
-    samples = [trial(base_seed + index) for index in range(trials)]
-    return BoxStats.from_samples(samples)
+    seeds = range(base_seed, base_seed + trials)
+    return BoxStats.from_samples(run_samples(trial, seeds, workers=workers))
 
 
 @dataclass

@@ -21,6 +21,7 @@ knobs are explicit so Ablation A can sweep them.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.browser.brave import BraveBrowser
@@ -143,7 +144,8 @@ def figure3_trial(condition: str, seed: int, n_resources: int = 12,
 
 def run_figure3(trials: int = 30, n_resources: int = 12,
                 calibration: LocalCalibration = DEFAULT_CALIBRATION,
-                base_seed: int = 100) -> ExperimentResult:
+                base_seed: int = 100,
+                workers: int | None = None) -> ExperimentResult:
     """Reproduce Figure 3: PLT per condition on the local testbed."""
     result = ExperimentResult(
         name="Figure 3 — local setup Page Load Time",
@@ -151,10 +153,12 @@ def run_figure3(trials: int = 30, n_resources: int = 12,
                      "loopback-grade links; PLT in ms"),
     )
     for condition in FIGURE3_CONDITIONS:
+        # functools.partial keeps the trial picklable for worker processes.
         stats = run_condition(
-            lambda seed, c=condition: figure3_trial(c, seed, n_resources,
-                                                    calibration),
-            trials=trials, base_seed=base_seed)
+            functools.partial(figure3_trial, condition,
+                              n_resources=n_resources,
+                              calibration=calibration),
+            trials=trials, base_seed=base_seed, workers=workers)
         result.add(condition, stats)
     result.notes.append(
         "expected shape: SCION-only ≈ mixed > strict-SCION and "

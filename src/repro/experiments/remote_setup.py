@@ -22,6 +22,7 @@ worlds per trial.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.browser.brave import BraveBrowser
@@ -141,7 +142,8 @@ def remote_trial(primary: str, condition: str, seed: int,
 
 def run_figure5(trials: int = 20, n_resources: int = 9,
                 calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
-                base_seed: int = 500) -> ExperimentResult:
+                base_seed: int = 500,
+                workers: int | None = None) -> ExperimentResult:
     """Reproduce Figure 5: remote pages over SCION vs IPv4/6."""
     result = ExperimentResult(
         name="Figure 5 — remote page PLT (SCION vs IPv4/6)",
@@ -151,9 +153,10 @@ def run_figure5(trials: int = 20, n_resources: int = 9,
     )
     for condition in REMOTE_CONDITIONS:
         stats = run_condition(
-            lambda seed, c=condition: remote_trial(FAR_ORIGIN, c, seed,
-                                                   n_resources, calibration),
-            trials=trials, base_seed=base_seed)
+            functools.partial(remote_trial, FAR_ORIGIN, condition,
+                              n_resources=n_resources,
+                              calibration=calibration),
+            trials=trials, base_seed=base_seed, workers=workers)
         result.add(condition, stats)
     result.notes.append(
         "expected shape: SCION significantly faster than IPv4/6 for both "
@@ -163,7 +166,8 @@ def run_figure5(trials: int = 20, n_resources: int = 9,
 
 def run_figure6(trials: int = 20, n_resources: int = 9,
                 calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
-                base_seed: int = 600) -> ExperimentResult:
+                base_seed: int = 600,
+                workers: int | None = None) -> ExperimentResult:
     """Reproduce Figure 6: AS-local pages over SCION vs IPv4/6."""
     result = ExperimentResult(
         name="Figure 6 — AS-local page PLT (SCION vs IPv4/6)",
@@ -172,9 +176,10 @@ def run_figure6(trials: int = 20, n_resources: int = 9,
     )
     for condition in REMOTE_CONDITIONS:
         stats = run_condition(
-            lambda seed, c=condition: remote_trial(NEAR_ORIGIN, c, seed,
-                                                   n_resources, calibration),
-            trials=trials, base_seed=base_seed)
+            functools.partial(remote_trial, NEAR_ORIGIN, condition,
+                              n_resources=n_resources,
+                              calibration=calibration),
+            trials=trials, base_seed=base_seed, workers=workers)
         result.add(condition, stats)
     result.notes.append(
         "expected shape: SCION slightly slower than IPv4/6 (similar paths, "

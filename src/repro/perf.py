@@ -1,0 +1,257 @@
+"""Performance measurement and the repo's recorded perf trajectory.
+
+Two fixed workloads quantify the simulator's speed:
+
+* **event-loop throughput** — raw scheduler events/sec (a ``call_soon``
+  storm) and coroutine events/sec (a process yielding timeouts), the
+  single-core hot path every simulation rides on;
+* **figure-3-sized battery** — wall-clock for a four-condition page-load
+  battery run serially vs. fanned out over a worker pool, which is what
+  dominates ``run_all`` regeneration time.
+
+Results append to ``BENCH_results.json`` at the repo root so successive
+PRs accumulate a machine-readable performance trajectory (events/sec,
+serial vs. parallel wall-clock, speedup) instead of anecdotes.
+
+Usage::
+
+    python -m repro.perf [--quick] [--workers N] [--no-write]
+
+``--quick`` shrinks the workloads to a <30 s smoke check suitable as a
+tier-2 CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from typing import Any
+
+from repro.experiments.harness import resolve_workers
+from repro.simnet.events import EventLoop
+
+#: Repo root (``src/repro/perf.py`` → two levels up from the package).
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+#: Environment variable overriding where the trajectory file lives.
+BENCH_FILE_ENV = "REPRO_BENCH_FILE"
+#: Current schema version of ``BENCH_results.json``.
+BENCH_SCHEMA = 1
+
+
+def bench_results_path() -> pathlib.Path:
+    """Where the perf trajectory is recorded."""
+    override = os.environ.get(BENCH_FILE_ENV)
+    if override:
+        return pathlib.Path(override)
+    return REPO_ROOT / "BENCH_results.json"
+
+
+def append_rows(rows: list[dict[str, Any]],
+                path: pathlib.Path | None = None) -> pathlib.Path:
+    """Append machine-readable rows to the trajectory file.
+
+    The file holds ``{"schema": 1, "rows": [...]}``; a missing or
+    unreadable file starts a fresh trajectory rather than failing the
+    benchmark that produced the numbers.
+    """
+    path = path or bench_results_path()
+    payload: dict[str, Any] = {"schema": BENCH_SCHEMA, "rows": []}
+    try:
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict) and isinstance(existing.get("rows"),
+                                                     list):
+            payload = existing
+    except (OSError, ValueError):
+        pass
+    payload["schema"] = BENCH_SCHEMA
+    payload["rows"].extend(rows)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """The context needed to compare rows across machines/PRs."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload 1 — raw event-loop throughput
+# ---------------------------------------------------------------------------
+
+
+def _callback_storm(n_events: int) -> float:
+    """Seconds to drain ``n_events`` immediate callbacks."""
+    loop = EventLoop()
+    nop = _nop
+    started = time.perf_counter()
+    call_soon = loop.call_soon
+    for _ in range(n_events):
+        call_soon(nop)
+    loop.run()
+    return time.perf_counter() - started
+
+
+def _nop() -> None:
+    return None
+
+
+def _coroutine_churn(n_yields: int) -> float:
+    """Seconds for a process to yield ``n_yields`` timeouts.
+
+    Exercises the full coroutine layer: Timeout construction, event
+    trigger, callback dispatch, and generator resumption per iteration.
+    """
+    loop = EventLoop()
+
+    def proc():
+        timeout = loop.timeout
+        for _ in range(n_yields):
+            yield timeout(0.01)
+
+    started = time.perf_counter()
+    loop.run_process(proc())
+    return time.perf_counter() - started
+
+
+def measure_event_throughput(n_events: int = 300_000,
+                             repeats: int = 3) -> dict[str, Any]:
+    """Best-of-``repeats`` events/sec for both loop workloads."""
+    storm = min(_callback_storm(n_events) for _ in range(repeats))
+    # Each yield schedules a timeout callback plus a process step.
+    churn = min(_coroutine_churn(n_events // 2) for _ in range(repeats))
+    return {
+        "workload": f"event-loop/{n_events}",
+        "n_events": n_events,
+        "events_per_sec": round(n_events / storm, 1),
+        "coroutine_events_per_sec": round(n_events / churn, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload 2 — figure-3-sized battery, serial vs. parallel
+# ---------------------------------------------------------------------------
+
+
+def measure_battery(trials: int = 12, n_resources: int = 12,
+                    workers: int | None = None,
+                    base_seed: int = 100) -> dict[str, Any]:
+    """Wall-clock for a four-condition Figure 3 battery, serial vs.
+    parallel, plus a sample-for-sample determinism check.
+
+    The parallel pool is warmed (spawned and loaded) before timing so
+    the number reflects steady-state battery throughput — one `run_all`
+    makes many batteries over the same pool — while ``spawn_s`` records
+    the one-time startup cost separately.
+    """
+    from repro.experiments.local_setup import run_figure3
+
+    workers = resolve_workers(workers)
+    run = functools.partial(run_figure3, trials=trials,
+                            n_resources=n_resources, base_seed=base_seed)
+
+    started = time.perf_counter()
+    serial = run(workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    run(workers=workers)  # warm-up: spawns + first battery
+    spawn_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run(workers=workers)
+    parallel_s = time.perf_counter() - started
+
+    identical = all(serial.conditions[c] == parallel.conditions[c]
+                    for c in serial.conditions)
+    return {
+        "workload": f"figure3-battery/{trials}x{n_resources}",
+        "trials": trials,
+        "n_resources": n_resources,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "spawn_s": round(spawn_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+        "identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def render(rows: list[dict[str, Any]]) -> str:
+    """Human-readable summary of a perf run."""
+    lines = ["== repro.perf =="]
+    for row in rows:
+        parts = [f"{row['workload']:<28}"]
+        if "events_per_sec" in row:
+            parts.append(f"raw {row['events_per_sec']:>12,.0f} ev/s")
+            parts.append(
+                f"coroutine {row['coroutine_events_per_sec']:>12,.0f} ev/s")
+        if "serial_s" in row:
+            parts.append(f"serial {row['serial_s']:.2f}s")
+            parts.append(f"parallel({row['workers']}) "
+                         f"{row['parallel_s']:.2f}s")
+            parts.append(f"speedup {row['speedup']:.2f}x")
+            parts.append("deterministic" if row["identical"]
+                         else "NON-DETERMINISTIC")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def run_suite(quick: bool = False,
+              workers: int | None = None) -> list[dict[str, Any]]:
+    """Both workloads at full or ``--quick`` size, as trajectory rows."""
+    if quick:
+        throughput = measure_event_throughput(n_events=100_000, repeats=1)
+        battery = measure_battery(trials=6, n_resources=6, workers=workers)
+    else:
+        throughput = measure_event_throughput()
+        battery = measure_battery(workers=workers)
+    context = machine_fingerprint()
+    context["source"] = "repro.perf"
+    context["label"] = "quick" if quick else "full"
+    return [{**context, **throughput}, {**context, **battery}]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="time the simulator's fixed workloads and record the "
+                    "results in BENCH_results.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads (<30 s), for CI smoke checks")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel battery width (default: all cores, "
+                             "or $REPRO_WORKERS)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without touching "
+                             "BENCH_results.json")
+    args = parser.parse_args(argv)
+
+    rows = run_suite(quick=args.quick, workers=args.workers)
+    print(render(rows))
+    if not args.no_write:
+        path = append_rows(rows)
+        print(f"recorded {len(rows)} rows in {path}")
+    battery = rows[-1]
+    if not battery["identical"]:
+        print("ERROR: parallel battery diverged from serial run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ class DaemonStats:
     queries: int = 0
     cache_hits: int = 0
     segments_verified: int = 0
+    cache_evictions: int = 0
 
 
 @dataclass
@@ -56,7 +57,11 @@ class PathDaemon:
     #: filtered out of every answer.
     clock: object | None = None
     stats: DaemonStats = field(default_factory=DaemonStats)
-    _cache: dict[IsdAs, list[ScionPath]] = field(default_factory=dict)
+    #: dst → (paths, earliest expiry among them in ms). The expiry bound
+    #: lets cache hits skip per-path expiry filtering until a path could
+    #: actually have aged out.
+    _cache: dict[IsdAs, tuple[list[ScionPath], float]] = field(
+        default_factory=dict)
 
     def paths(self, dst: IsdAs) -> list[ScionPath]:
         """All candidate paths to ``dst``, lowest latency first.
@@ -69,12 +74,20 @@ class PathDaemon:
         self.stats.queries += 1
         if dst == self.isd_as:
             return []
-        if dst in self._cache:
+        entry = self._cache.get(dst)
+        if entry is not None:
             self.stats.cache_hits += 1
-            fresh = self._unexpired(self._cache[dst])
+            paths, earliest_expiry = entry
+            if self.clock is None or self.clock.now < earliest_expiry:  # type: ignore[attr-defined]
+                # Fast path: no cached path can have expired yet.
+                return list(paths)
+            fresh = self._unexpired(paths)
             if fresh:
+                if len(fresh) < len(paths):
+                    self._cache[dst] = (fresh, self._earliest_expiry(fresh))
                 return fresh
             del self._cache[dst]  # everything aged out: refetch
+            self.stats.cache_evictions += 1
         segments = self._fetch_segments(dst)
         if self.pki is not None:
             for segment in segments:
@@ -86,8 +99,12 @@ class PathDaemon:
         paths = self._unexpired(paths)
         if not paths:
             raise NoPathError(f"no SCION path {self.isd_as} -> {dst}")
-        self._cache[dst] = paths
+        self._cache[dst] = (paths, self._earliest_expiry(paths))
         return list(paths)
+
+    @staticmethod
+    def _earliest_expiry(paths: list[ScionPath]) -> float:
+        return min(path.expiry_ms() for path in paths)
 
     def _unexpired(self, paths: list[ScionPath]) -> list[ScionPath]:
         if self.clock is None:

@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.trace import PacketTrace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkConfig:
     """Physical characteristics of a link.
 
@@ -76,6 +76,9 @@ class Link:
         #: failures mid-run.
         self.up = True
         self._endpoints = {a.name: (a, a_port), b.name: (b, b_port)}
+        # Receiver per sender, precomputed: transmit() runs per packet and
+        # must not search the endpoint table each time.
+        self._peer_of = {a.name: (b, b_port), b.name: (a, a_port)}
         # Transmitter-free times, one per direction, keyed by sender name.
         self._tx_free_at = {a.name: 0.0, b.name: 0.0}
         # Counters for stats/feedback (paper §4: per-path usage statistics).
@@ -85,20 +88,19 @@ class Link:
 
     def peer_of(self, node_name: str) -> "Node":
         """The node on the other end of the link from ``node_name``."""
-        if node_name not in self._endpoints:
+        peer = self._peer_of.get(node_name)
+        if peer is None:
             raise SimulationError(
                 f"{node_name} is not attached to link {self.name}")
-        peer_name = next(name for name in self._endpoints
-                         if name != node_name)
-        return self._endpoints[peer_name][0]
+        return peer[0]
 
     def transmit(self, packet: Packet, sender_name: str) -> None:
         """Send ``packet`` from the named endpoint toward the other one."""
-        if sender_name not in self._endpoints:
+        peer = self._peer_of.get(sender_name)
+        if peer is None:
             raise SimulationError(
                 f"{sender_name} is not attached to link {self.name}")
-        receiver, receiver_port = self._endpoints[
-            next(n for n in self._endpoints if n != sender_name)]
+        receiver, receiver_port = peer
         cfg = self.config
 
         if not self.up:

@@ -18,7 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.link import Link
 
 
-@dataclass
+@dataclass(slots=True)
 class Port:
     """One attachment point of a node to a link."""
 

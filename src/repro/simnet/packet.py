@@ -20,7 +20,7 @@ DEFAULT_MTU = 1500
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A unit of data in flight.
 

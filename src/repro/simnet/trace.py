@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One recorded link event."""
 

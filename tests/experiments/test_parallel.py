@@ -1,0 +1,98 @@
+"""Parallel trial execution: worker resolution, determinism, fallbacks.
+
+The paper's evaluation is built from repeated independent page-load
+trials; fanning them over a process pool must not change a single
+sample. The contract under test: ``run_condition(..., workers=N)``
+returns **bit-identical** ``BoxStats`` to a serial run, because trials
+are pure functions of their seed and samples are collected in seed
+order regardless of worker interleaving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import harness
+from repro.experiments.harness import (
+    WORKERS_ENV,
+    resolve_workers,
+    run_condition,
+    run_samples,
+)
+from repro.experiments.local_setup import figure3_trial
+
+
+def _identity_trial(seed: int) -> float:
+    """Module-level (hence picklable) trial: sample == seed."""
+    return float(seed)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        import os
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ReproError):
+            resolve_workers()
+
+
+class TestParallelDeterminism:
+    def test_samples_preserve_seed_order(self):
+        samples = run_samples(_identity_trial, range(20, 28), workers=4)
+        assert samples == [float(seed) for seed in range(20, 28)]
+
+    def test_figure3_scenario_parallel_equals_serial(self):
+        """The acceptance-criterion check: identical BoxStats (all eight
+        fields) for serial vs. workers=4 on a figure-3 trial battery."""
+        trial = functools.partial(figure3_trial, "mixed SCION-IP",
+                                  n_resources=6)
+        serial = run_condition(trial, trials=8, base_seed=100, workers=1)
+        parallel = run_condition(trial, trials=8, base_seed=100, workers=4)
+        for field in dataclasses.fields(serial):
+            assert getattr(serial, field.name) == \
+                getattr(parallel, field.name), field.name
+        assert serial == parallel
+
+    def test_non_picklable_trial_falls_back_to_serial(self):
+        calls = []
+
+        def closure_trial(seed: int) -> float:  # not picklable
+            calls.append(seed)
+            return float(seed)
+
+        stats = run_condition(closure_trial, trials=4, base_seed=10,
+                              workers=4)
+        assert calls == [10, 11, 12, 13]
+        assert stats.minimum == 10.0
+        assert stats.maximum == 13.0
+
+    def test_workers_one_never_touches_a_pool(self, monkeypatch):
+        monkeypatch.setattr(harness, "_shared_pool",
+                            lambda workers: pytest.fail("pool created"))
+        stats = run_condition(_identity_trial, trials=3, workers=1)
+        assert stats.n == 3
+
+    def test_single_trial_stays_serial(self, monkeypatch):
+        monkeypatch.setattr(harness, "_shared_pool",
+                            lambda workers: pytest.fail("pool created"))
+        stats = run_condition(_identity_trial, trials=1, workers=8)
+        assert stats.n == 1

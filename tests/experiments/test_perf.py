@@ -1,0 +1,73 @@
+"""The perf module: workloads, trajectory file, CLI."""
+
+import json
+
+import pytest
+
+from repro import perf
+
+
+class TestTrajectoryFile:
+    def test_append_creates_and_extends(self, tmp_path):
+        target = tmp_path / "BENCH_results.json"
+        perf.append_rows([{"a": 1}], path=target)
+        perf.append_rows([{"b": 2}], path=target)
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == perf.BENCH_SCHEMA
+        assert payload["rows"] == [{"a": 1}, {"b": 2}]
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        target = tmp_path / "BENCH_results.json"
+        target.write_text("{not json")
+        perf.append_rows([{"a": 1}], path=target)
+        assert json.loads(target.read_text())["rows"] == [{"a": 1}]
+
+    def test_env_var_redirects_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(perf.BENCH_FILE_ENV, str(tmp_path / "out.json"))
+        assert perf.bench_results_path() == tmp_path / "out.json"
+
+    def test_default_path_is_repo_root(self, monkeypatch):
+        monkeypatch.delenv(perf.BENCH_FILE_ENV, raising=False)
+        path = perf.bench_results_path()
+        assert path.name == "BENCH_results.json"
+        assert (path.parent / "pyproject.toml").exists()
+
+
+class TestWorkloads:
+    def test_event_throughput_fields(self):
+        row = perf.measure_event_throughput(n_events=2_000, repeats=1)
+        assert row["events_per_sec"] > 0
+        assert row["coroutine_events_per_sec"] > 0
+        assert row["workload"].startswith("event-loop/")
+
+    def test_battery_is_deterministic_and_timed(self):
+        row = perf.measure_battery(trials=2, n_resources=4, workers=1)
+        assert row["identical"] is True
+        assert row["serial_s"] > 0
+        assert row["parallel_s"] > 0
+
+    def test_render_mentions_speedup(self):
+        rows = [{"workload": "figure3-battery/2x4", "serial_s": 1.0,
+                 "parallel_s": 0.5, "spawn_s": 0.1, "speedup": 2.0,
+                 "workers": 4, "identical": True}]
+        text = perf.render(rows)
+        assert "speedup 2.00x" in text
+        assert "deterministic" in text
+
+
+class TestCli:
+    def test_quick_run_records_rows(self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
+        assert perf.main(["--quick", "--workers", "1"]) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["rows"]) == 2
+        assert any("events_per_sec" in row for row in payload["rows"])
+        assert any("serial_s" in row for row in payload["rows"])
+        assert "repro.perf" in capsys.readouterr().out
+
+    def test_no_write_leaves_file_alone(self, tmp_path, monkeypatch):
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
+        assert perf.main(["--quick", "--workers", "1", "--no-write"]) == 0
+        assert not target.exists()

@@ -1,0 +1,86 @@
+"""Daemon path-cache fast path: expiry short-circuit and eviction stats.
+
+A cache hit used to re-filter every cached path against the clock even
+when no path could possibly have expired yet. The daemon now tracks the
+earliest expiry per entry and skips filtering until that instant, and
+counts expiry-driven evictions in ``stats.cache_evictions``.
+"""
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.internet.build import Internet
+from repro.scion.beaconing import BeaconingService
+from repro.scion.daemon import PathDaemon
+from repro.scion.path import EXP_TIME_UNIT_S
+from repro.scion.path_server import PathServer
+from repro.topology.defaults import remote_testbed
+from repro.units import seconds
+
+
+def make_world(exp_time=0):
+    """A clock-driven daemon whose beacons expire after
+    ``(exp_time + 1) x 337.5 s``."""
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=1)
+    service = BeaconingService(topology, internet.pki, exp_time=exp_time)
+    store = service.build_store()
+    daemon = PathDaemon(
+        isd_as=ases.client, path_server=PathServer(store),
+        core_ases=set(internet.core_ases), clock=internet.loop)
+    return internet, ases, daemon
+
+
+class TestCacheFastPath:
+    def test_hit_skips_refilter_before_earliest_expiry(self, monkeypatch):
+        internet, ases, daemon = make_world(exp_time=0)
+        first = daemon.paths(ases.remote_server)
+        assert first
+
+        def explode(paths):
+            pytest.fail("_unexpired must not run on a pre-expiry cache hit")
+
+        monkeypatch.setattr(daemon, "_unexpired", explode)
+        assert daemon.paths(ases.remote_server) == first
+        assert daemon.stats.cache_hits == 1
+        assert daemon.stats.cache_evictions == 0
+
+    def test_hit_returns_a_copy(self):
+        internet, ases, daemon = make_world()
+        daemon.paths(ases.remote_server)
+        hit = daemon.paths(ases.remote_server)
+        hit.clear()
+        assert daemon.paths(ases.remote_server), \
+            "mutating a returned list must not corrupt the cache"
+
+    def test_clockless_daemon_short_circuits(self, monkeypatch):
+        internet, ases, daemon = make_world()
+        daemon.clock = None
+        daemon.paths(ases.remote_server)
+        monkeypatch.setattr(
+            daemon, "_unexpired",
+            lambda paths: pytest.fail("no filtering without a clock"))
+        assert daemon.paths(ases.remote_server)
+
+    def test_filter_resumes_after_earliest_expiry(self):
+        internet, ases, daemon = make_world(exp_time=0)
+        daemon.paths(ases.remote_server)  # populate
+        internet.loop.run(until=seconds(EXP_TIME_UNIT_S + 1))
+        with pytest.raises(NoPathError):
+            daemon.paths(ases.remote_server)
+
+    def test_eviction_counter(self):
+        internet, ases, daemon = make_world(exp_time=0)
+        daemon.paths(ases.remote_server)
+        assert daemon.stats.cache_evictions == 0
+        internet.loop.run(until=seconds(EXP_TIME_UNIT_S + 1))
+        with pytest.raises(NoPathError):
+            daemon.paths(ases.remote_server)
+        assert daemon.stats.cache_evictions == 1
+
+    def test_flush_does_not_count_as_eviction(self):
+        internet, ases, daemon = make_world()
+        daemon.paths(ases.remote_server)
+        daemon.flush_cache()
+        assert daemon.stats.cache_evictions == 0
+        assert daemon.paths(ases.remote_server)
