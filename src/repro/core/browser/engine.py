@@ -47,6 +47,32 @@ class PageLoadResult:
         """Resources fetched over SCION."""
         return sum(1 for outcome in self.outcomes if outcome.used_scion)
 
+    @property
+    def ok_count(self) -> int:
+        """Resources that arrived with a 2xx response."""
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failover_count(self) -> int:
+        """Resources saved by SCION path failover."""
+        return sum(1 for outcome in self.outcomes
+                   if outcome.recovery == "failover")
+
+    @property
+    def fallback_count(self) -> int:
+        """Resources saved by falling back to IP despite SCION being
+        available."""
+        return sum(1 for outcome in self.outcomes
+                   if outcome.recovery == "fallback")
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of the page's resources that never arrived (blocked
+        or failed) — the partial-page degradation the UI surfaces."""
+        if not self.outcomes:
+            return 0.0
+        return 1.0 - self.ok_count / len(self.outcomes)
+
 
 class DirectFetcher:
     """The BGP/IP-Only baseline: no extension, no proxy, plain TCP."""

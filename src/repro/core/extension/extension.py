@@ -87,6 +87,10 @@ class FetchOutcome:
     blocked: bool
     elapsed_ms: float
     from_cache: bool = False
+    #: Recovery mechanism that saved the fetch (see
+    #: :class:`~repro.core.skip.proxy.ProxyResult`): "none", "failover"
+    #: or "fallback".
+    recovery: str = "none"
 
     @property
     def ok(self) -> bool:
@@ -210,6 +214,7 @@ class BrowserExtension:
             policy_compliant=result.policy_compliant,
             blocked=False,
             elapsed_ms=loop.now - started,
+            recovery=result.recovery,
         )
 
     def _observe_response(self, request: HttpRequest,

@@ -53,6 +53,18 @@ DEFAULT_PROCESSING_MS = 6.0
 #: Processing cost of a strict-mode availability probe (policy
 #: evaluation only, no data path).
 DEFAULT_CHECK_PROCESSING_MS = 0.5
+#: Per-attempt response deadline. This is a *hang backstop*, not the
+#: primary failure detector: dead new connections surface as handshake
+#: errors within ~5 s and dying established ones as transport errors
+#: once the retransmission budget drains (~90 s worst case: 12 retries
+#: with the RTO capped at 10 s). The default therefore sits just above
+#: that budget — a *live* exchange under extreme sustained loss
+#: (retransmission tails reach ~60 s in the loss tests) must never be
+#: aborted. Chaos experiments lower it per-proxy to model impatient
+#: browsers in worlds where healthy exchanges are fast.
+DEFAULT_REQUEST_TIMEOUT_MS = 95_000.0
+#: Base delay between retry attempts; doubles per attempt.
+DEFAULT_RETRY_BACKOFF_MS = 40.0
 
 
 @dataclass(frozen=True)
@@ -65,6 +77,11 @@ class ProxyResult:
     path_fingerprint: str | None
     detection_source: str
     elapsed_ms: float
+    #: How the fetch survived failures: ``"none"`` (first attempt
+    #: succeeded), ``"failover"`` (an alternate SCION path succeeded
+    #: after the active one died), ``"fallback"`` (served over IP even
+    #: though the destination is SCION-capable).
+    recovery: str = "none"
 
 
 class SkipProxy:
@@ -76,7 +93,9 @@ class SkipProxy:
                  check_processing_ms: float = DEFAULT_CHECK_PROCESSING_MS,
                  use_noncompliant_paths: bool = False,
                  quic_port: int = 443, tcp_port: int = 80,
-                 rng: random.Random | None = None) -> None:
+                 rng: random.Random | None = None,
+                 request_timeout_ms: float = DEFAULT_REQUEST_TIMEOUT_MS,
+                 retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS) -> None:
         if host.daemon is None:
             raise ProxyError(f"host {host.name} has no path daemon")
         if host.loop is None:
@@ -98,6 +117,9 @@ class SkipProxy:
         #: simulation time until which they are avoided.
         self.failure_backoff_ms = 30_000.0
         self.max_scion_attempts = 2
+        self.max_ip_attempts = 2
+        self.request_timeout_ms = request_timeout_ms
+        self.retry_backoff_ms = retry_backoff_ms
         self._path_failures: dict[str, float] = {}
         self.failovers = 0
 
@@ -196,18 +218,30 @@ class SkipProxy:
 
         attempts = 0
         while choice.usable and attempts < self.max_scion_attempts:
+            if attempts:
+                # Exponential backoff between retry attempts.
+                yield loop.timeout(
+                    self.retry_backoff_ms * (2 ** (attempts - 1)))
             try:
                 response = yield from self.client.request(
                     detection.scion_address, self.quic_port, request,
-                    via="scion", path=choice.path)
+                    via="scion", path=choice.path,
+                    timeout_ms=self.request_timeout_ms)
             except (HttpError, TransportError):
                 attempts += 1
                 if choice.path is None:
                     break  # local-AS fetch failed; nothing to fail over to
-                # Blacklist the failed path for a while and re-select.
-                self._path_failures[choice.path.fingerprint()] = \
+                # Blacklist the failed path for a while and tell the
+                # daemon (SCMP-style dead-path report): it drops the
+                # path from its cache and re-queries when the candidate
+                # set for this destination empties.
+                fingerprint = choice.path.fingerprint()
+                self._path_failures[fingerprint] = \
                     loop.now + self.failure_backoff_ms
                 self.failovers += 1
+                self.host.daemon.report_path_failure(
+                    detection.scion_address.isd_as, fingerprint,
+                    ttl_ms=self.failure_backoff_ms)
                 choice = self.selector.choose(
                     detection.scion_address.isd_as, effective,
                     avoid=self._avoided_paths())
@@ -230,6 +264,7 @@ class SkipProxy:
                                   if choice.path else None),
                 detection_source=detection.source,
                 elapsed_ms=elapsed,
+                recovery="failover" if attempts else "none",
             )
 
         if strict:
@@ -240,8 +275,20 @@ class SkipProxy:
                 f"all attempted paths")
         if detection.ip_address is None:
             raise HttpError(f"no route to {request.host}", status=502)
-        response = yield from self.client.request(
-            detection.ip_address, self.tcp_port, request, via="ip")
+        ip_attempts = 0
+        while True:
+            if ip_attempts:
+                yield loop.timeout(
+                    self.retry_backoff_ms * (2 ** (ip_attempts - 1)))
+            try:
+                response = yield from self.client.request(
+                    detection.ip_address, self.tcp_port, request, via="ip",
+                    timeout_ms=self.request_timeout_ms)
+                break
+            except (HttpError, TransportError):
+                ip_attempts += 1
+                if ip_attempts >= self.max_ip_attempts:
+                    raise
         elapsed = loop.now - started
         self.stats.record_ip(request.host, elapsed,
                              scion_was_available=detection.scion_available)
@@ -252,4 +299,5 @@ class SkipProxy:
             path_fingerprint=None,
             detection_source=detection.source,
             elapsed_ms=elapsed,
+            recovery="fallback" if detection.scion_available else "none",
         )

@@ -53,6 +53,15 @@ class NoPathError(ReproError):
     """No SCION path exists (or none survives the active path policy)."""
 
 
+class PathServerUnreachableError(NoPathError):
+    """The path-server infrastructure is down and the daemon's cache
+    cannot answer (no cached paths, or all of them expired unrefreshed).
+
+    A :class:`NoPathError` subclass so opportunistic callers degrade the
+    same way they do for genuinely path-less destinations.
+    """
+
+
 class PolicyError(ReproError):
     """A path policy is invalid."""
 
@@ -79,6 +88,12 @@ class ConnectionClosedError(TransportError):
 
 class HandshakeError(TransportError):
     """Transport handshake did not complete."""
+
+
+class RequestTimeoutError(TransportError):
+    """A request's per-attempt deadline expired before the response
+    arrived (the SKIP proxy's failure-detection signal under injected
+    faults)."""
 
 
 class HttpError(ReproError):

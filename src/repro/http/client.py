@@ -19,13 +19,15 @@ from collections.abc import Generator
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ConnectionClosedError, HttpError
+from repro.errors import (ConnectionClosedError, HttpError,
+                          RequestTimeoutError)
 from repro.http.message import HttpRequest, HttpResponse
 from repro.internet.host import Host
 from repro.ip.tcp import tcp_connect
 from repro.quic.connection import quic_connect
 from repro.scion.addr import HostAddr
 from repro.scion.path import ScionPath
+from repro.simnet.events import Interrupt
 
 #: Browser-classic per-origin connection cap.
 DEFAULT_MAX_CONNECTIONS = 6
@@ -57,6 +59,7 @@ class ClientStats:
     connections_opened: int = 0
     errors: int = 0
     bytes_fetched: int = 0
+    timeouts: int = 0
 
 
 class HttpClient:
@@ -71,12 +74,42 @@ class HttpClient:
 
     def request(self, dst: HostAddr, port: int, request: HttpRequest,
                 via: str = "ip",
-                path: ScionPath | None = None) -> Generator:
+                path: ScionPath | None = None,
+                timeout_ms: float | None = None) -> Generator:
         """Perform one HTTP exchange (simulation process).
 
         Usage: ``response = yield from client.request(...)``. Raises
-        :class:`HttpError` when the transport fails.
+        :class:`HttpError` when the transport fails and
+        :class:`RequestTimeoutError` when ``timeout_ms`` elapses before
+        the response arrives. A timed-out exchange keeps running in the
+        background until its transport gives up; its connection returns
+        to (or is discarded from) the pool when it does, so the pool
+        never hands a half-used stream to a later request.
         """
+        if timeout_ms is None:
+            response = yield from self._request(dst, port, request, via, path)
+            return response
+        assert self.host.loop is not None
+        loop = self.host.loop
+        exchange = loop.process(
+            self._request(dst, port, request, via, path),
+            name=f"http-{request.method}-{dst}")
+        timer = loop.timeout(timeout_ms)
+        try:
+            event, value = yield loop.any_of([exchange, timer])
+        except BaseException:
+            timer.cancel()  # exchange failed first: withdraw the watchdog
+            raise
+        if event is timer:
+            self.stats.timeouts += 1
+            exchange.interrupt("request timeout")
+            raise RequestTimeoutError(
+                f"no response from {dst}:{port} within {timeout_ms:.0f} ms")
+        timer.cancel()
+        return value
+
+    def _request(self, dst: HostAddr, port: int, request: HttpRequest,
+                 via: str, path: ScionPath | None) -> Generator:
         key = (dst, port, via, path.fingerprint() if path else None)
         pooled = yield from self._acquire(key, dst, port, via, path)
         try:
@@ -87,6 +120,11 @@ class HttpClient:
             self._discard(key, pooled)
             raise HttpError(f"connection to {dst}:{port} closed: {error}") \
                 from error
+        except Interrupt:
+            # Timed out mid-exchange: the stream has an unconsumed
+            # response in flight, so it must never serve another request.
+            self._discard(key, pooled)
+            raise
         finally:
             self._release(key, pooled)
         if not isinstance(response, HttpResponse):
@@ -121,7 +159,16 @@ class HttpClient:
             assert self.host.loop is not None
             waiter = self.host.loop.event()
             pool.waiters.append(waiter)
-            yield waiter
+            try:
+                yield waiter
+            except Interrupt:
+                if waiter in pool.waiters:
+                    pool.waiters.remove(waiter)
+                elif pool.waiters:
+                    # Our wakeup already fired: pass the freed slot on so
+                    # it is not lost with this aborted request.
+                    pool.waiters.popleft().succeed(None)
+                raise
 
     def _open(self, dst: HostAddr, port: int, via: str,
               path: ScionPath | None) -> Generator:

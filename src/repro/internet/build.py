@@ -95,6 +95,7 @@ class Internet:
             router.ip_table = self.bgp.forwarding_table(isd_as)
 
         self.hosts: dict[str, Host] = {}
+        self._host_links: dict[str, object] = {}
 
     # -- hosts ------------------------------------------------------------------
 
@@ -118,7 +119,7 @@ class Internet:
         self.network.add_node(host)
         router = self.routers[identifier]
         host_ifid = router.next_free_ifid()
-        self.network.connect(
+        access_link = self.network.connect(
             router, host, a_ifid=host_ifid, b_ifid=Host.ROUTER_IFID,
             config=LinkConfig(latency_ms=info.internal_latency_ms,
                               bandwidth_mbps=self.host_bandwidth_mbps,
@@ -126,6 +127,7 @@ class Internet:
                               mtu=info.mtu + 128),
             name=f"{identifier}<->{name}")
         router.register_host(name, host_ifid)
+        self._host_links[name] = access_link
         host.daemon = PathDaemon(
             isd_as=identifier,
             path_server=self.path_server,
@@ -152,16 +154,37 @@ class Internet:
         Returns the number of links affected. Downed links silently drop
         all packets — the failure the proxy's path failover reacts to.
         """
+        affected = self.links_between(a, b)
+        for link in affected:
+            link.up = up
+        return len(affected)
+
+    def links_between(self, a: IsdAs | str, b: IsdAs | str) -> list:
+        """All simnet links between two ASes (fault-injection targets)."""
         as_a = a if isinstance(a, IsdAs) else IsdAs.parse(a)
         as_b = b if isinstance(b, IsdAs) else IsdAs.parse(b)
-        affected = 0
-        for link in self.topology.links():
-            if {link.a, link.b} == {as_a, as_b}:
-                self._interas_links[link.link_id].up = up
-                affected += 1
-        if affected == 0:
+        links = [self._interas_links[link.link_id]
+                 for link in self.topology.links()
+                 if {link.a, link.b} == {as_a, as_b}]
+        if not links:
             raise TopologyError(f"no link between {as_a} and {as_b}")
-        return affected
+        return links
+
+    def links_for(self, target: str) -> list:
+        """Resolve a fault-injection target string to simnet links.
+
+        ``"a~b"`` names every inter-AS link between the two ASes, a host
+        name its access link, and ``"*"`` every link in the world (see
+        :mod:`repro.simnet.faults`).
+        """
+        if target == "*":
+            return list(self.network.links)
+        if "~" in target:
+            a, b = target.split("~", 1)
+            return self.links_between(a, b)
+        if target in self._host_links:
+            return [self._host_links[target]]
+        raise TopologyError(f"unknown fault target {target!r}")
 
     # -- conveniences --------------------------------------------------------------
 

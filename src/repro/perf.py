@@ -16,9 +16,12 @@ serial vs. parallel wall-clock, speedup) instead of anecdotes.
 Usage::
 
     python -m repro.perf [--quick] [--workers N] [--no-write]
+    python -m repro.perf --compare
 
 ``--quick`` shrinks the workloads to a <30 s smoke check suitable as a
-tier-2 CI gate.
+tier-2 CI gate. ``--compare`` diffs the two most recent full runs in the
+trajectory file and exits non-zero when any headline metric regressed
+more than 10 % — the PR-to-PR guard for the recorded trajectory.
 """
 
 from __future__ import annotations
@@ -186,6 +189,113 @@ def measure_battery(trials: int = 12, n_resources: int = 12,
 
 
 # ---------------------------------------------------------------------------
+# Trajectory comparison (--compare)
+# ---------------------------------------------------------------------------
+
+#: Relative change beyond which --compare calls a metric regressed.
+REGRESSION_THRESHOLD = 0.10
+
+#: The headline metrics --compare watches: (row key, higher-is-better).
+COMPARE_METRICS = (
+    ("events_per_sec", True),
+    ("coroutine_events_per_sec", True),
+    ("serial_s", False),
+    ("parallel_s", False),
+)
+
+
+def _runs_by_ts(rows: list[dict[str, Any]],
+                label: str) -> list[dict[str, Any]]:
+    """Trajectory rows folded into one dict per run.
+
+    A run is every row sharing a timestamp (``run_suite`` stamps both of
+    its rows with the same fingerprint). Rows are appended
+    chronologically, so insertion order is run order.
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    for row in rows:
+        if row.get("label") != label:
+            continue
+        runs.setdefault(str(row.get("ts")), {}).update(row)
+    return list(runs.values())
+
+
+def compare_runs(rows: list[dict[str, Any]], label: str = "full",
+                 threshold: float = REGRESSION_THRESHOLD
+                 ) -> dict[str, Any] | None:
+    """Diff the two most recent runs with the given label.
+
+    Returns ``None`` when fewer than two such runs exist. Otherwise a
+    report dict with per-metric baseline/current/change and the list of
+    metric names that regressed beyond ``threshold`` (throughput
+    dropping or wall-clock growing by more than that fraction).
+    """
+    runs = _runs_by_ts(rows, label)
+    if len(runs) < 2:
+        return None
+    baseline, current = runs[-2], runs[-1]
+    metrics: list[dict[str, Any]] = []
+    for name, higher_is_better in COMPARE_METRICS:
+        old, new = baseline.get(name), current.get(name)
+        if not isinstance(old, (int, float)) or not old \
+                or not isinstance(new, (int, float)):
+            continue
+        change = (new - old) / old
+        regressed = (change < -threshold if higher_is_better
+                     else change > threshold)
+        metrics.append({
+            "metric": name,
+            "baseline": old,
+            "current": new,
+            "change_pct": round(change * 100.0, 1),
+            "higher_is_better": higher_is_better,
+            "regression": regressed,
+        })
+    return {
+        "baseline_ts": baseline.get("ts"),
+        "current_ts": current.get("ts"),
+        "metrics": metrics,
+        "regressions": [m["metric"] for m in metrics if m["regression"]],
+    }
+
+
+def render_comparison(report: dict[str, Any]) -> str:
+    """Human-readable --compare report."""
+    lines = [
+        "== repro.perf --compare ==",
+        f"baseline {report['baseline_ts']}  ->  current "
+        f"{report['current_ts']}",
+    ]
+    for metric in report["metrics"]:
+        direction = "higher=better" if metric["higher_is_better"] \
+            else "lower=better"
+        flag = "  << REGRESSION" if metric["regression"] else ""
+        lines.append(
+            f"{metric['metric']:<26} {metric['baseline']:>14,.1f} -> "
+            f"{metric['current']:>14,.1f}  ({metric['change_pct']:+.1f}%, "
+            f"{direction}){flag}")
+    if report["regressions"]:
+        lines.append(f"REGRESSED: {', '.join(report['regressions'])} "
+                     f"(>{REGRESSION_THRESHOLD:.0%} worse)")
+    else:
+        lines.append("no regressions beyond "
+                     f"{REGRESSION_THRESHOLD:.0%}")
+    return "\n".join(lines)
+
+
+def load_rows(path: pathlib.Path | None = None) -> list[dict[str, Any]]:
+    """The trajectory file's rows ([] when missing or malformed)."""
+    path = path or bench_results_path()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    if isinstance(payload, dict) and isinstance(payload.get("rows"), list):
+        return payload["rows"]
+    return []
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -238,7 +348,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-write", action="store_true",
                         help="print results without touching "
                              "BENCH_results.json")
+    parser.add_argument("--compare", action="store_true",
+                        help="diff the two latest full runs in the "
+                             "trajectory file instead of benchmarking; "
+                             "exit 1 on a >10%% regression")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        report = compare_runs(load_rows())
+        if report is None:
+            print("need at least two recorded full runs in "
+                  f"{bench_results_path()} to compare; nothing to do")
+            return 0
+        print(render_comparison(report))
+        return 1 if report["regressions"] else 0
 
     rows = run_suite(quick=args.quick, workers=args.workers)
     print(render(rows))

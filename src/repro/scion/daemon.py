@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import NoPathError
+from repro.errors import NoPathError, PathServerUnreachableError
 from repro.scion.combinator import combine_segments
 from repro.scion.path import ScionPath
 from repro.scion.path_server import PathServer
@@ -34,6 +34,14 @@ class DaemonStats:
     cache_hits: int = 0
     segments_verified: int = 0
     cache_evictions: int = 0
+    #: SCMP-style dead-path reports received from applications.
+    path_failures_reported: int = 0
+    #: Re-queries triggered because every cached path to a destination
+    #: was reported dead (the daemon-level failover).
+    failover_requeries: int = 0
+    #: Lookups that failed because the path-server infrastructure was
+    #: unreachable and the cache could not answer.
+    server_unreachable: int = 0
 
 
 @dataclass
@@ -57,11 +65,16 @@ class PathDaemon:
     #: filtered out of every answer.
     clock: object | None = None
     stats: DaemonStats = field(default_factory=DaemonStats)
+    #: How long a reported-dead path stays quarantined when the reporter
+    #: does not say (ms).
+    dead_path_ttl_ms: float = 30_000.0
     #: dst → (paths, earliest expiry among them in ms). The expiry bound
     #: lets cache hits skip per-path expiry filtering until a path could
     #: actually have aged out.
     _cache: dict[IsdAs, tuple[list[ScionPath], float]] = field(
         default_factory=dict)
+    #: fingerprint → quarantine-end time (ms) for paths reported dead.
+    _dead_paths: dict[str, float] = field(default_factory=dict)
 
     def paths(self, dst: IsdAs) -> list[ScionPath]:
         """All candidate paths to ``dst``, lowest latency first.
@@ -80,14 +93,30 @@ class PathDaemon:
             paths, earliest_expiry = entry
             if self.clock is None or self.clock.now < earliest_expiry:  # type: ignore[attr-defined]
                 # Fast path: no cached path can have expired yet.
-                return list(paths)
-            fresh = self._unexpired(paths)
+                fresh = list(paths)
+            else:
+                fresh = self._unexpired(paths)
+                if fresh:
+                    if len(fresh) < len(paths):
+                        self._cache[dst] = (fresh,
+                                            self._earliest_expiry(fresh))
+                else:
+                    del self._cache[dst]  # everything aged out: refetch
+                    self.stats.cache_evictions += 1
             if fresh:
-                if len(fresh) < len(paths):
-                    self._cache[dst] = (fresh, self._earliest_expiry(fresh))
-                return fresh
-            del self._cache[dst]  # everything aged out: refetch
-            self.stats.cache_evictions += 1
+                alive = self._not_quarantined(fresh)
+                if alive:
+                    return alive
+                # Every cached path was reported dead: keep the entry
+                # (quarantine is time-bounded) but try a fresh
+                # combination below — beaconing may know more by now.
+        if not getattr(self.path_server, "available", True):
+            # Infrastructure outage: the cache could not answer and the
+            # server cannot be queried — expired segments stay expired.
+            self.stats.server_unreachable += 1
+            raise PathServerUnreachableError(
+                f"path server unreachable, no cached path "
+                f"{self.isd_as} -> {dst}")
         segments = self._fetch_segments(dst)
         if self.pki is not None:
             for segment in segments:
@@ -100,7 +129,11 @@ class PathDaemon:
         if not paths:
             raise NoPathError(f"no SCION path {self.isd_as} -> {dst}")
         self._cache[dst] = (paths, self._earliest_expiry(paths))
-        return list(paths)
+        alive = self._not_quarantined(paths)
+        if not alive:
+            raise NoPathError(
+                f"all SCION paths {self.isd_as} -> {dst} reported dead")
+        return alive
 
     @staticmethod
     def _earliest_expiry(paths: list[ScionPath]) -> float:
@@ -111,6 +144,52 @@ class PathDaemon:
             return list(paths)
         now_ms = self.clock.now  # type: ignore[attr-defined]
         return [path for path in paths if not path.is_expired(now_ms)]
+
+    def report_path_failure(self, dst: IsdAs, fingerprint: str,
+                            ttl_ms: float | None = None) -> bool:
+        """SCMP-style dead-path signal from an application.
+
+        Quarantines the path for ``ttl_ms`` (the daemon's
+        ``dead_path_ttl_ms`` when unset); while quarantined it is
+        filtered from every answer. When the report kills the last live
+        candidate for ``dst`` and the path-server infrastructure is
+        reachable, the daemon immediately re-queries so the next
+        selection sees a fresh candidate set (the daemon-level
+        failover). Returns True when at least one live candidate remains
+        for ``dst`` afterwards.
+        """
+        self.stats.path_failures_reported += 1
+        now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
+        ttl = self.dead_path_ttl_ms if ttl_ms is None else ttl_ms
+        self._dead_paths[fingerprint] = now + ttl
+        entry = self._cache.get(dst)
+        if entry is not None and self._not_quarantined(entry[0]):
+            return True
+        if not getattr(self.path_server, "available", True):
+            return False
+        self.stats.failover_requeries += 1
+        try:
+            return bool(self.paths(dst))
+        except NoPathError:
+            return False
+
+    def _not_quarantined(self, paths: list[ScionPath]) -> list[ScionPath]:
+        """``paths`` minus those under an active dead-path quarantine.
+
+        Expired quarantine marks are purged on the way — the common
+        (empty-quarantine) case costs one truthiness check.
+        """
+        if not self._dead_paths:
+            return list(paths)
+        now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
+        expired = [fp for fp, until in self._dead_paths.items()
+                   if until <= now]
+        for fp in expired:
+            del self._dead_paths[fp]
+        if not self._dead_paths:
+            return list(paths)
+        return [path for path in paths
+                if path.fingerprint() not in self._dead_paths]
 
     def try_paths(self, dst: IsdAs) -> list[ScionPath]:
         """Like :meth:`paths` but returns [] instead of raising.

@@ -109,9 +109,18 @@ class ScionPath:
         return pairs
 
     def fingerprint(self) -> str:
-        """Stable identifier derived from the interface sequence."""
+        """Stable identifier derived from the interface sequence.
+
+        Memoized: the HTTP client keys its connection pools on it per
+        request, so the SHA-256 is computed once per path object.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
         text = "|".join(f"{isd_as}#{ifid}" for isd_as, ifid in self.interfaces())
-        return hashlib.sha256(text.encode()).hexdigest()[:16]
+        digest = hashlib.sha256(text.encode()).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     def header_bytes(self) -> int:
         """Approximate SCION header size for serialization-delay
@@ -134,7 +143,28 @@ class ScionPath:
         return now_ms >= self.expiry_ms()
 
     def reverse(self) -> "ScionPath":
-        """The same path in the opposite direction (for responses)."""
+        """The same path in the opposite direction (for responses).
+
+        Memoized: the reversed path (hops plus rebuilt metadata) is
+        constructed once and cached on the instance, and the reversed
+        path's own ``reverse()`` is pre-wired back to ``self`` —
+        response traffic that reverses per packet hits the cache instead
+        of rebuilding a full :class:`PathMetadata` each time, and
+        reverse-of-reverse is the identical object.
+        """
+        cached = getattr(self, "_reversed", None)
+        if cached is not None:
+            return cached
+        reversed_path = self._build_reverse()
+        # frozen dataclass: bypass the immutability guard for the cache
+        # slot only. The cached object is derived state, not identity —
+        # equality and hashing still use the declared fields.
+        object.__setattr__(reversed_path, "_reversed", self)
+        object.__setattr__(self, "_reversed", reversed_path)
+        return reversed_path
+
+    def _build_reverse(self) -> "ScionPath":
+        """Construct the reversed path (uncached; tests count calls)."""
         reversed_hops = tuple(
             PathHop(isd_as=hop.isd_as, ingress=hop.egress, egress=hop.ingress,
                     hop_field=hop.hop_field)

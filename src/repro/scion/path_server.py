@@ -48,6 +48,11 @@ class PathServer:
 
     store: SegmentStore
     lookup_latency_ms: float = 1.0
+    #: Infrastructure reachability: fault injection flips this to model a
+    #: path-server outage. Daemons must not query while it is False —
+    #: they serve from cache or fail (see
+    #: :meth:`repro.scion.daemon.PathDaemon.paths`).
+    available: bool = True
     stats: LookupStats = field(default_factory=LookupStats)
 
     def up_segments(self, isd_as: IsdAs) -> list[PathSegment]:

@@ -7,6 +7,9 @@ This package is the foundation every other subsystem runs on. It provides:
 * :mod:`repro.simnet.packet` — the frame/packet model,
 * :mod:`repro.simnet.link` — point-to-point links with propagation delay,
   serialization delay, jitter, loss, and MTU,
+* :mod:`repro.simnet.faults` — deterministic, seed-driven fault
+  injection (link failures, loss bursts, latency spikes, SCION
+  infrastructure outages) against any built world,
 * :mod:`repro.simnet.node` — the node base class and port plumbing,
 * :mod:`repro.simnet.network` — a container that wires nodes and links and
   drives the loop,
@@ -24,6 +27,14 @@ from repro.simnet.events import (
     SerialResource,
     Timeout,
 )
+from repro.simnet.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    inject,
+    random_schedule,
+)
 from repro.simnet.link import Link, LinkConfig
 from repro.simnet.network import Network
 from repro.simnet.node import Node, Port
@@ -33,6 +44,10 @@ from repro.simnet.trace import PacketTrace, TraceEntry
 __all__ = [
     "Event",
     "EventLoop",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
     "Interrupt",
     "Link",
     "LinkConfig",
@@ -45,4 +60,6 @@ __all__ = [
     "SerialResource",
     "Timeout",
     "TraceEntry",
+    "inject",
+    "random_schedule",
 ]

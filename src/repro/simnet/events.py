@@ -83,14 +83,26 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after a delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_handle")
 
     def __init__(self, loop: "EventLoop", delay: float, value: Any = None) -> None:
         super().__init__(loop)
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         self.delay = delay
-        loop.call_later(delay, self._expire, value)
+        self._handle = loop.call_later(delay, self._expire, value)
+
+    def cancel(self) -> None:
+        """Withdraw the timer so it never triggers.
+
+        A no-op once the timeout has fired. The deadline entry is
+        removed from the loop's view of pending work, so an unexpired
+        watchdog timer does not keep the simulation clock running to its
+        deadline. Only the creator should cancel — other processes may
+        already be waiting on this event.
+        """
+        if not self.triggered:
+            self.loop.cancel_scheduled(self._handle)
 
     def _expire(self, value: Any) -> None:
         if not self.triggered:
@@ -299,13 +311,15 @@ class EventLoop:
     order) order.
     """
 
-    __slots__ = ("_now", "_sequence", "_queue", "_events_processed")
+    __slots__ = ("_now", "_sequence", "_queue", "_events_processed",
+                 "_cancelled")
 
     def __init__(self) -> None:
         self._now = 0.0
         self._sequence = 0
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
+        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> float:
@@ -319,21 +333,43 @@ class EventLoop:
 
     # -- scheduling ---------------------------------------------------------
 
-    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` after ``delay`` ms of simulated time."""
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> int:
+        """Run ``callback(*args)`` after ``delay`` ms of simulated time.
+
+        Returns a handle accepted by :meth:`cancel_scheduled`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ms in the past")
+        handle = self._sequence
         heapq.heappush(self._queue,
-                       (self._now + delay, self._sequence, callback, args))
+                       (self._now + delay, handle, callback, args))
         self._sequence += 1
+        return handle
 
-    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> int:
+        """Run ``callback(*args)`` at absolute simulated time ``when``.
+
+        Returns a handle accepted by :meth:`cancel_scheduled`.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} ms, already at {self._now} ms")
-        heapq.heappush(self._queue, (when, self._sequence, callback, args))
+        handle = self._sequence
+        heapq.heappush(self._queue, (when, handle, callback, args))
         self._sequence += 1
+        return handle
+
+    def cancel_scheduled(self, handle: int) -> None:
+        """Cancel a pending :meth:`call_later`/:meth:`call_at` entry.
+
+        The entry becomes invisible: it neither runs nor advances the
+        clock, so a cancelled far-future timer does not stretch
+        :meth:`run`'s end time. Cancelling an already-executed handle is
+        the caller's bug (the handle may sit in the cancelled-set
+        forever); callers like :class:`Timeout` guard with their own
+        triggered state.
+        """
+        self._cancelled.add(handle)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at the current time, after pending
@@ -376,12 +412,16 @@ class EventLoop:
         """
         queue = self._queue
         pop = heapq.heappop
+        cancelled = self._cancelled
         processed = 0
         try:
             if until is None:
                 # Fast path: no deadline check, pop-and-dispatch directly.
                 while queue:
-                    when, _seq, callback, args = pop(queue)
+                    when, seq, callback, args = pop(queue)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue  # invisible: must not advance the clock
                     self._now = when
                     callback(*args)
                     processed += 1
@@ -391,11 +431,15 @@ class EventLoop:
                             f"runaway simulation?")
                 return self._now
             while queue:
-                when = queue[0][0]
+                when, seq, callback, args = pop(queue)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue  # invisible: must not advance the clock
                 if when > until:
+                    # Past the deadline: put it back for the next run.
+                    heapq.heappush(queue, (when, seq, callback, args))
                     self._now = until
                     return self._now
-                _when, _seq, callback, args = pop(queue)
                 self._now = when
                 callback(*args)
                 processed += 1

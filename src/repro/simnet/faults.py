@@ -1,0 +1,265 @@
+"""Deterministic, seed-driven fault injection for built worlds.
+
+The chaos layer the fault battery (and any experiment) schedules network
+trouble with: a :class:`FaultSchedule` is a plain list of timed
+:class:`FaultSpec` entries, and a :class:`FaultInjector` arms them
+against a built world's event loop. Everything is ordinary simulation
+scheduling — no wall-clock, no hidden randomness — so the same seed and
+schedule reproduce bit-identical runs, serial or in a worker pool.
+
+Supported fault kinds:
+
+* ``LINK_DOWN`` — administratively down every link between two ASes (or
+  a host's access link) for a duration; overlapping windows on the same
+  link are reference-counted so a link only comes back up when the last
+  fault covering it ends.
+* ``LOSS_BURST`` — additive packet-loss probability on the targeted
+  links for a duration (congestion collapse, flapping microwave link).
+* ``LATENCY_SPIKE`` — additive one-way latency on the targeted links
+  (bufferbloat, reroute through a scenic path).
+* ``JITTER_BURST`` — additive jitter bound on the targeted links.
+* ``SCION_OUTAGE`` — the shared path-server infrastructure becomes
+  unreachable: daemons keep serving cached paths, but refreshes and
+  first-contact lookups fail, and expired segments are not renewed.
+
+Targets name either an inter-AS link by its endpoint pair
+(``"1-ff00:0:110~3-ff00:0:310"``), a host's access link by host name
+(``"client"``), or ``"*"`` for every link in the world. ``SCION_OUTAGE``
+needs no target.
+
+:func:`random_schedule` derives a schedule from a seed for chaos-style
+batteries; it draws only from its own ``random.Random(seed)``, never
+from the world's RNG, so injecting faults does not perturb the
+simulation's seed stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+class FaultKind(enum.Enum):
+    """What kind of trouble a :class:`FaultSpec` injects."""
+
+    LINK_DOWN = "link-down"
+    LOSS_BURST = "loss-burst"
+    LATENCY_SPIKE = "latency-spike"
+    JITTER_BURST = "jitter-burst"
+    SCION_OUTAGE = "scion-outage"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what, where, when, how long, how hard.
+
+    Attributes:
+        kind: the fault type.
+        at_ms: simulation time the fault starts.
+        duration_ms: how long it lasts; ``float("inf")`` never recovers.
+        target: link selector (AS pair ``"a~b"``, host name, or ``"*"``);
+            ignored for :attr:`FaultKind.SCION_OUTAGE`.
+        magnitude: loss probability for ``LOSS_BURST``, extra
+            milliseconds for ``LATENCY_SPIKE``/``JITTER_BURST``; ignored
+            otherwise.
+    """
+
+    kind: FaultKind
+    at_ms: float
+    duration_ms: float = float("inf")
+    target: str = "*"
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise SimulationError("fault cannot start before t=0")
+        if self.duration_ms <= 0:
+            raise SimulationError("fault duration must be positive")
+        if self.kind is FaultKind.LOSS_BURST and not 0 < self.magnitude <= 1:
+            raise SimulationError("loss-burst magnitude must be in (0, 1]")
+        if self.kind in (FaultKind.LATENCY_SPIKE, FaultKind.JITTER_BURST) \
+                and self.magnitude <= 0:
+            raise SimulationError(f"{self.kind.value} needs magnitude > 0 ms")
+
+    @property
+    def ends_ms(self) -> float:
+        """When the fault recovers (may be infinite)."""
+        return self.at_ms + self.duration_ms
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered battery of faults to arm against one world."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        """Append one fault; returns self for chaining."""
+        self.specs.append(spec)
+        return self
+
+    def link_down(self, target: str, at_ms: float,
+                  duration_ms: float = float("inf")) -> "FaultSchedule":
+        """Shorthand for a :attr:`FaultKind.LINK_DOWN` entry."""
+        return self.add(FaultSpec(FaultKind.LINK_DOWN, at_ms, duration_ms,
+                                  target=target))
+
+    def loss_burst(self, target: str, at_ms: float, duration_ms: float,
+                   loss_rate: float) -> "FaultSchedule":
+        """Shorthand for a :attr:`FaultKind.LOSS_BURST` entry."""
+        return self.add(FaultSpec(FaultKind.LOSS_BURST, at_ms, duration_ms,
+                                  target=target, magnitude=loss_rate))
+
+    def latency_spike(self, target: str, at_ms: float, duration_ms: float,
+                      extra_ms: float) -> "FaultSchedule":
+        """Shorthand for a :attr:`FaultKind.LATENCY_SPIKE` entry."""
+        return self.add(FaultSpec(FaultKind.LATENCY_SPIKE, at_ms, duration_ms,
+                                  target=target, magnitude=extra_ms))
+
+    def jitter_burst(self, target: str, at_ms: float, duration_ms: float,
+                     extra_ms: float) -> "FaultSchedule":
+        """Shorthand for a :attr:`FaultKind.JITTER_BURST` entry."""
+        return self.add(FaultSpec(FaultKind.JITTER_BURST, at_ms, duration_ms,
+                                  target=target, magnitude=extra_ms))
+
+    def scion_outage(self, at_ms: float,
+                     duration_ms: float = float("inf")) -> "FaultSchedule":
+        """Shorthand for a :attr:`FaultKind.SCION_OUTAGE` entry."""
+        return self.add(FaultSpec(FaultKind.SCION_OUTAGE, at_ms, duration_ms))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+
+def random_schedule(seed: int, duration_ms: float,
+                    targets: tuple[str, ...],
+                    n_faults: int = 4,
+                    kinds: tuple[FaultKind, ...] = (
+                        FaultKind.LINK_DOWN,
+                        FaultKind.LOSS_BURST,
+                        FaultKind.LATENCY_SPIKE,
+                    )) -> FaultSchedule:
+    """A deterministic chaos schedule drawn from ``random.Random(seed)``.
+
+    Each fault starts uniformly within ``[0, duration_ms)``, lasts
+    between 10% and 50% of the window, and hits a uniformly chosen
+    target. Magnitudes: loss bursts draw 0.3–0.9 drop probability,
+    latency spikes 20–200 ms. The draw order is fixed (kind, start,
+    length, target, magnitude per fault), so a given seed always yields
+    the same schedule.
+    """
+    if not targets:
+        raise SimulationError("random_schedule needs at least one target")
+    rng = random.Random(seed)
+    schedule = FaultSchedule()
+    for _ in range(n_faults):
+        kind = kinds[rng.randrange(len(kinds))]
+        at_ms = rng.uniform(0.0, duration_ms)
+        length = rng.uniform(0.1 * duration_ms, 0.5 * duration_ms)
+        target = targets[rng.randrange(len(targets))]
+        if kind is FaultKind.LOSS_BURST:
+            magnitude = rng.uniform(0.3, 0.9)
+        elif kind in (FaultKind.LATENCY_SPIKE, FaultKind.JITTER_BURST):
+            magnitude = rng.uniform(20.0, 200.0)
+        else:
+            magnitude = 0.0
+        schedule.add(FaultSpec(kind, at_ms, length, target=target,
+                               magnitude=magnitude))
+    return schedule
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` against one built world.
+
+    The world must expose ``loop`` (the event loop), ``links_for(target)``
+    (link lookup by target string — :class:`repro.internet.build.Internet`
+    provides it), and optionally ``path_server`` (for
+    :attr:`FaultKind.SCION_OUTAGE`). Every applied transition is appended
+    to :attr:`log` as ``(time_ms, event, target)`` tuples, which is what
+    the determinism tests compare across serial and parallel runs.
+    """
+
+    def __init__(self, world, schedule: FaultSchedule) -> None:
+        self.world = world
+        self.schedule = schedule
+        self.log: list[tuple[float, str, str]] = []
+        self.faults_applied = 0
+        #: Reference counts so overlapping windows compose: a link is up
+        #: again only when every fault covering it has ended.
+        self._down_refs: dict[int, int] = {}
+        self._outage_refs = 0
+        self._armed = False
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every fault's start/end on the world's loop."""
+        if self._armed:
+            raise SimulationError("injector already armed")
+        self._armed = True
+        loop = self.world.loop
+        for spec in self.schedule:
+            loop.call_at(spec.at_ms, self._apply, spec)
+            if spec.duration_ms != float("inf"):
+                loop.call_at(spec.ends_ms, self._recover, spec)
+        return self
+
+    # -- transitions --------------------------------------------------------
+
+    def _links(self, spec: FaultSpec):
+        return self.world.links_for(spec.target)
+
+    def _apply(self, spec: FaultSpec) -> None:
+        self.faults_applied += 1
+        self._record(f"{spec.kind.value}:start", spec.target)
+        if spec.kind is FaultKind.SCION_OUTAGE:
+            self._outage_refs += 1
+            self.world.path_server.available = False
+            return
+        for link in self._links(spec):
+            if spec.kind is FaultKind.LINK_DOWN:
+                key = id(link)
+                self._down_refs[key] = self._down_refs.get(key, 0) + 1
+                link.up = False
+            elif spec.kind is FaultKind.LOSS_BURST:
+                link.extra_loss_rate += spec.magnitude
+            elif spec.kind is FaultKind.LATENCY_SPIKE:
+                link.extra_latency_ms += spec.magnitude
+            elif spec.kind is FaultKind.JITTER_BURST:
+                link.extra_jitter_ms += spec.magnitude
+
+    def _recover(self, spec: FaultSpec) -> None:
+        self._record(f"{spec.kind.value}:end", spec.target)
+        if spec.kind is FaultKind.SCION_OUTAGE:
+            self._outage_refs -= 1
+            if self._outage_refs == 0:
+                self.world.path_server.available = True
+            return
+        for link in self._links(spec):
+            if spec.kind is FaultKind.LINK_DOWN:
+                key = id(link)
+                self._down_refs[key] -= 1
+                if self._down_refs[key] == 0:
+                    del self._down_refs[key]
+                    link.up = True
+            elif spec.kind is FaultKind.LOSS_BURST:
+                link.extra_loss_rate = max(
+                    0.0, link.extra_loss_rate - spec.magnitude)
+            elif spec.kind is FaultKind.LATENCY_SPIKE:
+                link.extra_latency_ms = max(
+                    0.0, link.extra_latency_ms - spec.magnitude)
+            elif spec.kind is FaultKind.JITTER_BURST:
+                link.extra_jitter_ms = max(
+                    0.0, link.extra_jitter_ms - spec.magnitude)
+
+    def _record(self, event: str, target: str) -> None:
+        self.log.append((self.world.loop.now, event, target))
+
+
+def inject(world, schedule: FaultSchedule) -> FaultInjector:
+    """Build and arm an injector in one call."""
+    return FaultInjector(world, schedule).arm()

@@ -75,6 +75,14 @@ class Link:
         #: (fiber cut / interface down), letting experiments inject
         #: failures mid-run.
         self.up = True
+        #: Dynamic fault hooks (see :mod:`repro.simnet.faults`): additive
+        #: loss probability, one-way latency and jitter applied on top of
+        #: the static :class:`LinkConfig`. Zero means no active fault; the
+        #: RNG draw pattern is unchanged while all three stay zero, so
+        #: fault-free runs consume the seed stream exactly as before.
+        self.extra_loss_rate = 0.0
+        self.extra_latency_ms = 0.0
+        self.extra_jitter_ms = 0.0
         self._endpoints = {a.name: (a, a_port), b.name: (b, b_port)}
         # Receiver per sender, precomputed: transmit() runs per packet and
         # must not search the endpoint table each time.
@@ -111,7 +119,8 @@ class Link:
             self.packets_dropped += 1
             self._record("drop-mtu", packet)
             return
-        if cfg.loss_rate > 0.0 and self.rng.random() < cfg.loss_rate:
+        loss_rate = cfg.loss_rate + self.extra_loss_rate
+        if loss_rate > 0.0 and self.rng.random() < loss_rate:
             self.packets_dropped += 1
             self._record("drop-loss", packet)
             return
@@ -120,8 +129,9 @@ class Link:
         start = max(self.loop.now, self._tx_free_at[sender_name])
         tx_done = start + serialization
         self._tx_free_at[sender_name] = tx_done
-        jitter = self.rng.uniform(0.0, cfg.jitter_ms) if cfg.jitter_ms > 0 else 0.0
-        arrival = tx_done + cfg.latency_ms + jitter
+        jitter_bound = cfg.jitter_ms + self.extra_jitter_ms
+        jitter = self.rng.uniform(0.0, jitter_bound) if jitter_bound > 0 else 0.0
+        arrival = tx_done + cfg.latency_ms + self.extra_latency_ms + jitter
 
         self.packets_sent += 1
         self.bytes_sent += packet.size

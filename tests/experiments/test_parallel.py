@@ -23,6 +23,7 @@ from repro.experiments.harness import (
     run_condition,
     run_samples,
 )
+from repro.experiments.fault_battery import fault_trial, run_fault_battery
 from repro.experiments.local_setup import figure3_trial
 
 
@@ -71,6 +72,33 @@ class TestParallelDeterminism:
             assert getattr(serial, field.name) == \
                 getattr(parallel, field.name), field.name
         assert serial == parallel
+
+    def test_fault_trial_parallel_equals_serial(self):
+        """Chaos trials build their own worlds *and* fault schedules from
+        the seed, so the worker pool must reproduce them sample for
+        sample — every float of every (plt, ok, failover, fallback,
+        failed) tuple."""
+        trial = functools.partial(fault_trial, "link-flap",
+                                  "opportunistic", n_resources=3)
+        serial = run_samples(trial, range(500, 506), workers=1)
+        parallel = run_samples(trial, range(500, 506), workers=4)
+        assert serial == parallel
+
+    def test_fault_battery_parallel_equals_serial(self):
+        """Same seed + same schedule ⇒ bit-identical BoxStats (and
+        recovery counts) whether the battery ran serially or on four
+        workers."""
+        kwargs = dict(trials=4, n_resources=3,
+                      scenarios=("link-flap", "quic-outage"),
+                      modes=("opportunistic", "strict"))
+        serial = run_fault_battery(workers=1, **kwargs)
+        parallel = run_fault_battery(workers=4, **kwargs)
+        assert serial.cells == parallel.cells
+        for cell_key, cell in serial.cells.items():
+            for field in dataclasses.fields(cell.plt):
+                assert getattr(cell.plt, field.name) == getattr(
+                    parallel.cells[cell_key].plt, field.name), \
+                    (cell_key, field.name)
 
     def test_non_picklable_trial_falls_back_to_serial(self):
         calls = []

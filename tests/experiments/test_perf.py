@@ -55,6 +55,107 @@ class TestWorkloads:
         assert "deterministic" in text
 
 
+def _run_rows(ts, events=1000.0, coroutine=500.0, serial=10.0,
+              parallel=2.0, label="full"):
+    """The two rows one ``run_suite`` invocation appends."""
+    return [
+        {"ts": ts, "label": label, "events_per_sec": events,
+         "coroutine_events_per_sec": coroutine},
+        {"ts": ts, "label": label, "serial_s": serial,
+         "parallel_s": parallel},
+    ]
+
+
+class TestCompareRuns:
+    def test_needs_two_full_runs(self):
+        assert perf.compare_runs([]) is None
+        assert perf.compare_runs(_run_rows("t1")) is None
+
+    def test_quick_runs_are_ignored(self):
+        rows = _run_rows("t1") + _run_rows("t2", label="quick")
+        assert perf.compare_runs(rows) is None
+
+    def test_clean_comparison_has_no_regressions(self):
+        rows = _run_rows("t1") + _run_rows("t2", events=1050.0, serial=9.5)
+        report = perf.compare_runs(rows)
+        assert report["baseline_ts"] == "t1"
+        assert report["current_ts"] == "t2"
+        assert report["regressions"] == []
+        assert len(report["metrics"]) == 4
+
+    def test_throughput_drop_is_flagged(self):
+        rows = _run_rows("t1") + _run_rows("t2", events=800.0)
+        report = perf.compare_runs(rows)
+        assert report["regressions"] == ["events_per_sec"]
+
+    def test_wall_clock_growth_is_flagged(self):
+        rows = _run_rows("t1") + _run_rows("t2", serial=12.0, parallel=2.5)
+        report = perf.compare_runs(rows)
+        assert set(report["regressions"]) == {"serial_s", "parallel_s"}
+
+    def test_ten_percent_boundary_is_not_a_regression(self):
+        rows = _run_rows("t1") + _run_rows("t2", events=900.0, serial=11.0)
+        assert perf.compare_runs(rows)["regressions"] == []
+
+    def test_only_latest_two_runs_compared(self):
+        rows = (_run_rows("t1", events=2000.0) + _run_rows("t2")
+                + _run_rows("t3", events=1020.0))
+        report = perf.compare_runs(rows)
+        assert report["baseline_ts"] == "t2"
+        assert report["regressions"] == []
+
+    def test_improvements_are_never_regressions(self):
+        rows = _run_rows("t1") + _run_rows("t2", events=5000.0,
+                                           coroutine=5000.0, serial=1.0,
+                                           parallel=0.2)
+        assert perf.compare_runs(rows)["regressions"] == []
+
+    def test_render_marks_regressions(self):
+        rows = _run_rows("t1") + _run_rows("t2", events=800.0)
+        text = perf.render_comparison(perf.compare_runs(rows))
+        assert "REGRESSION" in text
+        assert "events_per_sec" in text
+
+    def test_render_reports_clean_runs(self):
+        rows = _run_rows("t1") + _run_rows("t2")
+        text = perf.render_comparison(perf.compare_runs(rows))
+        assert "no regressions" in text
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, monkeypatch, rows):
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
+        target.write_text(json.dumps({"schema": perf.BENCH_SCHEMA,
+                                      "rows": rows}))
+
+    def test_exit_zero_without_enough_runs(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setenv(perf.BENCH_FILE_ENV,
+                           str(tmp_path / "missing.json"))
+        assert perf.main(["--compare"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_exit_zero_on_clean_diff(self, tmp_path, monkeypatch, capsys):
+        self._write(tmp_path, monkeypatch,
+                    _run_rows("t1") + _run_rows("t2"))
+        assert perf.main(["--compare"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, monkeypatch, capsys):
+        self._write(tmp_path, monkeypatch,
+                    _run_rows("t1") + _run_rows("t2", serial=20.0))
+        assert perf.main(["--compare"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_malformed_file_reads_as_empty(self, tmp_path, monkeypatch):
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
+        target.write_text("{broken")
+        assert perf.load_rows() == []
+        assert perf.main(["--compare"]) == 0
+
+
 class TestCli:
     def test_quick_run_records_rows(self, tmp_path, monkeypatch, capsys):
         target = tmp_path / "bench.json"

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import RequestTimeoutError
 from repro.http.client import HttpClient
 from repro.http.message import Headers, HttpRequest, ResourceData
 from repro.http.server import HttpServer
@@ -97,6 +98,40 @@ class TestServer:
 
         internet.loop.run_process(main())
         assert server.requests_by_transport == {"tcp": 1, "quic": 1}
+
+
+class TestRequestTimeout:
+    def test_deadline_raises_and_counts(self, world):
+        """A dead origin (QUIC listener closed) hangs the exchange; the
+        per-request deadline converts the hang into a typed error."""
+        internet, ases, client_host, server_host, server, client = world
+        path = client_host.daemon.paths(ases.remote_server)[0]
+        server.quic_listener.close()
+
+        def main():
+            yield from client.request(server_host.addr, 443, get(),
+                                      via="scion", path=path,
+                                      timeout_ms=2_000.0)
+
+        with pytest.raises(RequestTimeoutError):
+            internet.loop.run_process(main())
+        assert client.stats.timeouts == 1
+
+    def test_fast_response_cancels_the_watchdog(self, world):
+        """The withdrawn deadline timer must not stretch the run: the
+        clock stops at the response, not at the would-be timeout."""
+        internet, _ases, _ch, server_host, server, client = world
+
+        def main():
+            response = yield from client.request(
+                server_host.addr, 80, get(), via="ip",
+                timeout_ms=60_000.0)
+            return response
+
+        response = internet.loop.run_process(main())
+        assert response.status == 200
+        assert client.stats.timeouts == 0
+        assert internet.loop.now < 60_000.0
 
 
 class TestClientPooling:

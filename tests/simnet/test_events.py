@@ -70,6 +70,51 @@ class TestScheduling:
         assert loop.events_processed == 3
 
 
+class TestCancellation:
+    def test_cancelled_callback_never_fires(self, loop):
+        seen = []
+        handle = loop.call_later(5.0, seen.append, "a")
+        loop.cancel_scheduled(handle)
+        loop.run()
+        assert seen == []
+
+    def test_cancelled_timer_does_not_stretch_the_run(self, loop):
+        """A cancelled far-future timer must be invisible to the clock:
+        the run ends when the last *live* event fires, not when the dead
+        timer would have."""
+        seen = []
+        loop.call_later(2.0, seen.append, "live")
+        handle = loop.call_later(10_000.0, seen.append, "dead")
+        loop.cancel_scheduled(handle)
+        loop.run()
+        assert seen == ["live"]
+        assert loop.now == 2.0
+
+    def test_cancel_is_per_handle(self, loop):
+        seen = []
+        loop.call_later(1.0, seen.append, "first")
+        handle = loop.call_later(1.0, seen.append, "second")
+        loop.call_later(1.0, seen.append, "third")
+        loop.cancel_scheduled(handle)
+        loop.run()
+        assert seen == ["first", "third"]
+
+    def test_cancelled_timeout_never_triggers(self, loop):
+        timeout = loop.timeout(5.0)
+        timeout.cancel()
+        loop.run()
+        assert not timeout.triggered
+        assert loop.now == 0.0
+
+    def test_cancel_after_trigger_is_a_no_op(self, loop):
+        timeout = loop.timeout(1.0)
+        loop.run()
+        assert timeout.triggered
+        timeout.cancel()
+        loop.run()
+        assert timeout.triggered
+
+
 class TestEvent:
     def test_succeed_delivers_value(self, loop):
         event = loop.event()
