@@ -1,0 +1,27 @@
+# Developer entry points. `make verify` is the per-PR gate: the full
+# tier-1 test suite, then a quick perf smoke run (appends a row to
+# BENCH_results.json), then the trajectory compare, which exits
+# non-zero if any headline metric regressed more than 10 % against the
+# previous full-size run.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test perf perf-full compare experiments
+
+verify: test perf compare
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+perf:
+	$(PYTHON) -m repro.perf --quick
+
+perf-full:
+	$(PYTHON) -m repro.perf
+
+compare:
+	$(PYTHON) -m repro.perf --compare
+
+experiments:
+	$(PYTHON) -m repro.experiments.run_all

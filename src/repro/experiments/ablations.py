@@ -36,7 +36,8 @@ from repro.core.ppl.evaluator import metric_value, order_paths, permits
 from repro.core.ppl.policies import co2_optimized, latency_optimized
 from repro.dns.resolver import Resolver
 from repro.errors import NoPathError
-from repro.experiments.harness import BoxStats, ExperimentResult, run_condition
+from repro.experiments.harness import (BoxStats, ExperimentResult,
+                                       PendingExperiment, submit_samples)
 from repro.experiments.local_setup import (
     DEFAULT_CALIBRATION,
     IP_ORIGIN,
@@ -90,25 +91,34 @@ def ablation_a_trial(condition: str, seed: int,
     return result.plt_ms
 
 
+def submit_ablation_overhead(trials: int = 15, n_resources: int = 12,
+                             base_seed: int = 700,
+                             workers: int | None = None) -> PendingExperiment:
+    """Submit every Ablation A condition battery to the shared pool."""
+    pending = PendingExperiment(ExperimentResult(
+        name="Ablation A — extension/proxy overhead decomposition",
+        description=(f"mixed local page, {n_resources} resources, "
+                     f"{trials} trials; PLT in ms"),
+    ))
+    seeds = range(base_seed, base_seed + trials)
+    for condition in ABLATION_A_CONDITIONS:
+        pending.add_pending(condition, submit_samples(
+            functools.partial(ablation_a_trial, condition,
+                              n_resources=n_resources),
+            seeds, workers=workers))
+    pending.result.notes.append(
+        "'free both' approximates the paper's predicted tighter browser "
+        "integration: the detour overhead nearly disappears")
+    return pending
+
+
 def run_ablation_overhead(trials: int = 15, n_resources: int = 12,
                           base_seed: int = 700,
                           workers: int | None = None) -> ExperimentResult:
     """Ablation A: which component the Figure 3 overhead comes from."""
-    result = ExperimentResult(
-        name="Ablation A — extension/proxy overhead decomposition",
-        description=(f"mixed local page, {n_resources} resources, "
-                     f"{trials} trials; PLT in ms"),
-    )
-    for condition in ABLATION_A_CONDITIONS:
-        stats = run_condition(
-            functools.partial(ablation_a_trial, condition,
-                              n_resources=n_resources),
-            trials=trials, base_seed=base_seed, workers=workers)
-        result.add(condition, stats)
-    result.notes.append(
-        "'free both' approximates the paper's predicted tighter browser "
-        "integration: the detour overhead nearly disappears")
-    return result
+    return submit_ablation_overhead(trials=trials, n_resources=n_resources,
+                                    base_seed=base_seed,
+                                    workers=workers).collect()
 
 
 # ---------------------------------------------------------------------------

@@ -40,7 +40,7 @@ from repro.core.browser.page import WebPage, content_for_origin, synthetic_page
 from repro.core.ppl.policies import latency_optimized
 from repro.dns.resolver import Resolver
 from repro.errors import ReproError
-from repro.experiments.harness import BoxStats, run_samples
+from repro.experiments.harness import BoxStats, PendingSamples, submit_samples
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
 from repro.simnet.faults import FaultSchedule, inject
@@ -223,6 +223,49 @@ class FaultBatteryResult:
         return "\n".join(lines)
 
 
+class PendingFaultBattery:
+    """The chaos battery with every cell's trials in flight."""
+
+    def __init__(self, trials: int, n_resources: int,
+                 cells: list[tuple[tuple[str, str], PendingSamples]]) -> None:
+        self._trials = trials
+        self._n_resources = n_resources
+        self._cells = cells
+
+    def collect(self) -> FaultBatteryResult:
+        """Wait for every cell; assemble rows in submission order."""
+        battery = FaultBatteryResult(trials=self._trials)
+        for key, pending in self._cells:
+            rows = pending.collect()
+            plts = [row[0] for row in rows]
+            battery.cells[key] = FaultCell(
+                plt=BoxStats.from_samples(plts),
+                ok=int(sum(row[1] for row in rows)),
+                failover=int(sum(row[2] for row in rows)),
+                fallback=int(sum(row[3] for row in rows)),
+                failed=int(sum(row[4] for row in rows)),
+                total=self._trials * (1 + self._n_resources),
+            )
+        return battery
+
+
+def submit_fault_battery(trials: int = 10, n_resources: int = 6,
+                         base_seed: int = 500,
+                         scenarios: tuple[str, ...] = SCENARIOS,
+                         modes: tuple[str, ...] = MODES,
+                         workers: int | None = None) -> PendingFaultBattery:
+    """Submit every (scenario, mode) cell's trials to the shared pool."""
+    cells: list[tuple[tuple[str, str], PendingSamples]] = []
+    seeds = range(base_seed, base_seed + trials)
+    for scenario in scenarios:
+        for mode in modes:
+            trial = functools.partial(fault_trial, scenario, mode,
+                                      n_resources=n_resources)
+            cells.append(((scenario, mode),
+                          submit_samples(trial, seeds, workers=workers)))
+    return PendingFaultBattery(trials, n_resources, cells)
+
+
 def run_fault_battery(trials: int = 10, n_resources: int = 6,
                       base_seed: int = 500,
                       scenarios: tuple[str, ...] = SCENARIOS,
@@ -233,21 +276,6 @@ def run_fault_battery(trials: int = 10, n_resources: int = 6,
     Trials fan out over the shared worker pool exactly like the figure
     batteries; results are bit-identical to a serial run.
     """
-    battery = FaultBatteryResult(trials=trials)
-    for scenario in scenarios:
-        for mode in modes:
-            trial = functools.partial(fault_trial, scenario, mode,
-                                      n_resources=n_resources)
-            rows = run_samples(trial,
-                               range(base_seed, base_seed + trials),
-                               workers=workers)
-            plts = [row[0] for row in rows]
-            battery.cells[(scenario, mode)] = FaultCell(
-                plt=BoxStats.from_samples(plts),
-                ok=int(sum(row[1] for row in rows)),
-                failover=int(sum(row[2] for row in rows)),
-                fallback=int(sum(row[3] for row in rows)),
-                failed=int(sum(row[4] for row in rows)),
-                total=trials * (1 + n_resources),
-            )
-    return battery
+    return submit_fault_battery(trials=trials, n_resources=n_resources,
+                                base_seed=base_seed, scenarios=scenarios,
+                                modes=modes, workers=workers).collect()

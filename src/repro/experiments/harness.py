@@ -11,10 +11,11 @@ independent and the whole battery is reproducible.
 from __future__ import annotations
 
 import atexit
+import math
 import multiprocessing
 import os
 import pickle
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -138,6 +139,72 @@ def _picklable(trial: Callable[[int], float]) -> bool:
         return False
 
 
+def battery_chunksize(n_seeds: int, workers: int) -> int:
+    """Pool chunksize splitting ``n_seeds`` into ~4 waves per worker.
+
+    Ceil division: floor left a remainder of up to ``workers * 4 - 1``
+    straggler seeds dispatched one by one at the tail of big batteries
+    (and the final partial chunk serializes behind full ones).
+    """
+    return max(1, math.ceil(n_seeds / (workers * 4)))
+
+
+class PendingSamples:
+    """A battery submitted to the pool whose results are not collected yet.
+
+    ``Executor.map`` submits every chunk eagerly, so constructing one of
+    these (via :func:`submit_samples`) starts the trials; :meth:`collect`
+    blocks for the results in seed order. Holding several PendingSamples
+    at once is what gives ``run_all`` battery-level parallelism: every
+    battery's trials interleave in one shared pool instead of each
+    battery draining before the next is submitted.
+    """
+
+    def __init__(self, trial: Callable[[int], float], seeds: Sequence[int],
+                 results: "Iterator[float] | list[float]") -> None:
+        self._trial = trial
+        self._seeds = seeds
+        self._results = results
+
+    def collect(self) -> list[float]:
+        """Block until all samples are in; returns them in seed order.
+
+        Falls back to serial recomputation if the worker pool broke
+        mid-battery, so a crash in one worker degrades to a slow run,
+        never a lost battery.
+        """
+        if isinstance(self._results, list):
+            return self._results
+        try:
+            samples = list(self._results)
+        except BrokenProcessPool:
+            _shutdown_pool()
+            samples = [self._trial(seed) for seed in self._seeds]
+        self._results = samples
+        return samples
+
+
+def submit_samples(trial: Callable[[int], float], seeds: Sequence[int],
+                   workers: int | None = None) -> PendingSamples:
+    """Start ``[trial(seed) for seed in seeds]`` on the shared pool.
+
+    Returns immediately with a :class:`PendingSamples`; serial and
+    non-picklable cases compute eagerly so ``collect()`` never surprises
+    with a different execution mode than the arguments imply.
+    """
+    workers = min(resolve_workers(workers), len(seeds))
+    if workers > 1 and _picklable(trial):
+        pool = _shared_pool(workers)
+        payloads = [(trial, seed) for seed in seeds]
+        chunksize = battery_chunksize(len(seeds), workers)
+        try:
+            results = pool.map(_run_trial, payloads, chunksize=chunksize)
+            return PendingSamples(trial, seeds, results)
+        except BrokenProcessPool:
+            _shutdown_pool()
+    return PendingSamples(trial, seeds, [trial(seed) for seed in seeds])
+
+
 def run_samples(trial: Callable[[int], float], seeds: Sequence[int],
                 workers: int | None = None) -> list[float]:
     """``[trial(seed) for seed in seeds]``, fanned out over ``workers``
@@ -149,16 +216,7 @@ def run_samples(trial: Callable[[int], float], seeds: Sequence[int],
     execution for non-picklable trials (e.g. lambdas/closures) and when
     a worker pool breaks mid-battery.
     """
-    workers = min(resolve_workers(workers), len(seeds))
-    if workers > 1 and _picklable(trial):
-        pool = _shared_pool(workers)
-        payloads = [(trial, seed) for seed in seeds]
-        chunksize = max(1, len(seeds) // (workers * 4))
-        try:
-            return list(pool.map(_run_trial, payloads, chunksize=chunksize))
-        except BrokenProcessPool:
-            _shutdown_pool()
-    return [trial(seed) for seed in seeds]
+    return submit_samples(trial, seeds, workers=workers).collect()
 
 
 def run_condition(trial: Callable[[int], float], trials: int,
@@ -202,3 +260,30 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+@dataclass
+class PendingExperiment:
+    """An experiment whose condition batteries are in flight on the pool.
+
+    ``submit_*`` experiment entry points build one of these by calling
+    :meth:`add_pending` per condition (submitting the battery) and
+    :meth:`collect` turns it into the finished
+    :class:`ExperimentResult`, summarizing conditions in submission
+    order — so results are byte-identical to the sequential form no
+    matter how the pool interleaves batteries.
+    """
+
+    result: ExperimentResult
+    _pending: list[tuple[str, PendingSamples]] = field(default_factory=list)
+
+    def add_pending(self, condition: str, pending: PendingSamples) -> None:
+        """Register one condition's in-flight battery."""
+        self._pending.append((condition, pending))
+
+    def collect(self) -> ExperimentResult:
+        """Wait for every battery and assemble the result."""
+        for condition, pending in self._pending:
+            self.result.add(condition, BoxStats.from_samples(pending.collect()))
+        self._pending.clear()
+        return self.result

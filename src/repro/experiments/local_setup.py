@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from repro.core.browser.brave import BraveBrowser
 from repro.core.browser.page import WebPage, content_for_origin, synthetic_page
 from repro.dns.resolver import Resolver
-from repro.experiments.harness import ExperimentResult, run_condition
+from repro.experiments.harness import (ExperimentResult, PendingExperiment,
+                                       submit_samples)
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
 from repro.topology.defaults import LOCAL_AS, local_testbed
@@ -142,26 +143,36 @@ def figure3_trial(condition: str, seed: int, n_resources: int = 12,
     return load_once(world)
 
 
+def submit_figure3(trials: int = 30, n_resources: int = 12,
+                   calibration: LocalCalibration = DEFAULT_CALIBRATION,
+                   base_seed: int = 100,
+                   workers: int | None = None) -> PendingExperiment:
+    """Submit every Figure 3 condition battery to the shared pool."""
+    pending = PendingExperiment(ExperimentResult(
+        name="Figure 3 — local setup Page Load Time",
+        description=(f"{trials} trials/condition, {n_resources} resources, "
+                     "loopback-grade links; PLT in ms"),
+    ))
+    seeds = range(base_seed, base_seed + trials)
+    for condition in FIGURE3_CONDITIONS:
+        # functools.partial keeps the trial picklable for worker processes.
+        pending.add_pending(condition, submit_samples(
+            functools.partial(figure3_trial, condition,
+                              n_resources=n_resources,
+                              calibration=calibration),
+            seeds, workers=workers))
+    pending.result.notes.append(
+        "expected shape: SCION-only ≈ mixed > strict-SCION and "
+        "BGP/IP-only (proxied loads pay the extension+proxy detour; "
+        "strict blocks most resources)")
+    return pending
+
+
 def run_figure3(trials: int = 30, n_resources: int = 12,
                 calibration: LocalCalibration = DEFAULT_CALIBRATION,
                 base_seed: int = 100,
                 workers: int | None = None) -> ExperimentResult:
     """Reproduce Figure 3: PLT per condition on the local testbed."""
-    result = ExperimentResult(
-        name="Figure 3 — local setup Page Load Time",
-        description=(f"{trials} trials/condition, {n_resources} resources, "
-                     "loopback-grade links; PLT in ms"),
-    )
-    for condition in FIGURE3_CONDITIONS:
-        # functools.partial keeps the trial picklable for worker processes.
-        stats = run_condition(
-            functools.partial(figure3_trial, condition,
-                              n_resources=n_resources,
-                              calibration=calibration),
-            trials=trials, base_seed=base_seed, workers=workers)
-        result.add(condition, stats)
-    result.notes.append(
-        "expected shape: SCION-only ≈ mixed > strict-SCION and "
-        "BGP/IP-only (proxied loads pay the extension+proxy detour; "
-        "strict blocks most resources)")
-    return result
+    return submit_figure3(trials=trials, n_resources=n_resources,
+                          calibration=calibration, base_seed=base_seed,
+                          workers=workers).collect()

@@ -29,7 +29,8 @@ from repro.core.browser.brave import BraveBrowser
 from repro.core.browser.page import WebPage, content_for_origin, synthetic_page
 from repro.core.ppl.policies import latency_optimized
 from repro.dns.resolver import Resolver
-from repro.experiments.harness import ExperimentResult, run_condition
+from repro.experiments.harness import (ExperimentResult, PendingExperiment,
+                                       submit_samples)
 from repro.http.reverse_proxy import ScionReverseProxy
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
@@ -140,28 +141,63 @@ def remote_trial(primary: str, condition: str, seed: int,
     return result.plt_ms
 
 
-def run_figure5(trials: int = 20, n_resources: int = 9,
-                calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
-                base_seed: int = 500,
-                workers: int | None = None) -> ExperimentResult:
-    """Reproduce Figure 5: remote pages over SCION vs IPv4/6."""
+def _submit_remote(primary: str, result: ExperimentResult, trials: int,
+                   n_resources: int, calibration: RemoteCalibration,
+                   base_seed: int, workers: int | None) -> PendingExperiment:
+    pending = PendingExperiment(result)
+    seeds = range(base_seed, base_seed + trials)
+    for condition in REMOTE_CONDITIONS:
+        pending.add_pending(condition, submit_samples(
+            functools.partial(remote_trial, primary, condition,
+                              n_resources=n_resources,
+                              calibration=calibration),
+            seeds, workers=workers))
+    return pending
+
+
+def submit_figure5(trials: int = 20, n_resources: int = 9,
+                   calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
+                   base_seed: int = 500,
+                   workers: int | None = None) -> PendingExperiment:
+    """Submit every Figure 5 condition battery to the shared pool."""
     result = ExperimentResult(
         name="Figure 5 — remote page PLT (SCION vs IPv4/6)",
         description=(f"{trials} trials/condition, {n_resources} resources; "
                      "BGP routes over a 75 ms direct link, SCION detours "
                      "via ISD 3 (46 ms)"),
     )
-    for condition in REMOTE_CONDITIONS:
-        stats = run_condition(
-            functools.partial(remote_trial, FAR_ORIGIN, condition,
-                              n_resources=n_resources,
-                              calibration=calibration),
-            trials=trials, base_seed=base_seed, workers=workers)
-        result.add(condition, stats)
     result.notes.append(
         "expected shape: SCION significantly faster than IPv4/6 for both "
         "page variants (path-aware low-latency path selection)")
-    return result
+    return _submit_remote(FAR_ORIGIN, result, trials, n_resources,
+                          calibration, base_seed, workers)
+
+
+def run_figure5(trials: int = 20, n_resources: int = 9,
+                calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
+                base_seed: int = 500,
+                workers: int | None = None) -> ExperimentResult:
+    """Reproduce Figure 5: remote pages over SCION vs IPv4/6."""
+    return submit_figure5(trials=trials, n_resources=n_resources,
+                          calibration=calibration, base_seed=base_seed,
+                          workers=workers).collect()
+
+
+def submit_figure6(trials: int = 20, n_resources: int = 9,
+                   calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
+                   base_seed: int = 600,
+                   workers: int | None = None) -> PendingExperiment:
+    """Submit every Figure 6 condition battery to the shared pool."""
+    result = ExperimentResult(
+        name="Figure 6 — AS-local page PLT (SCION vs IPv4/6)",
+        description=(f"{trials} trials/condition, {n_resources} resources; "
+                     "SCION and BGP paths coincide (≈5.6 ms one-way)"),
+    )
+    result.notes.append(
+        "expected shape: SCION slightly slower than IPv4/6 (similar paths, "
+        "small extension+proxy overhead)")
+    return _submit_remote(NEAR_ORIGIN, result, trials, n_resources,
+                          calibration, base_seed, workers)
 
 
 def run_figure6(trials: int = 20, n_resources: int = 9,
@@ -169,19 +205,6 @@ def run_figure6(trials: int = 20, n_resources: int = 9,
                 base_seed: int = 600,
                 workers: int | None = None) -> ExperimentResult:
     """Reproduce Figure 6: AS-local pages over SCION vs IPv4/6."""
-    result = ExperimentResult(
-        name="Figure 6 — AS-local page PLT (SCION vs IPv4/6)",
-        description=(f"{trials} trials/condition, {n_resources} resources; "
-                     "SCION and BGP paths coincide (≈5.6 ms one-way)"),
-    )
-    for condition in REMOTE_CONDITIONS:
-        stats = run_condition(
-            functools.partial(remote_trial, NEAR_ORIGIN, condition,
-                              n_resources=n_resources,
-                              calibration=calibration),
-            trials=trials, base_seed=base_seed, workers=workers)
-        result.add(condition, stats)
-    result.notes.append(
-        "expected shape: SCION slightly slower than IPv4/6 (similar paths, "
-        "small extension+proxy overhead)")
-    return result
+    return submit_figure6(trials=trials, n_resources=n_resources,
+                          calibration=calibration, base_seed=base_seed,
+                          workers=workers).collect()

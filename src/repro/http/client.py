@@ -157,7 +157,7 @@ class HttpClient:
                 self.stats.connections_opened += 1
                 return pooled
             assert self.host.loop is not None
-            waiter = self.host.loop.event()
+            waiter = self.host.loop.reusable_event()
             pool.waiters.append(waiter)
             try:
                 yield waiter

@@ -2,12 +2,15 @@
 
 Construction performs, in order:
 
-1. instantiate the simnet (one dual-stack router per AS, inter-AS links
-   with the topology's latency/bandwidth/loss/jitter/MTU),
-2. generate the control-plane PKI (TRCs, AS certificates, forwarding
-   keys),
-3. run SCION beaconing and stand up the path-server infrastructure,
-4. converge BGP and install IP forwarding tables.
+1. resolve the frozen control-plane snapshot — PKI material, the
+   verified segment store from beaconing, the converged BGP RIB — via
+   the cross-trial cache in :mod:`repro.internet.snapshot` (built once
+   per ``(topology, seed, beacons_per_target, verify_beacons)`` per
+   process, reused by every later build),
+2. instantiate the cheap mutable layer on top: the simnet (one
+   dual-stack router per AS, inter-AS links with the topology's
+   latency/bandwidth/loss/jitter/MTU), a fresh path server over the
+   shared store, and the routers' IP forwarding tables.
 
 Hosts are attached afterwards with :meth:`Internet.add_host`; each gets a
 path daemon so applications can ask for SCION paths. The host link's
@@ -21,9 +24,10 @@ from __future__ import annotations
 from repro.errors import TopologyError
 from repro.internet.host import Host
 from repro.internet.router import AsRouter
-from repro.ip.bgp import BgpRib, compute_routes
+from repro.internet.snapshot import control_plane_snapshot
+from repro.ip.bgp import BgpRib
 from repro.scion.addr import HostAddr
-from repro.scion.beaconing import BeaconingService, SegmentStore
+from repro.scion.beaconing import SegmentStore
 from repro.scion.daemon import PathDaemon
 from repro.scion.path_server import PathServer
 from repro.scion.pki import ControlPlanePki
@@ -52,8 +56,14 @@ class Internet:
         self.host_bandwidth_mbps = host_bandwidth_mbps
         self.host_jitter_ms = host_jitter_ms
 
-        self.pki = ControlPlanePki(topology, seed=seed)
-        self.core_ases: set[IsdAs] = {info.isd_as for info in topology.core_ases()}
+        # The expensive, immutable control plane comes from the
+        # process-local snapshot cache: PKI generation, beaconing, and
+        # BGP convergence run once per configuration, not once per trial.
+        self.snapshot = control_plane_snapshot(
+            topology, seed=seed, beacons_per_target=beacons_per_target,
+            verify_beacons=verify_beacons)
+        self.pki: ControlPlanePki = self.snapshot.pki
+        self.core_ases: set[IsdAs] = set(self.snapshot.core_ases)
 
         self.routers: dict[IsdAs, AsRouter] = {}
         for info in topology.ases():
@@ -84,13 +94,13 @@ class Internet:
             self.routers[link.a].external_ifids.add(link.a_ifid)
             self.routers[link.b].external_ifids.add(link.b_ifid)
 
-        beaconing = BeaconingService(
-            topology, self.pki, beacons_per_target=beacons_per_target,
-            verify_on_extend=verify_beacons)
-        self.segment_store: SegmentStore = beaconing.build_store()
+        # Shared (frozen) store; the PathServer wrapper is per-Internet
+        # because it carries mutable state (the ``available`` flag flips
+        # under fault injection, and lookup stats are per-world).
+        self.segment_store: SegmentStore = self.snapshot.store
         self.path_server = PathServer(self.segment_store)
 
-        self.bgp: BgpRib = compute_routes(topology)
+        self.bgp: BgpRib = self.snapshot.bgp
         for isd_as, router in self.routers.items():
             router.ip_table = self.bgp.forwarding_table(isd_as)
 

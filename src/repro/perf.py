@@ -1,13 +1,16 @@
 """Performance measurement and the repo's recorded perf trajectory.
 
-Two fixed workloads quantify the simulator's speed:
+Three fixed workloads quantify the simulator's speed:
 
 * **event-loop throughput** — raw scheduler events/sec (a ``call_soon``
   storm) and coroutine events/sec (a process yielding timeouts), the
   single-core hot path every simulation rides on;
 * **figure-3-sized battery** — wall-clock for a four-condition page-load
   battery run serially vs. fanned out over a worker pool, which is what
-  dominates ``run_all`` regeneration time.
+  dominates ``run_all`` regeneration time;
+* **snapshot cache** — per-trial latency of a local-testbed trial with
+  the control-plane snapshot cache disabled vs. primed, isolating what
+  cross-trial world reuse saves.
 
 Results append to ``BENCH_results.json`` at the repo root so successive
 PRs accumulate a machine-readable performance trajectory (events/sec,
@@ -189,6 +192,58 @@ def measure_battery(trials: int = 12, n_resources: int = 12,
 
 
 # ---------------------------------------------------------------------------
+# Workload 3 — control-plane snapshot cache
+# ---------------------------------------------------------------------------
+
+
+def measure_snapshot_cache(trials: int = 8, n_resources: int = 12,
+                           base_seed: int = 100) -> dict[str, Any]:
+    """Per-trial latency of a local-testbed trial, uncached vs. cached.
+
+    The uncached pass disables the snapshot cache entirely (every world
+    rebuilds PKI + beaconing + BGP from scratch, the pre-cache
+    behavior); the cached pass runs the same seeds with their snapshots
+    already interned — the steady state inside ``run_all``, where each
+    seed's control plane is shared across all four Figure 3 conditions.
+    Samples must be bit-identical either way.
+    """
+    from repro.experiments.local_setup import figure3_trial
+    from repro.internet import snapshot
+
+    seeds = range(base_seed, base_seed + trials)
+
+    def pass_over_seeds() -> tuple[list[float], float]:
+        started = time.perf_counter()
+        samples = [figure3_trial("SCION-only", seed,
+                                 n_resources=n_resources) for seed in seeds]
+        return samples, time.perf_counter() - started
+
+    previous = os.environ.get(snapshot.SNAPSHOT_CACHE_ENV)
+    os.environ[snapshot.SNAPSHOT_CACHE_ENV] = "0"
+    try:
+        uncached_samples, uncached_s = pass_over_seeds()
+    finally:
+        if previous is None:
+            del os.environ[snapshot.SNAPSHOT_CACHE_ENV]
+        else:
+            os.environ[snapshot.SNAPSHOT_CACHE_ENV] = previous
+
+    snapshot.clear_cache()
+    pass_over_seeds()  # prime: one miss per seed
+    cached_samples, cached_s = pass_over_seeds()
+    return {
+        "workload": f"snapshot-cache/{trials}x{n_resources}",
+        "trials": trials,
+        "n_resources": n_resources,
+        "uncached_trial_ms": round(uncached_s / trials * 1000.0, 2),
+        "cached_trial_ms": round(cached_s / trials * 1000.0, 2),
+        "snapshot_speedup": round(uncached_s / cached_s, 2) if cached_s
+        else 0.0,
+        "identical": uncached_samples == cached_samples,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory comparison (--compare)
 # ---------------------------------------------------------------------------
 
@@ -201,6 +256,8 @@ COMPARE_METRICS = (
     ("coroutine_events_per_sec", True),
     ("serial_s", False),
     ("parallel_s", False),
+    # Absent in pre-snapshot-cache rows; compare skips missing metrics.
+    ("cached_trial_ms", False),
 )
 
 
@@ -316,6 +373,12 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"speedup {row['speedup']:.2f}x")
             parts.append("deterministic" if row["identical"]
                          else "NON-DETERMINISTIC")
+        if "uncached_trial_ms" in row:
+            parts.append(f"uncached {row['uncached_trial_ms']:.1f} ms/trial")
+            parts.append(f"cached {row['cached_trial_ms']:.1f} ms/trial")
+            parts.append(f"speedup {row['snapshot_speedup']:.2f}x")
+            parts.append("deterministic" if row["identical"]
+                         else "NON-DETERMINISTIC")
         lines.append("  ".join(parts))
     return "\n".join(lines)
 
@@ -326,13 +389,16 @@ def run_suite(quick: bool = False,
     if quick:
         throughput = measure_event_throughput(n_events=100_000, repeats=1)
         battery = measure_battery(trials=6, n_resources=6, workers=workers)
+        cache = measure_snapshot_cache(trials=4, n_resources=6)
     else:
         throughput = measure_event_throughput()
         battery = measure_battery(workers=workers)
+        cache = measure_snapshot_cache()
     context = machine_fingerprint()
     context["source"] = "repro.perf"
     context["label"] = "quick" if quick else "full"
-    return [{**context, **throughput}, {**context, **battery}]
+    return [{**context, **throughput}, {**context, **battery},
+            {**context, **cache}]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -368,9 +434,8 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_write:
         path = append_rows(rows)
         print(f"recorded {len(rows)} rows in {path}")
-    battery = rows[-1]
-    if not battery["identical"]:
-        print("ERROR: parallel battery diverged from serial run",
+    if not all(row.get("identical", True) for row in rows):
+        print("ERROR: a workload diverged from its serial/uncached run",
               file=sys.stderr)
         return 1
     return 0

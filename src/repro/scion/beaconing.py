@@ -51,18 +51,36 @@ class SegmentStore:
     core_segments: dict[tuple[IsdAs, IsdAs], list[PathSegment]] = field(
         default_factory=dict)
     registrations: int = 0
+    #: Bumped on every mutation; combined-path memo entries from older
+    #: generations are discarded (see :func:`repro.scion.combinator
+    #: .combine_segments`).
+    generation: int = field(default=0, compare=False)
+    #: (src, dst, max_paths, frozenset(core_ases)) → combined paths for
+    #: the *current* generation. Lives on the store so a snapshot-cached
+    #: store amortizes combination across every daemon and every trial.
+    _combine_memo: dict = field(default_factory=dict, repr=False,
+                                compare=False)
+    #: Memo hits served (diagnostic).
+    combine_memo_hits: int = field(default=0, compare=False)
+
+    def _mutated(self) -> None:
+        self.generation += 1
+        if self._combine_memo:
+            self._combine_memo.clear()
 
     def add_up(self, isd_as: IsdAs, segment: PathSegment) -> None:
         """Store an up segment at ``isd_as``'s local path service."""
         self.up_segments.setdefault(isd_as, []).append(
             segment.with_type(SegmentType.UP))
         self.registrations += 1
+        self._mutated()
 
     def add_down(self, isd_as: IsdAs, segment: PathSegment) -> None:
         """Register a down segment for destination ``isd_as``."""
         self.down_segments.setdefault(isd_as, []).append(
             segment.with_type(SegmentType.DOWN))
         self.registrations += 1
+        self._mutated()
 
     def add_core(self, origin: IsdAs, terminal: IsdAs,
                  segment: PathSegment) -> None:
@@ -70,6 +88,7 @@ class SegmentStore:
         self.core_segments.setdefault((origin, terminal), []).append(
             segment.with_type(SegmentType.CORE))
         self.registrations += 1
+        self._mutated()
 
     def ups(self, isd_as: IsdAs) -> list[PathSegment]:
         """Up segments available at ``isd_as``."""

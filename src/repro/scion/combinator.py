@@ -161,6 +161,15 @@ def combine_segments(src: IsdAs, dst: IsdAs, store: SegmentStore,
     """
     if src == dst:
         return []
+    # Combination over a given store is deterministic, and the store
+    # invalidates this memo whenever it mutates (generation bump), so a
+    # snapshot-cached store pays the assemble-and-sort cost once per
+    # (src, dst) pair instead of once per daemon lookup.
+    memo_key = (src, dst, max_paths, frozenset(core_ases))
+    cached = store._combine_memo.get(memo_key)
+    if cached is not None:
+        store.combine_memo_hits += 1
+        return list(cached)
     candidates: list[ScionPath] = []
 
     # The "up part" choices: (core the part ends at, parts list).
@@ -193,4 +202,6 @@ def combine_segments(src: IsdAs, dst: IsdAs, store: SegmentStore,
     for path in candidates:
         unique.setdefault(path.fingerprint(), path)
     ordered = sorted(unique.values(), key=lambda p: p.metadata.latency_ms)
-    return ordered[:max_paths]
+    result = ordered[:max_paths]
+    store._combine_memo[memo_key] = tuple(result)
+    return list(result)

@@ -31,7 +31,8 @@ class Event:
     loop (never synchronously, so triggering is safe from any context).
     """
 
-    __slots__ = ("loop", "triggered", "value", "exception", "_callbacks")
+    __slots__ = ("loop", "triggered", "value", "exception", "_callbacks",
+                 "_poolable", "_nwaiters")
 
     def __init__(self, loop: "EventLoop") -> None:
         self.loop = loop
@@ -39,6 +40,12 @@ class Event:
         self.value: Any = None
         self.exception: BaseException | None = None
         self._callbacks: list[Callable[[Event], None]] = []
+        # Recycling support (see EventLoop.reusable_event): _poolable
+        # marks events the loop may reclaim after a clean single-waiter
+        # consume; _nwaiters counts callbacks ever registered so shared
+        # events (AnyOf/AllOf children, multi-waiter) are never reclaimed.
+        self._poolable = False
+        self._nwaiters = 0
 
     @property
     def ok(self) -> bool:
@@ -64,6 +71,7 @@ class Event:
         If the event already triggered, the callback is scheduled to run
         immediately (at the current simulation time).
         """
+        self._nwaiters += 1
         if self.triggered:
             self.loop.call_soon(callback, self)
         else:
@@ -99,7 +107,9 @@ class Timeout(Event):
         removed from the loop's view of pending work, so an unexpired
         watchdog timer does not keep the simulation clock running to its
         deadline. Only the creator should cancel — other processes may
-        already be waiting on this event.
+        already be waiting on this event — and never after yielding the
+        timeout and resuming: a consumed timeout may have been recycled
+        into a new timer (see :meth:`EventLoop.timeout`).
         """
         if not self.triggered:
             self.loop.cancel_scheduled(self._handle)
@@ -154,6 +164,11 @@ class Process(Event):
             self._throw(event.exception, None)
             return
         send_value = event.value if event is not None else None
+        if event is not None and event._poolable and event._nwaiters == 1:
+            # Clean consume by the only waiter that ever registered:
+            # nobody else holds a meaningful reference, so the event can
+            # go back to the loop's pool before the process resumes.
+            self.loop._recycle(event)
         try:
             target = self._generator.send(send_value)
         except StopIteration as stop:
@@ -274,7 +289,7 @@ class SerialResource:
         Usage from a process: ``yield resource.acquire()`` ... work ...
         ``resource.release()``.
         """
-        event = Event(self.loop)
+        event = self.loop.reusable_event()
         if self._in_use < self.capacity:
             self._in_use += 1
             event.succeed()
@@ -312,7 +327,10 @@ class EventLoop:
     """
 
     __slots__ = ("_now", "_sequence", "_queue", "_events_processed",
-                 "_cancelled")
+                 "_cancelled", "_event_pool", "_timeout_pool")
+
+    #: Per-pool cap; beyond this, retired events are left to the GC.
+    POOL_LIMIT = 256
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -320,6 +338,8 @@ class EventLoop:
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
         self._cancelled: set[int] = set()
+        self._event_pool: list[Event] = []
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -385,9 +405,61 @@ class EventLoop:
         """Create a fresh untriggered event bound to this loop."""
         return Event(self)
 
+    def reusable_event(self) -> Event:
+        """An untriggered event the loop may recycle after consumption.
+
+        Like :meth:`event`, but the returned event returns to a pool
+        once a process consumes it cleanly as the sole waiter, so hot
+        request paths stop allocating one event per hop (ROADMAP perf
+        follow-on (a)). Use only where the trigger-side drops its
+        reference after triggering — i.e. no late ``succeed``/``fail``
+        on a consumed event — and never hand one to code that may touch
+        it after the waiter resumed.
+        """
+        pool = self._event_pool
+        if pool:
+            return pool.pop()
+        event = Event(self)
+        event._poolable = True
+        return event
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` ms."""
-        return Timeout(self, delay, value)
+        """Create an event that fires after ``delay`` ms.
+
+        Timeouts are drawn from a recycling pool: one consumed cleanly by
+        its sole waiter is re-armed for a later ``timeout()`` call
+        instead of being garbage. Cancelled or shared (AnyOf/AllOf)
+        timeouts are never recycled.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._handle = self.call_later(delay, timeout._expire, value)
+            return timeout
+        timeout = Timeout(self, delay, value)
+        timeout._poolable = True
+        return timeout
+
+    def _recycle(self, event: Event) -> None:
+        """Return a cleanly consumed poolable event to its pool.
+
+        Called only from :meth:`Process._step` for events whose single
+        ever-registered waiter just consumed them, so resetting the
+        trigger state cannot be observed by anyone else. Subclasses
+        other than :class:`Timeout` (Process, AllOf, AnyOf) are never
+        poolable and never reach this.
+        """
+        event.triggered = False
+        event.value = None
+        event.exception = None
+        event._nwaiters = 0
+        pool = self._timeout_pool if type(event) is Timeout \
+            else self._event_pool
+        if len(pool) < self.POOL_LIMIT:
+            pool.append(event)
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
         """Start a generator as a simulation process."""

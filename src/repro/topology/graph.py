@@ -11,6 +11,7 @@ never disagree about the physical network.
 from __future__ import annotations
 
 import enum
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -229,6 +230,25 @@ class AsTopology:
         """Provider ASes over PARENT links where we are child."""
         return [(link.a, link) for link in self._record(isd_as).links
                 if link.kind is LinkKind.PARENT and link.b == isd_as]
+
+    def fingerprint(self) -> str:
+        """Content digest of the whole topology.
+
+        Covers every AS (all :class:`AsInfo` fields, in insertion order —
+        order matters because it fixes PKI RNG consumption) and every
+        link (all :class:`InterAsLink` fields). Two independently built
+        topologies with identical content share a fingerprint, which is
+        what lets the control-plane snapshot cache
+        (:mod:`repro.internet.snapshot`) intern their expensive state.
+        Computed fresh on every call so post-construction attribute
+        edits are always reflected.
+        """
+        digest = hashlib.sha256()
+        for record in self._ases.values():
+            digest.update(repr(record.info).encode())
+        for link in self._links:
+            digest.update(repr(link).encode())
+        return digest.hexdigest()
 
     # -- derived graphs ---------------------------------------------------------
 

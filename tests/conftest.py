@@ -19,12 +19,29 @@ settings.register_profile(
 settings.load_profile("repro")
 
 from repro.crypto.mac import hop_mac
+from repro.internet import snapshot
 from repro.internet.build import Internet
 from repro.scion.beacon import HopField
 from repro.scion.path import PathHop, PathMetadata, ScionPath
 from repro.simnet.events import EventLoop
 from repro.topology.defaults import LOCAL_AS, local_testbed, remote_testbed
 from repro.topology.isd_as import IsdAs
+
+
+@pytest.fixture(autouse=True)
+def _isolate_snapshot_cache():
+    """Each test starts with an empty snapshot cache and zeroed stats.
+
+    The cache deliberately shares frozen control-plane state (and the
+    ScionPath objects inside it) across worlds within a process; between
+    tests that sharing would leak warmed per-instance memo state and
+    make cache-stats assertions order-dependent.
+    """
+    snapshot.clear_cache()
+    snapshot.stats.reset()
+    yield
+    snapshot.clear_cache()
+    snapshot.stats.reset()
 
 
 @pytest.fixture

@@ -19,12 +19,15 @@ from repro.errors import ReproError
 from repro.experiments import harness
 from repro.experiments.harness import (
     WORKERS_ENV,
+    battery_chunksize,
     resolve_workers,
     run_condition,
     run_samples,
+    submit_samples,
 )
 from repro.experiments.fault_battery import fault_trial, run_fault_battery
 from repro.experiments.local_setup import figure3_trial
+from repro.internet.snapshot import SNAPSHOT_CACHE_ENV
 
 
 def _identity_trial(seed: int) -> float:
@@ -54,6 +57,35 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "many")
         with pytest.raises(ReproError):
             resolve_workers()
+
+
+class TestBatteryChunksize:
+    def test_ceil_division(self):
+        # floor would say 2 here and strand a 4-seed partial chunk
+        # behind twelve full ones; ceil spreads the tail.
+        assert battery_chunksize(100, 3) == 9
+        assert battery_chunksize(17, 4) == 2
+        assert battery_chunksize(16, 4) == 1
+        assert battery_chunksize(1, 8) == 1
+
+    def test_floor_is_one(self):
+        assert battery_chunksize(3, 8) == 1
+
+    @pytest.mark.parametrize("trials,workers", [
+        (5, 2), (16, 4), (17, 4), (3, 8), (40, 3), (64, 4),
+    ])
+    def test_every_seed_covered_exactly_once(self, trials, workers):
+        """No seed lost or duplicated by chunking, samples in seed
+        order, for small-remainder, exact-multiple, and tiny batteries."""
+        seeds = range(1000, 1000 + trials)
+        samples = run_samples(_identity_trial, seeds, workers=workers)
+        assert samples == [float(seed) for seed in seeds]
+
+    def test_submit_then_collect_matches_run(self):
+        pending = submit_samples(_identity_trial, range(10), workers=4)
+        assert pending.collect() == [float(seed) for seed in range(10)]
+        # collect() is idempotent.
+        assert pending.collect() == [float(seed) for seed in range(10)]
 
 
 class TestParallelDeterminism:
@@ -99,6 +131,36 @@ class TestParallelDeterminism:
                 assert getattr(cell.plt, field.name) == getattr(
                     parallel.cells[cell_key].plt, field.name), \
                     (cell_key, field.name)
+
+    def test_figure3_serial_cached_and_workers_agree(self, monkeypatch):
+        """The tentpole's acceptance criterion: an uncached serial run, a
+        snapshot-cached serial run (cache warm from a first pass), and a
+        workers=4 run of the same figure-3 battery produce identical
+        BoxStats — the snapshot cache must not change a single bit."""
+        trial = functools.partial(figure3_trial, "SCION-only",
+                                  n_resources=6)
+        cached_cold = run_condition(trial, trials=6, base_seed=100,
+                                    workers=1)
+        cached_warm = run_condition(trial, trials=6, base_seed=100,
+                                    workers=1)
+        parallel = run_condition(trial, trials=6, base_seed=100, workers=4)
+        monkeypatch.setenv(SNAPSHOT_CACHE_ENV, "0")
+        uncached = run_condition(trial, trials=6, base_seed=100, workers=1)
+        assert uncached == cached_cold == cached_warm == parallel
+
+    def test_fault_battery_cached_equals_uncached(self, monkeypatch):
+        """Chaos trials (including the path-server-outage scenario that
+        flips per-world mutable state) must not observe the shared
+        snapshot: cached and uncached batteries agree cell for cell."""
+        kwargs = dict(trials=3, n_resources=3,
+                      scenarios=("baseline", "infra-outage",
+                                 "segment-expiry"),
+                      modes=("opportunistic", "strict"))
+        cached = run_fault_battery(workers=1, **kwargs)
+        rerun = run_fault_battery(workers=1, **kwargs)
+        monkeypatch.setenv(SNAPSHOT_CACHE_ENV, "0")
+        uncached = run_fault_battery(workers=1, **kwargs)
+        assert cached.cells == rerun.cells == uncached.cells
 
     def test_non_picklable_trial_falls_back_to_serial(self):
         calls = []

@@ -46,6 +46,13 @@ class TestWorkloads:
         assert row["serial_s"] > 0
         assert row["parallel_s"] > 0
 
+    def test_snapshot_cache_row_is_deterministic_and_timed(self):
+        row = perf.measure_snapshot_cache(trials=2, n_resources=4)
+        assert row["identical"] is True
+        assert row["uncached_trial_ms"] > 0
+        assert row["cached_trial_ms"] > 0
+        assert row["workload"].startswith("snapshot-cache/")
+
     def test_render_mentions_speedup(self):
         rows = [{"workload": "figure3-battery/2x4", "serial_s": 1.0,
                  "parallel_s": 0.5, "spawn_s": 0.1, "speedup": 2.0,
@@ -57,7 +64,7 @@ class TestWorkloads:
 
 def _run_rows(ts, events=1000.0, coroutine=500.0, serial=10.0,
               parallel=2.0, label="full"):
-    """The two rows one ``run_suite`` invocation appends."""
+    """Synthetic throughput + battery rows of one ``run_suite`` run."""
     return [
         {"ts": ts, "label": label, "events_per_sec": events,
          "coroutine_events_per_sec": coroutine},
@@ -162,9 +169,10 @@ class TestCli:
         monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
         assert perf.main(["--quick", "--workers", "1"]) == 0
         payload = json.loads(target.read_text())
-        assert len(payload["rows"]) == 2
+        assert len(payload["rows"]) == 3
         assert any("events_per_sec" in row for row in payload["rows"])
         assert any("serial_s" in row for row in payload["rows"])
+        assert any("cached_trial_ms" in row for row in payload["rows"])
         assert "repro.perf" in capsys.readouterr().out
 
     def test_no_write_leaves_file_alone(self, tmp_path, monkeypatch):

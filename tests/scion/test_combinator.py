@@ -169,3 +169,76 @@ class TestStructure:
                                                    core_ases=cores)))
         # The paper: "dozens to over a hundred potential paths".
         assert max(counts) >= 8
+
+
+class TestCombineMemo:
+    """The per-store combination memo and its generation invalidation."""
+
+    @pytest.fixture
+    def fresh(self):
+        topology, ases = remote_testbed()
+        pki = ControlPlanePki(topology, seed=2)
+        store = BeaconingService(topology, pki).build_store()
+        cores = {info.isd_as for info in topology.core_ases()}
+        return ases, store, cores
+
+    def test_repeat_lookup_hits_the_memo(self, fresh):
+        ases, store, cores = fresh
+        first = combine_segments(ases.client, ases.remote_server, store,
+                                 core_ases=cores)
+        assert store.combine_memo_hits == 0
+        second = combine_segments(ases.client, ases.remote_server, store,
+                                  core_ases=cores)
+        assert store.combine_memo_hits == 1
+        assert second == first
+        # Memoized lookups return the same path objects, not rebuilds.
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_memoized_list_is_a_fresh_copy(self, fresh):
+        """Callers may mutate the returned list (the daemon sorts it by
+        policy) without corrupting later lookups."""
+        ases, store, cores = fresh
+        first = combine_segments(ases.client, ases.remote_server, store,
+                                 core_ases=cores)
+        first.reverse()
+        first.pop()
+        second = combine_segments(ases.client, ases.remote_server, store,
+                                  core_ases=cores)
+        assert len(second) == 2
+        assert second[0].metadata.latency_ms <= second[1].metadata.latency_ms
+
+    def test_max_paths_fragments_the_memo_key(self, fresh):
+        ases, store, cores = fresh
+        all_paths = combine_segments(ases.client, ases.remote_server, store,
+                                     core_ases=cores)
+        capped = combine_segments(ases.client, ases.remote_server, store,
+                                  core_ases=cores, max_paths=1)
+        assert store.combine_memo_hits == 0
+        assert len(capped) == 1
+        assert len(all_paths) == 2
+
+    def test_store_mutation_invalidates(self, fresh):
+        ases, store, cores = fresh
+        before = combine_segments(ases.client, ases.remote_server, store,
+                                  core_ases=cores)
+        generation = store.generation
+        # Re-register an existing down segment: any mutation must bump
+        # the generation and drop memo entries.
+        segment = store.downs(ases.remote_server)[0]
+        store.add_down(ases.remote_server, segment)
+        assert store.generation == generation + 1
+        after = combine_segments(ases.client, ases.remote_server, store,
+                                 core_ases=cores)
+        assert store.combine_memo_hits == 0
+        assert len(after) == len(before)
+
+    def test_each_adder_bumps_generation(self, fresh):
+        ases, store, cores = fresh
+        generation = store.generation
+        up = store.ups(ases.client)[0]
+        store.add_up(ases.client, up)
+        core = next(iter(store.core_segments.values()))[0]
+        store.add_core(core.origin, core.terminal, core)
+        down = store.downs(ases.remote_server)[0]
+        store.add_down(ases.remote_server, down)
+        assert store.generation == generation + 3

@@ -1,0 +1,166 @@
+"""Event/Timeout recycling: when the loop may and may not reuse them.
+
+The pools exist to stop hot request paths from allocating one event per
+hop, but recycling a one-shot event is only sound when its single
+ever-registered waiter consumed it cleanly — every other ending
+(failure, interrupt, shared waiters, cancellation) must leave the event
+alone. These tests pin that contract object-by-object.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.events import EventLoop, Interrupt
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+def consume(loop, event):
+    """Run a process that yields ``event`` once and finishes."""
+    def proc():
+        value = yield event
+        return value
+    process = loop.process(proc())
+    loop.run()
+    assert process.ok
+    return process.value
+
+
+class TestReusableEvent:
+    def test_clean_consume_recycles(self, loop):
+        event = loop.reusable_event()
+        loop.call_later(1.0, event.succeed, "v")
+        assert consume(loop, event) == "v"
+        assert loop.reusable_event() is event
+
+    def test_recycled_event_is_pristine(self, loop):
+        event = loop.reusable_event()
+        loop.call_later(1.0, event.succeed, "v")
+        consume(loop, event)
+        again = loop.reusable_event()
+        assert again.triggered is False
+        assert again.value is None
+        assert again.exception is None
+        loop.call_later(1.0, again.succeed, "w")
+        assert consume(loop, again) == "w"
+
+    def test_plain_event_never_recycles(self, loop):
+        event = loop.event()
+        loop.call_later(1.0, event.succeed)
+        consume(loop, event)
+        assert loop.reusable_event() is not event
+
+    def test_failed_event_not_recycled(self, loop):
+        event = loop.reusable_event()
+        loop.call_later(1.0, event.fail, SimulationError("boom"))
+
+        def proc():
+            yield event
+        process = loop.process(proc())
+        loop.run()
+        assert isinstance(process.exception, SimulationError)
+        assert loop.reusable_event() is not event
+
+    def test_two_waiters_block_recycling(self, loop):
+        event = loop.reusable_event()
+        loop.call_later(1.0, event.succeed)
+
+        def proc():
+            yield event
+        first = loop.process(proc())
+        second = loop.process(proc())
+        loop.run()
+        assert first.ok and second.ok
+        assert loop.reusable_event() is not event
+
+    def test_interrupted_waiter_blocks_recycling(self, loop):
+        event = loop.reusable_event()
+
+        def waiter():
+            yield event
+
+        def interrupter(target):
+            yield loop.timeout(1.0)
+            target.interrupt("stop")
+
+        process = loop.process(waiter())
+        loop.process(interrupter(process))
+        loop.call_later(2.0, event.succeed)
+        loop.run()
+        assert isinstance(process.exception, Interrupt)
+        assert loop.reusable_event() is not event
+
+    def test_pool_is_bounded(self, loop):
+        events = [loop.reusable_event() for _ in range(loop.POOL_LIMIT + 50)]
+        for event in events:
+            loop.call_later(1.0, event.succeed)
+
+        def consume_all():
+            for event in events:
+                yield event
+        loop.run_process(consume_all())
+        assert len(loop._event_pool) == loop.POOL_LIMIT
+
+
+class TestTimeoutRecycling:
+    def test_consumed_timeout_recycles_and_rearms(self, loop):
+        first = loop.timeout(1.0, "a")
+        assert consume(loop, first) == "a"
+        second = loop.timeout(5.0, "b")
+        assert second is first
+        assert second.delay == 5.0
+        assert consume(loop, second) == "b"
+
+    def test_cancelled_timeout_not_recycled(self, loop):
+        timer = loop.timeout(10.0)
+        timer.cancel()
+        loop.run()
+        assert loop.timeout(1.0) is not timer
+
+    def test_anyof_child_timeout_not_recycled(self, loop):
+        """A timeout raced inside any_of is consumed via the combinator,
+        never by a direct waiter, so it must stay out of the pool — the
+        loser may still be cancelled by the caller afterwards."""
+        quick = loop.timeout(1.0, "quick")
+        slow = loop.timeout(50.0, "slow")
+
+        def proc():
+            event, value = yield loop.any_of([quick, slow])
+            slow.cancel()
+            return value
+        assert loop.run_process(proc()) == "quick"
+        assert loop.timeout(2.0) is not quick
+        assert loop.timeout(2.0) is not slow
+
+    def test_negative_delay_rejected_with_warm_pool(self, loop):
+        consume(loop, loop.timeout(1.0))  # warm the pool
+        with pytest.raises(SimulationError):
+            loop.timeout(-1.0)
+
+    def test_serial_resource_reuses_waiter_events(self, loop):
+        from repro.simnet.events import SerialResource
+        resource = SerialResource(loop, capacity=1)
+        order = []
+
+        def user(name):
+            yield from resource.use(1.0)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            loop.process(user(name), name=name)
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop._event_pool  # acquire events were recycled
+
+
+class TestDeterminismUnderRecycling:
+    def test_page_load_is_bit_identical_with_pools(self):
+        """The end-to-end guard: one full page-load trial, twice, same
+        floats — recycled events must not perturb scheduling order."""
+        from repro.experiments.local_setup import figure3_trial
+        first = figure3_trial("mixed SCION-IP", 42, n_resources=6)
+        second = figure3_trial("mixed SCION-IP", 42, n_resources=6)
+        assert first == second
