@@ -7,12 +7,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test perf perf-full compare experiments
+.PHONY: verify test obs perf perf-full compare experiments
 
-verify: test perf compare
+verify: test obs perf compare
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+obs:
+	$(PYTHON) -m repro.obs --selftest
 
 perf:
 	$(PYTHON) -m repro.perf --quick

@@ -70,6 +70,25 @@ class BraveBrowser:
                                       parse_delay_ms=parse_delay_ms,
                                       cache=self.cache)
 
+    def attach_tracer(self, tracer) -> None:
+        """Install an observability :class:`~repro.obs.spans.Tracer` into
+        every layer of this browser stack.
+
+        One tracer spans the whole stack so a page load becomes a single
+        tree: engine → extension → proxy → (DNS, path lookup, QUIC,
+        HTTP). Passing the shared ``NULL_TRACER`` detaches again.
+        """
+        self._proxied_engine.tracer = tracer
+        self._direct_engine.tracer = tracer
+        self._direct_engine.fetcher.client.tracer = tracer
+        self.extension.tracer = tracer
+        self.proxy.tracer = tracer
+        self.proxy.client.tracer = tracer
+        self.proxy.selector.tracer = tracer
+        self.proxy.stats.metrics = tracer.metrics
+        self.resolver.tracer = tracer
+        self.host.daemon.tracer = tracer
+
     @property
     def settings(self) -> ExtensionSettings:
         """The active extension settings."""

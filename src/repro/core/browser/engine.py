@@ -21,6 +21,7 @@ from repro.errors import BrowserError, DnsError, HttpError
 from repro.http.client import HttpClient
 from repro.http.message import Headers, HttpRequest
 from repro.internet.host import Host
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 
 #: Time the engine spends parsing the main document before it discovers
 #: subresources.
@@ -85,16 +86,19 @@ class DirectFetcher:
         self.tcp_port = tcp_port
 
     def fetch(self, request: HttpRequest,
-              indicator: PageIndicator | None = None) -> Generator:
+              indicator: PageIndicator | None = None,
+              parent=NULL_SPAN) -> Generator:
         """Fetch directly over legacy IP; returns :class:`FetchOutcome`."""
         assert self.host.loop is not None
         started = self.host.loop.now
         try:
-            resolution = yield from self.resolver.resolve(request.host)
+            resolution = yield from self.resolver.resolve(request.host,
+                                                          parent=parent)
             if resolution.ip_address is None:
                 raise HttpError(f"{request.host} has no A record", status=502)
             response = yield from self.client.request(
-                resolution.ip_address, self.tcp_port, request, via="ip")
+                resolution.ip_address, self.tcp_port, request, via="ip",
+                parent=parent)
         except (DnsError, HttpError):
             outcome = FetchOutcome(request=request, response=None,
                                    used_scion=False, policy_compliant=False,
@@ -119,9 +123,11 @@ class ExtensionFetcher:
         self.extension = extension
 
     def fetch(self, request: HttpRequest,
-              indicator: PageIndicator | None = None) -> Generator:
+              indicator: PageIndicator | None = None,
+              parent=NULL_SPAN) -> Generator:
         """Delegate to the extension's interception path."""
-        outcome = yield from self.extension.handle_request(request, indicator)
+        outcome = yield from self.extension.handle_request(request, indicator,
+                                                           parent=parent)
         return outcome
 
 
@@ -142,10 +148,28 @@ class Browser:
         self.parse_delay_ms = parse_delay_ms
         self.cache = cache
         self.pages_loaded = 0
+        self.tracer = NULL_TRACER
 
     def load_page(self, page: WebPage) -> Generator:
         """Load one page (simulation process); returns
         :class:`PageLoadResult`."""
+        tracer = self.tracer
+        span = tracer.span("page.load", host=page.host, path=page.path,
+                           n_resources=len(page.resources)) \
+            if tracer.enabled else NULL_SPAN
+        try:
+            result: PageLoadResult = yield from self._load_page(page, span)
+        except BaseException as error:
+            if not span.ended:
+                span.set(error=type(error).__name__).end("error")
+            raise
+        span.set(plt_ms=result.plt_ms, failed=result.failed)
+        span.end("error" if result.failed else "ok")
+        tracer.metrics.histogram("plt_ms").observe(result.plt_ms)
+        return result
+
+    def _load_page(self, page: WebPage, span) -> Generator:
+        """The load itself (``page.load`` span already open)."""
         if self.host.loop is None:
             raise BrowserError("browser host not attached to a network")
         loop = self.host.loop
@@ -155,7 +179,7 @@ class Browser:
         main_request = HttpRequest(method="GET", host=page.host,
                                    path=page.path, headers=Headers())
         main_outcome: FetchOutcome = yield from self._fetch_cached(
-            main_request, indicator)
+            main_request, indicator, parent=span, main=True)
         if main_outcome.blocked or not main_outcome.ok:
             # Strict mode blocking the main document is the paper's
             # "connection error" case (§4.2).
@@ -164,10 +188,14 @@ class Browser:
                 outcomes=(main_outcome,),
                 indicator_state=indicator.state(), failed=True)
 
+        parse_span = self.tracer.span("browser.parse", parent=span) \
+            if self.tracer.enabled else NULL_SPAN
         yield loop.timeout(self.parse_delay_ms)
+        parse_span.end()
 
-        fetches = [loop.process(self._fetch_resource(resource, indicator),
-                                name=f"fetch:{resource.url}")
+        fetches = [loop.process(
+                       self._fetch_resource(resource, indicator, span),
+                       name=f"fetch:{resource.url}")
                    for resource in page.resources]
         outcomes: list[FetchOutcome] = [main_outcome]
         if fetches:
@@ -180,26 +208,47 @@ class Browser:
             indicator_state=indicator.state(), failed=False)
 
     def _fetch_resource(self, resource: Resource,
-                        indicator: PageIndicator) -> Generator:
+                        indicator: PageIndicator,
+                        parent=NULL_SPAN) -> Generator:
         request = HttpRequest(method="GET", host=resource.host,
                               path=resource.path, headers=Headers())
-        outcome = yield from self._fetch_cached(request, indicator)
+        outcome = yield from self._fetch_cached(request, indicator,
+                                                parent=parent)
         return outcome
 
     def _fetch_cached(self, request: HttpRequest,
-                      indicator: PageIndicator) -> Generator:
+                      indicator: PageIndicator,
+                      parent=NULL_SPAN, main: bool = False) -> Generator:
         """Serve from the browser cache when possible, else fetch and
         maybe store."""
         import dataclasses
+        tracer = self.tracer
+        span = tracer.span("browser.fetch", parent=parent, url=request.url,
+                           main=main) if tracer.enabled else NULL_SPAN
         if self.cache is not None:
             cached = self.cache.lookup(request.url)
             if cached is not None:
                 if indicator is not None:
                     indicator.record(used_scion=cached.used_scion,
                                      compliant=cached.policy_compliant)
+                span.set(from_cache=True).end()
                 return dataclasses.replace(cached, from_cache=True,
                                            elapsed_ms=0.0)
-        outcome = yield from self.fetcher.fetch(request, indicator)
+        try:
+            if tracer.enabled:
+                outcome = yield from self.fetcher.fetch(request, indicator,
+                                                        parent=span)
+            else:
+                # Keep duck-typed fetchers without a ``parent`` kwarg
+                # working (and the untraced path unchanged).
+                outcome = yield from self.fetcher.fetch(request, indicator)
+        except BaseException as error:
+            if not span.ended:
+                span.set(error=type(error).__name__).end("error")
+            raise
         if self.cache is not None:
             self.cache.store(request.url, outcome)
+        span.set(from_cache=outcome.from_cache,
+                 used_scion=outcome.used_scion, blocked=outcome.blocked)
+        span.end("error" if (outcome.blocked or not outcome.ok) else "ok")
         return outcome

@@ -39,6 +39,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.http.message import HttpRequest, HttpResponse
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.simnet.events import SerialResource
 
 #: Per-request extension processing (JavaScript interception,
@@ -117,6 +118,7 @@ class BrowserExtension:
         self.server_preferences = ServerPreferenceStore()
         self.requests_intercepted = 0
         self.requests_blocked = 0
+        self.tracer = NULL_TRACER
         self.apply_settings()
 
     # -- settings (the UI role) ----------------------------------------------
@@ -149,9 +151,30 @@ class BrowserExtension:
     # -- interception (the strict-mode role) --------------------------------------
 
     def handle_request(self, request: HttpRequest,
-                       indicator: PageIndicator | None = None) -> Generator:
+                       indicator: PageIndicator | None = None,
+                       parent=NULL_SPAN) -> Generator:
         """Intercept one browser request (simulation process); returns a
         :class:`FetchOutcome`."""
+        tracer = self.tracer
+        span = tracer.span("extension.intercept", parent=parent,
+                           host=request.host, url=request.url) \
+            if tracer.enabled else NULL_SPAN
+        try:
+            outcome: FetchOutcome = yield from self._handle(
+                request, indicator, span)
+        except BaseException as error:
+            if not span.ended:
+                span.set(error=type(error).__name__).end("error")
+            raise
+        if outcome.blocked:
+            span.set(blocked=True).end("error")
+        else:
+            span.end()
+        return outcome
+
+    def _handle(self, request: HttpRequest,
+                indicator: PageIndicator | None, span) -> Generator:
+        """The interception data path (span already open)."""
         assert self.proxy.host.loop is not None
         loop = self.proxy.host.loop
         started = loop.now
@@ -167,7 +190,8 @@ class BrowserExtension:
             # policy-compliant SCION path" (§5.1) — one extra IPC round
             # trip for the availability probe.
             yield loop.timeout(self.ipc_latency_ms)
-            _detection, choice = yield from self.proxy.check_scion(request.host)
+            _detection, choice = yield from self.proxy.check_scion(
+                request.host, parent=span)
             yield loop.timeout(self.ipc_latency_ms)
             if not choice.compliant:
                 self.requests_blocked += 1
@@ -187,7 +211,8 @@ class BrowserExtension:
             negotiated = self.server_preferences.preferences_for(request.host)
         try:
             result: ProxyResult = yield from self.proxy.fetch(
-                request, strict=strict, server_preferences=negotiated)
+                request, strict=strict, server_preferences=negotiated,
+                parent=span)
         except (StrictModeViolation, HttpError, TransportError, DnsError):
             # Strict-mode blocks and genuine failures (no route, dead
             # origin, handshake timeout) both surface as a blocked

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.dns.resolver import Resolver
 from repro.errors import DnsError
+from repro.obs.spans import NULL_SPAN
 from repro.scion.addr import HostAddr
 
 
@@ -60,7 +61,7 @@ class ScionDetector:
         response (or any successful SCION fetch)."""
         self.learned[host] = address
 
-    def detect(self, host: str) -> Generator:
+    def detect(self, host: str, parent=NULL_SPAN) -> Generator:
         """Resolve a domain's SCION and IP addresses (simulation process).
 
         Usage: ``result = yield from detector.detect(host)``. Unknown
@@ -69,7 +70,8 @@ class ScionDetector:
         """
         self.detections += 1
         try:
-            resolution = yield from self.resolver.resolve(host)
+            resolution = yield from self.resolver.resolve(host,
+                                                          parent=parent)
         except DnsError:
             resolution = None
         ip_address = resolution.ip_address if resolution else None

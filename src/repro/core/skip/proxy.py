@@ -40,6 +40,7 @@ from repro.errors import (
 from repro.http.client import HttpClient
 from repro.http.message import HttpRequest, HttpResponse
 from repro.internet.host import Host
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.simnet.events import SerialResource
 
 #: Default per-request processing cost of the proxy process (parsing,
@@ -122,6 +123,7 @@ class SkipProxy:
         self.retry_backoff_ms = retry_backoff_ms
         self._path_failures: dict[str, float] = {}
         self.failovers = 0
+        self.tracer = NULL_TRACER
 
     # -- configuration API (what the extension calls, §5.1) ---------------------
 
@@ -164,25 +166,31 @@ class SkipProxy:
         """Extend the curated SCION-domain list."""
         self.detector.add_curated(host, address)
 
-    def check_scion(self, host_name: str) -> Generator:
+    def check_scion(self, host_name: str, parent=NULL_SPAN) -> Generator:
         """Availability probe for the extension's strict-mode gate.
 
         Returns ``(detection, choice)`` — whether the domain is
         SCION-reachable and whether a policy-compliant path exists —
         without fetching anything.
         """
+        tracer = self.tracer
+        span = tracer.span("proxy.check", parent=parent, host=host_name) \
+            if tracer.enabled else NULL_SPAN
         yield from self.cpu.use(self._cost(self.check_processing_ms))
-        detection: DetectionResult = yield from self.detector.detect(host_name)
+        detection: DetectionResult = yield from self.detector.detect(
+            host_name, parent=span)
         if not detection.scion_available:
+            span.set(scion_available=False).end()
             return detection, PathChoice(kind=ChoiceKind.NO_SCION)
         choice = self.selector.choose(detection.scion_address.isd_as,
                                       self.policy)
+        span.set(scion_available=True, kind=choice.kind.value).end()
         return detection, choice
 
     # -- the data path ---------------------------------------------------------------
 
     def fetch(self, request: HttpRequest, strict: bool = False,
-              server_preferences=None) -> Generator:
+              server_preferences=None, parent=NULL_SPAN) -> Generator:
         """Fetch one request (simulation process); returns
         :class:`ProxyResult`.
 
@@ -194,12 +202,39 @@ class SkipProxy:
         policy-compliant SCION route exists, and :class:`HttpError` when
         no route at all exists.
         """
+        tracer = self.tracer
+        span = tracer.span("proxy.fetch", parent=parent,
+                           host=request.host, strict=strict) \
+            if tracer.enabled else NULL_SPAN
+        try:
+            result: ProxyResult = yield from self._fetch(
+                request, strict, server_preferences, span)
+        except BaseException as error:
+            if not span.ended:
+                span.set(error=type(error).__name__).end("error")
+            raise
+        span.set(transport="scion" if result.used_scion else "ip",
+                 recovery=result.recovery).end()
+        return result
+
+    def _fetch(self, request: HttpRequest, strict: bool,
+               server_preferences, span) -> Generator:
+        """The data path of :meth:`fetch` (span already open)."""
         assert self.host.loop is not None
         loop = self.host.loop
         started = loop.now
+        tracer = self.tracer
+        metrics = tracer.metrics
         yield from self.cpu.use(self._cost(self.processing_ms))
+
+        # Path lookup covers detection (DNS + curated/learned lists)
+        # through selection — the simulated time spent deciding *how* to
+        # reach the origin before any byte moves.
+        lookup_span = tracer.span("path.lookup", parent=span,
+                                  host=request.host) \
+            if tracer.enabled else NULL_SPAN
         detection: DetectionResult = yield from self.detector.detect(
-            request.host)
+            request.host, parent=lookup_span)
 
         choice = PathChoice(kind=ChoiceKind.NO_SCION)
         effective = None
@@ -209,9 +244,14 @@ class SkipProxy:
             choice = self.selector.choose(detection.scion_address.isd_as,
                                           effective,
                                           avoid=self._avoided_paths())
+        lookup_span.set(source=detection.source,
+                        kind=choice.kind.value).end()
+        metrics.histogram("path_lookup_ms").observe(lookup_span.duration_ms)
 
         if strict and not choice.compliant:
             self.stats.record_blocked(request.host)
+            metrics.counter("requests_total", transport="blocked").inc()
+            span.set(blocked=True, reason=choice.kind.value)
             raise StrictModeViolation(
                 f"strict mode: no policy-compliant SCION path for "
                 f"{request.host} ({choice.kind.value})")
@@ -220,15 +260,19 @@ class SkipProxy:
         while choice.usable and attempts < self.max_scion_attempts:
             if attempts:
                 # Exponential backoff between retry attempts.
+                span.event("retry", transport="scion", attempt=attempts)
+                metrics.counter("retry_count").inc()
                 yield loop.timeout(
                     self.retry_backoff_ms * (2 ** (attempts - 1)))
             try:
                 response = yield from self.client.request(
                     detection.scion_address, self.quic_port, request,
                     via="scion", path=choice.path,
-                    timeout_ms=self.request_timeout_ms)
-            except (HttpError, TransportError):
+                    timeout_ms=self.request_timeout_ms, parent=span)
+            except (HttpError, TransportError) as error:
                 attempts += 1
+                span.event("attempt-failed", transport="scion",
+                           attempt=attempts, error=type(error).__name__)
                 if choice.path is None:
                     break  # local-AS fetch failed; nothing to fail over to
                 # Blacklist the failed path for a while and tell the
@@ -239,6 +283,7 @@ class SkipProxy:
                 self._path_failures[fingerprint] = \
                     loop.now + self.failure_backoff_ms
                 self.failovers += 1
+                span.event("report-path-failure", fingerprint=fingerprint)
                 self.host.daemon.report_path_failure(
                     detection.scion_address.isd_as, fingerprint,
                     ttl_ms=self.failure_backoff_ms)
@@ -256,6 +301,7 @@ class SkipProxy:
                 latency_ms=elapsed,
                 compliant=choice.compliant,
             )
+            metrics.counter("requests_total", transport="scion").inc()
             return ProxyResult(
                 response=response,
                 used_scion=True,
@@ -270,28 +316,39 @@ class SkipProxy:
         if strict:
             # All SCION attempts failed; strict mode never falls back.
             self.stats.record_blocked(request.host)
+            metrics.counter("requests_total", transport="blocked").inc()
+            span.set(blocked=True, reason="scion-exhausted")
             raise StrictModeViolation(
                 f"strict mode: SCION fetch for {request.host} failed on "
                 f"all attempted paths")
         if detection.ip_address is None:
             raise HttpError(f"no route to {request.host}", status=502)
+        if detection.scion_available:
+            span.event("fallback",
+                       reason=("scion-exhausted" if attempts
+                               else choice.kind.value))
         ip_attempts = 0
         while True:
             if ip_attempts:
+                span.event("retry", transport="ip", attempt=ip_attempts)
+                metrics.counter("retry_count").inc()
                 yield loop.timeout(
                     self.retry_backoff_ms * (2 ** (ip_attempts - 1)))
             try:
                 response = yield from self.client.request(
                     detection.ip_address, self.tcp_port, request, via="ip",
-                    timeout_ms=self.request_timeout_ms)
+                    timeout_ms=self.request_timeout_ms, parent=span)
                 break
-            except (HttpError, TransportError):
+            except (HttpError, TransportError) as error:
                 ip_attempts += 1
+                span.event("attempt-failed", transport="ip",
+                           attempt=ip_attempts, error=type(error).__name__)
                 if ip_attempts >= self.max_ip_attempts:
                     raise
         elapsed = loop.now - started
         self.stats.record_ip(request.host, elapsed,
                              scion_was_available=detection.scion_available)
+        metrics.counter("requests_total", transport="ip").inc()
         return ProxyResult(
             response=response,
             used_scion=False,

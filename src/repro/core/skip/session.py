@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.ppl.evaluator import PathPolicy, order_paths
+from repro.obs.spans import NULL_TRACER
 from repro.scion.daemon import PathDaemon
 from repro.scion.path import ScionPath
 from repro.topology.isd_as import IsdAs
@@ -66,6 +67,7 @@ class PathSelector:
         self.daemon = daemon
         self.use_noncompliant = use_noncompliant
         self.selections = 0
+        self.tracer = NULL_TRACER
 
     def choose(self, dst: IsdAs, policy: PathPolicy | None,
                avoid: frozenset[str] = frozenset()) -> PathChoice:
@@ -75,6 +77,13 @@ class PathSelector:
         failover logic passes the recently-failed paths here.
         """
         self.selections += 1
+        choice = self._choose(dst, policy, avoid)
+        self.tracer.metrics.counter("path_selections_total",
+                                    kind=choice.kind.value).inc()
+        return choice
+
+    def _choose(self, dst: IsdAs, policy: PathPolicy | None,
+                avoid: frozenset[str]) -> PathChoice:
         if dst == self.daemon.isd_as:
             return PathChoice(kind=ChoiceKind.LOCAL_AS)
         candidates = [path for path in self.daemon.try_paths(dst)

@@ -6,11 +6,23 @@ host, which transport served each request, which SCION path was used
 (by fingerprint), whether it complied with the active policy, and the
 request latency — enough to render the UI's feedback panel and for the
 experiments to assert on transport mix.
+
+Latency is kept as per-host, per-transport histograms (fixed buckets,
+deterministic) so the feedback panel can show tails, not just means.
+When a :class:`~repro.obs.metrics.MetricsRegistry` is attached (see
+``BraveBrowser.attach_tracer``), the same observations are mirrored into
+the registry's ``request_ms{transport=...}`` histograms for export.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import NULL_REGISTRY, Histogram
+
+
+def _latency_histogram() -> Histogram:
+    return Histogram()
 
 
 @dataclass
@@ -30,7 +42,7 @@ class PathRecord:
 
 @dataclass
 class HostStats:
-    """Per-destination-host counters."""
+    """Per-destination-host counters and latency distributions."""
 
     host: str
     scion_requests: int = 0
@@ -39,6 +51,9 @@ class HostStats:
     non_compliant: int = 0
     fallbacks: int = 0  # SCION was available but IP was used
     paths: dict[str, PathRecord] = field(default_factory=dict)
+    #: Request latency distribution per transport.
+    scion_latency: Histogram = field(default_factory=_latency_histogram)
+    ip_latency: Histogram = field(default_factory=_latency_histogram)
 
 
 @dataclass
@@ -46,6 +61,9 @@ class PathUsageStats:
     """Proxy-wide statistics, grouped per destination host."""
 
     hosts: dict[str, HostStats] = field(default_factory=dict)
+    #: Optional shared registry the latency observations are mirrored
+    #: into (``request_ms{transport=...}``); the default records nothing.
+    metrics: object = NULL_REGISTRY
 
     def _host(self, host: str) -> HostStats:
         if host not in self.hosts:
@@ -63,15 +81,20 @@ class PathUsageStats:
             fingerprint, PathRecord(fingerprint=fingerprint, summary=summary))
         record.uses += 1
         record.total_latency_ms += latency_ms
+        stats.scion_latency.observe(latency_ms)
+        self.metrics.histogram("request_ms", transport="scion").observe(
+            latency_ms)
 
     def record_ip(self, host: str, latency_ms: float,
                   scion_was_available: bool) -> None:
         """One request served over legacy IP."""
-        del latency_ms  # per-path latency feedback is SCION-specific
         stats = self._host(host)
         stats.ip_requests += 1
         if scion_was_available:
             stats.fallbacks += 1
+        stats.ip_latency.observe(latency_ms)
+        self.metrics.histogram("request_ms", transport="ip").observe(
+            latency_ms)
 
     def record_blocked(self, host: str) -> None:
         """One request blocked by strict mode."""
@@ -99,6 +122,15 @@ class PathUsageStats:
                 f"{host}: scion={stats.scion_requests} ip={stats.ip_requests} "
                 f"blocked={stats.blocked_requests} "
                 f"non-compliant={stats.non_compliant}")
+            for transport, histogram in (("scion", stats.scion_latency),
+                                         ("ip", stats.ip_latency)):
+                if histogram.count:
+                    lines.append(
+                        f"  {transport} latency: mean "
+                        f"{histogram.mean:.1f} ms, p50 "
+                        f"{histogram.quantile(0.5):.1f} ms, p95 "
+                        f"{histogram.quantile(0.95):.1f} ms "
+                        f"(n={histogram.count})")
             for record in stats.paths.values():
                 lines.append(f"  {record.summary} -> {record.uses} uses, "
                              f"mean {record.mean_latency_ms:.1f} ms")

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.dns.records import DnsRecord, RecordType, parse_scion_txt
 from repro.errors import DnsError
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.scion.addr import HostAddr
 from repro.simnet.events import EventLoop
 from repro.units import seconds
@@ -48,6 +49,7 @@ class Resolver:
         self._cache: dict[str, Resolution] = {}
         self.queries = 0
         self.cache_hits = 0
+        self.tracer = NULL_TRACER
 
     # -- zone management ------------------------------------------------------
 
@@ -72,23 +74,31 @@ class Resolver:
 
     # -- resolution ---------------------------------------------------------------
 
-    def resolve(self, name: str) -> Generator:
+    def resolve(self, name: str, parent=NULL_SPAN) -> Generator:
         """Resolve ``name`` (simulation process).
 
         Usage: ``resolution = yield from resolver.resolve(name)``. Raises
         :class:`DnsError` for unknown names (NXDOMAIN).
         """
+        tracer = self.tracer
+        span = tracer.span("dns.resolve", parent=parent, host=name) \
+            if tracer.enabled else NULL_SPAN
         self.queries += 1
         cached = self._cache.get(name)
         if cached is not None and cached.expires_at_ms > self.loop.now:
             self.cache_hits += 1
+            tracer.metrics.counter("dns_cache_hits_total").inc()
+            span.set(cache_hit=True).end()
             return cached
         yield self.loop.timeout(self.lookup_latency_ms)
+        tracer.metrics.counter("dns_queries_total").inc()
         records = self._zone.get(name)
         if not records:
+            span.set(error="NXDOMAIN").end("error")
             raise DnsError(f"NXDOMAIN: {name}")
         resolution = self._build_resolution(name, records)
         self._cache[name] = resolution
+        span.set(cache_hit=False).end()
         return resolution
 
     def _build_resolution(self, name: str,

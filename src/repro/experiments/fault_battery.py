@@ -43,6 +43,7 @@ from repro.errors import ReproError
 from repro.experiments.harness import BoxStats, PendingSamples, submit_samples
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
+from repro.obs.spans import Tracer
 from repro.simnet.faults import FaultSchedule, inject
 from repro.topology.defaults import remote_testbed
 
@@ -76,10 +77,12 @@ class FaultWorld:
     page: WebPage
     server: HttpServer
     ases: object  # the testbed's TestbedAses record
+    #: Observability tracer, present when built with ``obs=True``.
+    tracer: Tracer | None = None
 
 
 def build_fault_world(seed: int, n_resources: int = 6,
-                      strict: bool = False) -> FaultWorld:
+                      strict: bool = False, obs: bool = False) -> FaultWorld:
     """A distributed-testbed world with one dual-stack origin.
 
     The origin serves both QUIC/SCION and TCP/IP, so SCION-specific
@@ -103,8 +106,12 @@ def build_fault_world(seed: int, n_resources: int = 6,
     browser.proxy.request_timeout_ms = CHAOS_REQUEST_TIMEOUT_MS
     if strict:
         browser.extension.enable_strict_mode()
+    tracer = None
+    if obs:
+        tracer = Tracer(internet.loop)
+        browser.attach_tracer(tracer)
     return FaultWorld(internet=internet, browser=browser, page=page,
-                      server=server, ases=ases)
+                      server=server, ases=ases, tracer=tracer)
 
 
 def scenario_schedule(scenario: str, ases) -> FaultSchedule:
@@ -144,6 +151,21 @@ def _prepare_scenario(world: FaultWorld, scenario: str) -> None:
     schedule = scenario_schedule(scenario, world.ases)
     if len(schedule):
         inject(world.internet, schedule)
+
+
+def traced_fault_load(scenario: str, seed: int, n_resources: int = 6,
+                      mode: str = "opportunistic"):
+    """One traced chaos load; returns ``(world, result)``.
+
+    ``world.tracer`` carries the retry / path-failure / fallback span
+    events of the load — what the fault post-mortems read.
+    """
+    world = build_fault_world(seed, n_resources=n_resources,
+                              strict=(mode == "strict"), obs=True)
+    _prepare_scenario(world, scenario)
+    result = world.internet.loop.run_process(
+        world.browser.load(world.page))
+    return world, result
 
 
 def fault_trial(scenario: str, mode: str, seed: int,

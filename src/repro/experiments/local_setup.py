@@ -31,6 +31,7 @@ from repro.experiments.harness import (ExperimentResult, PendingExperiment,
                                        submit_samples)
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
+from repro.obs.spans import Tracer
 from repro.topology.defaults import LOCAL_AS, local_testbed
 
 #: Origin names of the two file servers (Figure 2).
@@ -70,6 +71,8 @@ class LocalWorld:
     internet: Internet
     browser: BraveBrowser
     page: WebPage
+    #: Observability tracer, present when built with ``obs=True``.
+    tracer: Tracer | None = None
 
 
 def make_page(condition: str, n_resources: int, seed: int) -> WebPage:
@@ -92,8 +95,14 @@ def make_page(condition: str, n_resources: int, seed: int) -> WebPage:
 def build_local_world(page: WebPage, seed: int,
                       calibration: LocalCalibration = DEFAULT_CALIBRATION,
                       extension_enabled: bool = True,
-                      strict: bool = False) -> LocalWorld:
-    """Assemble a fresh laptop world serving ``page``."""
+                      strict: bool = False,
+                      obs: bool = False) -> LocalWorld:
+    """Assemble a fresh laptop world serving ``page``.
+
+    ``obs=True`` attaches a :class:`~repro.obs.spans.Tracer` across the
+    whole browser stack (``world.tracer``); tracing is inert, so the
+    measured PLTs are bit-identical either way.
+    """
     internet = Internet(local_testbed(), seed=seed,
                         host_jitter_ms=calibration.host_jitter_ms)
     client = internet.add_host("client", LOCAL_AS)
@@ -121,7 +130,12 @@ def build_local_world(page: WebPage, seed: int,
     )
     if strict:
         browser.extension.enable_strict_mode()
-    return LocalWorld(internet=internet, browser=browser, page=page)
+    tracer = None
+    if obs:
+        tracer = Tracer(internet.loop)
+        browser.attach_tracer(tracer)
+    return LocalWorld(internet=internet, browser=browser, page=page,
+                      tracer=tracer)
 
 
 def load_once(world: LocalWorld) -> float:
@@ -131,7 +145,8 @@ def load_once(world: LocalWorld) -> float:
 
 
 def figure3_trial(condition: str, seed: int, n_resources: int = 12,
-                  calibration: LocalCalibration = DEFAULT_CALIBRATION) -> float:
+                  calibration: LocalCalibration = DEFAULT_CALIBRATION,
+                  obs: bool = False) -> float:
     """One Figure 3 trial: fresh world, one page load, PLT out."""
     page = make_page(condition, n_resources, seed)
     world = build_local_world(
@@ -139,8 +154,29 @@ def figure3_trial(condition: str, seed: int, n_resources: int = 12,
         calibration=calibration,
         extension_enabled=condition != "BGP/IP-only",
         strict=condition == "strict-SCION",
+        obs=obs,
     )
     return load_once(world)
+
+
+def traced_figure3_load(condition: str = "mixed SCION-IP", seed: int = 100,
+                        n_resources: int = 12,
+                        calibration: LocalCalibration = DEFAULT_CALIBRATION
+                        ) -> tuple[LocalWorld, float]:
+    """One traced Figure 3 load; returns ``(world, plt_ms)``.
+
+    ``world.tracer`` holds the span tree and metrics of the load —
+    artifact export and the waterfall acceptance tests start here.
+    """
+    page = make_page(condition, n_resources, seed)
+    world = build_local_world(
+        page, seed,
+        calibration=calibration,
+        extension_enabled=condition != "BGP/IP-only",
+        strict=condition == "strict-SCION",
+        obs=True,
+    )
+    return world, load_once(world)
 
 
 def submit_figure3(trials: int = 30, n_resources: int = 12,

@@ -34,6 +34,7 @@ from repro.experiments.harness import (ExperimentResult, PendingExperiment,
 from repro.http.reverse_proxy import ScionReverseProxy
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
+from repro.obs.spans import Tracer
 from repro.topology.defaults import remote_testbed
 
 #: Origin host names.
@@ -68,6 +69,8 @@ class RemoteWorld:
     internet: Internet
     browser: BraveBrowser
     page: WebPage
+    #: Observability tracer, present when built with ``obs=True``.
+    tracer: Tracer | None = None
 
 
 def make_remote_page(primary: str, multi_origin: bool, n_resources: int,
@@ -85,7 +88,8 @@ def make_remote_page(primary: str, multi_origin: bool, n_resources: int,
 
 def build_remote_world(page: WebPage, seed: int,
                        calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
-                       extension_enabled: bool = True) -> RemoteWorld:
+                       extension_enabled: bool = True,
+                       obs: bool = False) -> RemoteWorld:
     """Assemble a fresh distributed testbed serving ``page``."""
     topology, ases = remote_testbed()
     internet = Internet(topology, seed=seed,
@@ -123,12 +127,18 @@ def build_remote_world(page: WebPage, seed: int,
     # (this is what lets SCION pick the detour in Figure 5).
     browser.settings.extra_policies.append(latency_optimized())
     browser.extension.apply_settings()
-    return RemoteWorld(internet=internet, browser=browser, page=page)
+    tracer = None
+    if obs:
+        tracer = Tracer(internet.loop)
+        browser.attach_tracer(tracer)
+    return RemoteWorld(internet=internet, browser=browser, page=page,
+                       tracer=tracer)
 
 
 def remote_trial(primary: str, condition: str, seed: int,
                  n_resources: int = 9,
-                 calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION) -> float:
+                 calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION,
+                 obs: bool = False) -> float:
     """One trial of Figure 5 (``primary=FAR_ORIGIN``) or Figure 6
     (``primary=NEAR_ORIGIN``); returns the PLT in ms."""
     multi = condition.startswith("multiple")
@@ -136,9 +146,25 @@ def remote_trial(primary: str, condition: str, seed: int,
     page = make_remote_page(primary, multi_origin=multi,
                             n_resources=n_resources, seed=seed)
     world = build_remote_world(page, seed, calibration=calibration,
-                               extension_enabled=over_scion)
+                               extension_enabled=over_scion, obs=obs)
     result = world.internet.loop.run_process(world.browser.load(world.page))
     return result.plt_ms
+
+
+def traced_remote_load(condition: str = "single origin / SCION",
+                       seed: int = 500, n_resources: int = 9,
+                       primary: str = FAR_ORIGIN,
+                       calibration: RemoteCalibration = DEFAULT_REMOTE_CALIBRATION
+                       ) -> tuple[RemoteWorld, float]:
+    """One traced remote load; returns ``(world, plt_ms)``."""
+    multi = condition.startswith("multiple")
+    over_scion = condition.endswith("SCION")
+    page = make_remote_page(primary, multi_origin=multi,
+                            n_resources=n_resources, seed=seed)
+    world = build_remote_world(page, seed, calibration=calibration,
+                               extension_enabled=over_scion, obs=True)
+    result = world.internet.loop.run_process(world.browser.load(world.page))
+    return world, result.plt_ms
 
 
 def _submit_remote(primary: str, result: ExperimentResult, trials: int,

@@ -24,6 +24,7 @@ from repro.errors import (ConnectionClosedError, HttpError,
 from repro.http.message import HttpRequest, HttpResponse
 from repro.internet.host import Host
 from repro.ip.tcp import tcp_connect
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.quic.connection import quic_connect
 from repro.scion.addr import HostAddr
 from repro.scion.path import ScionPath
@@ -71,11 +72,13 @@ class HttpClient:
         self.max_connections_per_key = max_connections_per_key
         self._pools: dict[tuple, _Pool] = {}
         self.stats = ClientStats()
+        self.tracer = NULL_TRACER
 
     def request(self, dst: HostAddr, port: int, request: HttpRequest,
                 via: str = "ip",
                 path: ScionPath | None = None,
-                timeout_ms: float | None = None) -> Generator:
+                timeout_ms: float | None = None,
+                parent=NULL_SPAN) -> Generator:
         """Perform one HTTP exchange (simulation process).
 
         Usage: ``response = yield from client.request(...)``. Raises
@@ -86,32 +89,48 @@ class HttpClient:
         to (or is discarded from) the pool when it does, so the pool
         never hands a half-used stream to a later request.
         """
+        tracer = self.tracer
+        span = tracer.span("http.request", parent=parent, via=via,
+                           dst=str(dst), url=request.url) \
+            if tracer.enabled else NULL_SPAN
         if timeout_ms is None:
-            response = yield from self._request(dst, port, request, via, path)
+            try:
+                response = yield from self._request(dst, port, request, via,
+                                                    path, span=span)
+            except BaseException as error:
+                span.set(error=type(error).__name__).end("error")
+                raise
+            span.end()
             return response
         assert self.host.loop is not None
         loop = self.host.loop
         exchange = loop.process(
-            self._request(dst, port, request, via, path),
+            self._request(dst, port, request, via, path, span=span),
             name=f"http-{request.method}-{dst}")
         timer = loop.timeout(timeout_ms)
         try:
             event, value = yield loop.any_of([exchange, timer])
-        except BaseException:
+        except BaseException as error:
             timer.cancel()  # exchange failed first: withdraw the watchdog
+            span.set(error=type(error).__name__).end("error")
             raise
         if event is timer:
             self.stats.timeouts += 1
             exchange.interrupt("request timeout")
+            span.event("timeout", timeout_ms=timeout_ms)
+            span.set(error="RequestTimeoutError").end("error")
             raise RequestTimeoutError(
                 f"no response from {dst}:{port} within {timeout_ms:.0f} ms")
         timer.cancel()
+        span.end()
         return value
 
     def _request(self, dst: HostAddr, port: int, request: HttpRequest,
-                 via: str, path: ScionPath | None) -> Generator:
+                 via: str, path: ScionPath | None,
+                 span=NULL_SPAN) -> Generator:
         key = (dst, port, via, path.fingerprint() if path else None)
-        pooled = yield from self._acquire(key, dst, port, via, path)
+        pooled = yield from self._acquire(key, dst, port, via, path,
+                                          span=span)
         try:
             pooled.stream.send(request, request.wire_bytes())
             response = yield pooled.stream.recv()
@@ -138,18 +157,20 @@ class HttpClient:
     # -- pool management ----------------------------------------------------------
 
     def _acquire(self, key: tuple, dst: HostAddr, port: int, via: str,
-                 path: ScionPath | None) -> Generator:
+                 path: ScionPath | None, span=NULL_SPAN) -> Generator:
         pool = self._pools.setdefault(key, _Pool())
         while True:
             for pooled in pool.connections:
                 if not pooled.busy:
                     pooled.busy = True
+                    span.set(pooled_connection=True)
                     return pooled
             in_flight = len(pool.connections) + pool.opening
             if in_flight < self.max_connections_per_key:
                 pool.opening += 1
                 try:
-                    stream = yield from self._open(dst, port, via, path)
+                    stream = yield from self._open(dst, port, via, path,
+                                                   span=span)
                 finally:
                     pool.opening -= 1
                 pooled = _PooledConnection(stream=stream, busy=True)
@@ -171,10 +192,11 @@ class HttpClient:
                 raise
 
     def _open(self, dst: HostAddr, port: int, via: str,
-              path: ScionPath | None) -> Generator:
+              path: ScionPath | None, span=NULL_SPAN) -> Generator:
         if via == "scion":
             connection = yield from quic_connect(
-                self.host, dst, port, via="scion", path=path)
+                self.host, dst, port, via="scion", path=path,
+                tracer=self.tracer, parent=span)
             return connection.open_stream()
         connection = yield from tcp_connect(
             self.host, dst, port, via="ip", path=None)

@@ -1,0 +1,193 @@
+"""CLI for the observability subsystem.
+
+Usage::
+
+    python -m repro.obs --selftest
+    python -m repro.obs trace [--setup local|remote|fault] [--condition C]
+                              [--seed N] [--n-resources N] [--out FILE]
+    python -m repro.obs report ARTIFACT
+    python -m repro.obs diff A B
+
+``--selftest`` is the ``make verify`` smoke step: it round-trips a
+synthetic span/metric/waterfall artifact through export and load, then
+runs one *real* traced figure-3 page load and checks the acceptance
+invariant — the waterfall's PLT breakdown sums to the measured PLT.
+``trace`` runs one traced page load of the chosen experiment setup and
+writes (and renders) its artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.errors import ReproError
+from repro.obs.export import (build_artifact, diff_report, load_artifact,
+                              render_report, write_artifact)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import STATUS_ERROR, Tracer
+from repro.obs.waterfall import assemble_waterfall, waterfall_from_dict
+
+
+def _synthetic_roundtrip() -> None:
+    """Span -> waterfall -> artifact -> JSON -> artifact, no network."""
+    from repro.simnet.events import EventLoop
+
+    loop = EventLoop()
+    tracer = Tracer(loop, metrics=MetricsRegistry())
+    page = tracer.span("page.load", host="selftest.local", n_resources=1)
+
+    main = tracer.span("browser.fetch", parent=page,
+                       url="selftest.local/", main=True)
+    loop.run(until=10.0)
+    main.end()
+    parse = tracer.span("browser.parse", parent=page)
+    loop.run(until=12.0)
+    parse.end()
+    sub = tracer.span("browser.fetch", parent=page,
+                      url="selftest.local/a.css", main=False)
+    http = tracer.span("http.request", parent=sub, via="scion")
+    http.event("retry", attempt=1)
+    loop.run(until=19.0)
+    http.end()
+    sub.end()
+    loop.run(until=20.0)
+    page.end()
+
+    tracer.metrics.counter("requests_total", transport="scion").inc(2)
+    tracer.metrics.histogram("request_ms", transport="scion").observe(7.0)
+
+    waterfall = assemble_waterfall(tracer)
+    waterfall.breakdown.check(20.0)
+    if len(waterfall.rows) != 2:
+        raise ReproError(f"expected 2 waterfall rows, got "
+                         f"{len(waterfall.rows)}")
+
+    artifact = build_artifact(tracer, label="selftest")
+    with tempfile.TemporaryDirectory() as tmp:
+        loaded = load_artifact(write_artifact(f"{tmp}/selftest.json",
+                                              artifact))
+    if loaded != artifact:
+        raise ReproError("artifact did not survive the JSON round trip")
+    reloaded = waterfall_from_dict(loaded["waterfalls"][0])
+    reloaded.breakdown.check(waterfall.plt_ms)
+    if "(no metric differences)" not in diff_report(loaded, loaded):
+        raise ReproError("self-diff reported differences")
+
+
+def _traced_load_check() -> float:
+    """One real traced figure-3 load; returns the tracing overhead-free
+    PLT after checking the breakdown invariant against it."""
+    from repro.experiments.local_setup import traced_figure3_load
+
+    world, plt_ms = traced_figure3_load()
+    assert world.tracer is not None
+    waterfall = assemble_waterfall(world.tracer)
+    waterfall.breakdown.check(plt_ms)
+    leaked = world.tracer.open_spans()
+    if leaked:
+        raise ReproError(f"{len(leaked)} spans never ended: "
+                         f"{[span.name for span in leaked[:5]]}")
+    errors = [span for span in world.tracer.spans
+              if span.status == STATUS_ERROR]
+    if errors:
+        raise ReproError(f"unexpected error spans in a healthy load: "
+                         f"{[span.name for span in errors[:5]]}")
+    return plt_ms
+
+
+def _selftest() -> int:
+    _synthetic_roundtrip()
+    print("synthetic span/metric/waterfall round trip: ok")
+    plt_ms = _traced_load_check()
+    print(f"traced figure-3 load: breakdown sums to PLT "
+          f"({plt_ms:.1f} ms): ok")
+    print("repro.obs selftest passed")
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    if args.setup == "local":
+        from repro.experiments.local_setup import traced_figure3_load
+        world, plt_ms = traced_figure3_load(condition=args.condition,
+                                            seed=args.seed,
+                                            n_resources=args.n_resources)
+        label = f"figure3/{args.condition}/seed{args.seed}"
+    elif args.setup == "remote":
+        from repro.experiments.remote_setup import traced_remote_load
+        world, plt_ms = traced_remote_load(condition=args.condition,
+                                           seed=args.seed,
+                                           n_resources=args.n_resources)
+        label = f"remote/{args.condition}/seed{args.seed}"
+    else:
+        from repro.experiments.fault_battery import traced_fault_load
+        world, _result = traced_fault_load(scenario=args.condition,
+                                           seed=args.seed,
+                                           n_resources=args.n_resources)
+        plt_ms = _result.plt_ms
+        label = f"fault/{args.condition}/seed{args.seed}"
+    assert world.tracer is not None
+    artifact = build_artifact(world.tracer, label=label,
+                              extra={"plt_ms": plt_ms, "seed": args.seed})
+    print(render_report(artifact))
+    if args.out:
+        path = write_artifact(args.out, artifact)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace page loads, render waterfalls, diff artifacts")
+    parser.add_argument("--selftest", action="store_true",
+                        help="span/metric/waterfall round-trip smoke check")
+    sub = parser.add_subparsers(dest="command")
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one traced page load and render its waterfall")
+    trace_parser.add_argument("--setup",
+                              choices=("local", "remote", "fault"),
+                              default="local")
+    trace_parser.add_argument("--condition", default=None,
+                              help="figure condition or fault scenario "
+                                   "(setup-specific default)")
+    trace_parser.add_argument("--seed", type=int, default=100)
+    trace_parser.add_argument("--n-resources", type=int, default=None)
+    trace_parser.add_argument("--out", default=None,
+                              help="write the JSON artifact here")
+
+    report_parser = sub.add_parser("report",
+                                   help="render one artifact as text")
+    report_parser.add_argument("artifact")
+
+    diff_parser = sub.add_parser("diff", help="diff two artifacts")
+    diff_parser.add_argument("a")
+    diff_parser.add_argument("b")
+
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return _selftest()
+    if args.command == "trace":
+        defaults = {"local": ("mixed SCION-IP", 12),
+                    "remote": ("single origin / SCION", 9),
+                    "fault": ("link-flap", 6)}
+        condition, n_resources = defaults[args.setup]
+        if args.condition is None:
+            args.condition = condition
+        if args.n_resources is None:
+            args.n_resources = n_resources
+        return _trace(args)
+    if args.command == "report":
+        print(render_report(load_artifact(args.artifact)))
+        return 0
+    if args.command == "diff":
+        print(diff_report(load_artifact(args.a), load_artifact(args.b)))
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Trace/metric artifacts on disk, and run-to-run diff reports.
+
+An *artifact* is one JSON document holding everything a traced run
+recorded: the span tree, the metrics snapshot, and the assembled
+waterfall of every completed page load. ``run_all --obs`` writes one per
+figure next to the ``results/*.txt`` files; ``python -m repro.obs diff``
+turns two of them into a text report of what moved.
+
+Artifacts are deterministic for a given seed (sorted keys, no
+timestamps), so two runs of the same world diff byte-for-byte empty.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.metrics import export_snapshot_cache_metrics
+from repro.obs.waterfall import assemble_waterfall, waterfall_from_dict
+
+#: Current artifact schema version.
+ARTIFACT_VERSION = 1
+
+#: Where ``run_all --obs`` puts its artifacts, relative to the results
+#: directory.
+DEFAULT_OBS_DIR = "obs"
+
+
+def build_artifact(tracer: Any, label: str = "trace",
+                   extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Everything one traced run recorded, as a JSON-ready dict.
+
+    Every completed ``page.load`` in the trace contributes a waterfall;
+    loads still open when the artifact is built are skipped (their spans
+    are present regardless). The control-plane snapshot-cache counters
+    (process-local, cumulative) are re-exported as gauges at build time,
+    so the artifact records how much control-plane work this process
+    skipped so far.
+    """
+    export_snapshot_cache_metrics(tracer.metrics)
+    spans = [span.to_dict() for span in tracer.spans]
+    waterfalls = []
+    n_pages = sum(1 for span in spans if span["name"] == "page.load")
+    for index in range(n_pages):
+        try:
+            waterfalls.append(assemble_waterfall(spans, index).to_dict())
+        except ReproError:
+            continue  # load still in flight (or main document missing)
+    return {
+        "version": ARTIFACT_VERSION,
+        "label": label,
+        "spans": spans,
+        "metrics": tracer.metrics.snapshot(),
+        "waterfalls": waterfalls,
+        "extra": dict(extra or {}),
+    }
+
+
+def write_artifact(path: str | pathlib.Path,
+                   artifact: dict[str, Any]) -> pathlib.Path:
+    """Write one artifact as stable (sorted, indented) JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read an artifact back; raises :class:`ReproError` on junk."""
+    try:
+        artifact = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read obs artifact {path}: {error}") \
+            from error
+    if not isinstance(artifact, dict) or "spans" not in artifact:
+        raise ReproError(f"{path} is not an obs artifact")
+    return artifact
+
+
+def render_report(artifact: dict[str, Any]) -> str:
+    """One artifact as a human-readable report."""
+    lines = [f"== obs report: {artifact.get('label', '?')} =="]
+    for data in artifact.get("waterfalls", []):
+        lines.append("")
+        lines.append(waterfall_from_dict(data).render())
+    metrics = artifact.get("metrics", {})
+    lines.append("")
+    lines.append("-- metrics --")
+    for kind in ("counters", "gauges"):
+        for key, value in metrics.get(kind, {}).items():
+            lines.append(f"{key} {value:g}")
+    for key, hist in metrics.get("histograms", {}).items():
+        count = hist.get("count", 0)
+        mean = hist.get("sum", 0.0) / count if count else 0.0
+        lines.append(f"{key} n={count} mean={mean:.2f}")
+    return "\n".join(lines)
+
+
+def _mean_plt(artifact: dict[str, Any]) -> float:
+    plts = [w["breakdown"]["plt_ms"] for w in artifact.get("waterfalls", [])]
+    return sum(plts) / len(plts) if plts else 0.0
+
+
+def _scalar_diff(lines: list[str], kind: str, a: dict[str, Any],
+                 b: dict[str, Any]) -> None:
+    before = a.get("metrics", {}).get(kind, {})
+    after = b.get("metrics", {}).get(kind, {})
+    for key in sorted(set(before) | set(after)):
+        old, new = before.get(key), after.get(key)
+        if old == new:
+            continue
+        old_s = f"{old:g}" if old is not None else "-"
+        new_s = f"{new:g}" if new is not None else "-"
+        lines.append(f"  {key}: {old_s} -> {new_s}")
+
+
+def diff_report(a: dict[str, Any], b: dict[str, Any]) -> str:
+    """What changed between two artifacts — PLTs, counters, histograms."""
+    lines = [
+        f"== obs diff: {a.get('label', 'A')} -> {b.get('label', 'B')} ==",
+        (f"page loads: {len(a.get('waterfalls', []))} -> "
+         f"{len(b.get('waterfalls', []))}; mean PLT "
+         f"{_mean_plt(a):.1f} ms -> {_mean_plt(b):.1f} ms"),
+    ]
+    changed = len(lines)
+    lines.append("counters/gauges:")
+    _scalar_diff(lines, "counters", a, b)
+    _scalar_diff(lines, "gauges", a, b)
+    if lines[-1] == "counters/gauges:":
+        lines.pop()
+    lines.append("histograms:")
+    before = a.get("metrics", {}).get("histograms", {})
+    after = b.get("metrics", {}).get("histograms", {})
+    for key in sorted(set(before) | set(after)):
+        old, new = before.get(key), after.get(key)
+        if old == new:
+            continue
+
+        def stats(hist):
+            if hist is None:
+                return "-"
+            count = hist.get("count", 0)
+            mean = hist.get("sum", 0.0) / count if count else 0.0
+            return f"n={count} mean={mean:.2f}"
+
+        lines.append(f"  {key}: {stats(old)} -> {stats(new)}")
+    if lines[-1] == "histograms:":
+        lines.pop()
+    if len(lines) == changed:
+        lines.append("(no metric differences)")
+    return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Performance measurement and the repo's recorded perf trajectory.
 
-Three fixed workloads quantify the simulator's speed:
+Four fixed workloads quantify the simulator's speed:
 
 * **event-loop throughput** — raw scheduler events/sec (a ``call_soon``
   storm) and coroutine events/sec (a process yielding timeouts), the
@@ -10,7 +10,10 @@ Three fixed workloads quantify the simulator's speed:
   dominates ``run_all`` regeneration time;
 * **snapshot cache** — per-trial latency of a local-testbed trial with
   the control-plane snapshot cache disabled vs. primed, isolating what
-  cross-trial world reuse saves.
+  cross-trial world reuse saves;
+* **tracing overhead** — the same trial untraced vs. with the
+  ``repro.obs`` tracer attached, guarding the observability subsystem's
+  "inert and cheap" contract.
 
 Results append to ``BENCH_results.json`` at the repo root so successive
 PRs accumulate a machine-readable performance trajectory (events/sec,
@@ -32,6 +35,7 @@ from __future__ import annotations
 import argparse
 import functools
 import json
+import math
 import os
 import pathlib
 import platform
@@ -244,6 +248,56 @@ def measure_snapshot_cache(trials: int = 8, n_resources: int = 12,
 
 
 # ---------------------------------------------------------------------------
+# Workload 4 — observability overhead
+# ---------------------------------------------------------------------------
+
+
+def measure_tracing(trials: int = 8, n_resources: int = 12,
+                    base_seed: int = 100, repeats: int = 5) -> dict[str, Any]:
+    """Per-trial latency of a local-testbed trial, untraced vs. traced.
+
+    The traced pass attaches a full :class:`~repro.obs.spans.Tracer`
+    (spans + metrics at every layer); the untraced pass is the default
+    ``NULL_TRACER`` path. Tracing is inert by design, so the PLT samples
+    must be bit-identical — only the wall-clock may differ, and the
+    overhead of span bookkeeping should stay in the low single digits.
+    Each arm takes the best of ``repeats`` interleaved passes: a single
+    pass pair is dominated by scheduler noise on small containers.
+    """
+    from repro.experiments.local_setup import figure3_trial
+    from repro.internet import snapshot
+
+    seeds = range(base_seed, base_seed + trials)
+
+    def pass_over_seeds(obs: bool) -> tuple[list[float], float]:
+        started = time.perf_counter()
+        samples = [figure3_trial("mixed SCION-IP", seed,
+                                 n_resources=n_resources, obs=obs)
+                   for seed in seeds]
+        return samples, time.perf_counter() - started
+
+    snapshot.clear_cache()
+    pass_over_seeds(obs=False)  # prime the snapshot cache for both passes
+    untraced_s = math.inf
+    traced_s = math.inf
+    for _ in range(max(1, repeats)):
+        untraced_samples, elapsed = pass_over_seeds(obs=False)
+        untraced_s = min(untraced_s, elapsed)
+        traced_samples, elapsed = pass_over_seeds(obs=True)
+        traced_s = min(traced_s, elapsed)
+    overhead = (traced_s - untraced_s) / untraced_s if untraced_s else 0.0
+    return {
+        "workload": f"tracing/{trials}x{n_resources}",
+        "trials": trials,
+        "n_resources": n_resources,
+        "trial_ms": round(untraced_s / trials * 1000.0, 2),
+        "traced_trial_ms": round(traced_s / trials * 1000.0, 2),
+        "tracing_overhead_pct": round(overhead * 100.0, 1),
+        "identical": untraced_samples == traced_samples,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory comparison (--compare)
 # ---------------------------------------------------------------------------
 
@@ -258,6 +312,8 @@ COMPARE_METRICS = (
     ("parallel_s", False),
     # Absent in pre-snapshot-cache rows; compare skips missing metrics.
     ("cached_trial_ms", False),
+    # Absent in pre-observability rows.
+    ("traced_trial_ms", False),
 )
 
 
@@ -379,26 +435,34 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"speedup {row['snapshot_speedup']:.2f}x")
             parts.append("deterministic" if row["identical"]
                          else "NON-DETERMINISTIC")
+        if "traced_trial_ms" in row:
+            parts.append(f"untraced {row['trial_ms']:.1f} ms/trial")
+            parts.append(f"traced {row['traced_trial_ms']:.1f} ms/trial")
+            parts.append(f"overhead {row['tracing_overhead_pct']:+.1f}%")
+            parts.append("deterministic" if row["identical"]
+                         else "NON-DETERMINISTIC")
         lines.append("  ".join(parts))
     return "\n".join(lines)
 
 
 def run_suite(quick: bool = False,
               workers: int | None = None) -> list[dict[str, Any]]:
-    """Both workloads at full or ``--quick`` size, as trajectory rows."""
+    """All four workloads at full or ``--quick`` size, as trajectory rows."""
     if quick:
         throughput = measure_event_throughput(n_events=100_000, repeats=1)
         battery = measure_battery(trials=6, n_resources=6, workers=workers)
         cache = measure_snapshot_cache(trials=4, n_resources=6)
+        tracing = measure_tracing(trials=4, n_resources=6)
     else:
         throughput = measure_event_throughput()
         battery = measure_battery(workers=workers)
         cache = measure_snapshot_cache()
+        tracing = measure_tracing()
     context = machine_fingerprint()
     context["source"] = "repro.perf"
     context["label"] = "quick" if quick else "full"
     return [{**context, **throughput}, {**context, **battery},
-            {**context, **cache}]
+            {**context, **cache}, {**context, **tracing}]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.errors import ConnectionClosedError, HandshakeError, TransportError
 from repro.internet.host import Datagram, Host, UdpSocket
+from repro.obs.spans import NULL_SPAN, NULL_TRACER
 from repro.scion.addr import HostAddr
 from repro.scion.path import ScionPath
 from repro.transport.reliable import ReliableChannel
@@ -234,7 +235,8 @@ class QuicListener:
 def quic_connect(host: Host, dst: HostAddr, dst_port: int,
                  via: str = "scion", path: ScionPath | None = None,
                  timeout_ms: float = HANDSHAKE_TIMEOUT_MS,
-                 retries: int = HANDSHAKE_RETRIES) -> Generator:
+                 retries: int = HANDSHAKE_RETRIES,
+                 tracer=NULL_TRACER, parent=NULL_SPAN) -> Generator:
     """Open a QUIC connection (simulation process).
 
     Usage: ``conn = yield from quic_connect(host, dst, 443, path=p)``.
@@ -242,15 +244,20 @@ def quic_connect(host: Host, dst: HostAddr, dst_port: int,
     """
     assert host.loop is not None
     loop = host.loop
+    span = tracer.span("quic.handshake", parent=parent, via=via) \
+        if tracer.enabled else NULL_SPAN
     socket = host.udp_socket()
     conn_id = next(_conn_ids)
     start = loop.now
     established = False
+    attempts = 0
     for _attempt in range(retries):
+        attempts += 1
         socket.send(dst, dst_port, ClientHello(conn_id=conn_id),
                     HANDSHAKE_BYTES, via=via, path=path)
         datagram = yield socket.recv(timeout_ms=timeout_ms)
         if datagram is None:
+            span.event("hello-timeout", attempt=attempts)
             continue
         if isinstance(datagram.payload, ServerHello) and \
                 datagram.payload.conn_id == conn_id:
@@ -258,10 +265,14 @@ def quic_connect(host: Host, dst: HostAddr, dst_port: int,
             break
     if not established:
         socket.close()
+        span.set(attempts=attempts, error="HandshakeError").end("error")
+        tracer.metrics.counter("quic_handshake_failures_total").inc()
         raise HandshakeError(
             f"QUIC connect {host.name} -> {dst}:{dst_port} failed after "
             f"{retries} attempts")
     rtt = max(0.1, loop.now - start)
+    span.set(attempts=attempts, rtt_ms=rtt).end()
+    tracer.metrics.histogram("quic_handshake_ms").observe(loop.now - start)
 
     def send_datagram(frame: Any, size: int) -> None:
         socket.send(dst, dst_port, frame, size, via=via, path=path)

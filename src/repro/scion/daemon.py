@@ -17,8 +17,10 @@ service, which include metadata added during beaconing"). The daemon
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import NoPathError, PathServerUnreachableError
+from repro.obs.spans import NULL_TRACER
 from repro.scion.combinator import combine_segments
 from repro.scion.path import ScionPath
 from repro.scion.path_server import PathServer
@@ -75,6 +77,9 @@ class PathDaemon:
         default_factory=dict)
     #: fingerprint → quarantine-end time (ms) for paths reported dead.
     _dead_paths: dict[str, float] = field(default_factory=dict)
+    #: Observability hook; lookups are synchronous (zero simulated
+    #: time), so the daemon reports through metrics rather than spans.
+    tracer: Any = NULL_TRACER
 
     def paths(self, dst: IsdAs) -> list[ScionPath]:
         """All candidate paths to ``dst``, lowest latency first.
@@ -85,11 +90,14 @@ class PathDaemon:
         over SCION.
         """
         self.stats.queries += 1
+        metrics = self.tracer.metrics
+        metrics.counter("daemon_queries_total").inc()
         if dst == self.isd_as:
             return []
         entry = self._cache.get(dst)
         if entry is not None:
             self.stats.cache_hits += 1
+            metrics.counter("daemon_cache_hits_total").inc()
             paths, earliest_expiry = entry
             if self.clock is None or self.clock.now < earliest_expiry:  # type: ignore[attr-defined]
                 # Fast path: no cached path can have expired yet.
@@ -114,6 +122,7 @@ class PathDaemon:
             # Infrastructure outage: the cache could not answer and the
             # server cannot be queried — expired segments stay expired.
             self.stats.server_unreachable += 1
+            metrics.counter("daemon_server_unreachable_total").inc()
             raise PathServerUnreachableError(
                 f"path server unreachable, no cached path "
                 f"{self.isd_as} -> {dst}")
@@ -159,6 +168,7 @@ class PathDaemon:
         for ``dst`` afterwards.
         """
         self.stats.path_failures_reported += 1
+        self.tracer.metrics.counter("path_failures_reported_total").inc()
         now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
         ttl = self.dead_path_ttl_ms if ttl_ms is None else ttl_ms
         self._dead_paths[fingerprint] = now + ttl
@@ -168,6 +178,7 @@ class PathDaemon:
         if not getattr(self.path_server, "available", True):
             return False
         self.stats.failover_requeries += 1
+        self.tracer.metrics.counter("daemon_failover_requeries_total").inc()
         try:
             return bool(self.paths(dst))
         except NoPathError:

@@ -8,6 +8,7 @@ usage and performance" back to the user.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -27,20 +28,26 @@ class TraceEntry:
 
 
 class PacketTrace:
-    """Append-only record of link events.
+    """Bounded record of link events.
 
     Tracing is opt-in per network (it costs memory); experiments enable it
-    when they need per-path accounting.
+    when they need per-path accounting. ``capacity`` bounds the memory: a
+    full trace drops its *oldest* entry for each new one (ring-buffer
+    semantics — the recent past is what post-mortems need) and counts the
+    evictions in :attr:`dropped_entries`.
     """
 
     def __init__(self, capacity: int | None = None) -> None:
-        self.entries: list[TraceEntry] = []
+        self.entries: deque[TraceEntry] = deque(maxlen=capacity)
         self.capacity = capacity
+        #: Entries evicted to keep the trace within ``capacity``.
+        self.dropped_entries = 0
 
     def record(self, time: float, link: str, event: str, packet: Any) -> None:
-        """Record one event; silently stops recording beyond capacity."""
-        if self.capacity is not None and len(self.entries) >= self.capacity:
-            return
+        """Record one event, evicting the oldest when at capacity."""
+        if (self.capacity is not None
+                and len(self.entries) == self.capacity):
+            self.dropped_entries += 1
         self.entries.append(TraceEntry(
             time=time,
             link=link,

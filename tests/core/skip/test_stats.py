@@ -1,6 +1,9 @@
 """Path usage statistics (the user-facing feedback panel)."""
 
+import pytest
+
 from repro.core.skip.stats import PathUsageStats
+from repro.obs.metrics import MetricsRegistry
 
 
 class TestAccounting:
@@ -67,3 +70,42 @@ class TestAccounting:
         stats.record_scion("a", "fp1", "s1", 1.0, compliant=True)
         stats.record_scion("a", "fp2", "s2", 2.0, compliant=True)
         assert len(stats.hosts["a"].paths) == 2
+
+
+class TestLatencyHistograms:
+    def test_per_transport_histograms_populated(self):
+        stats = PathUsageStats()
+        stats.record_scion("a", "fp", "s", 10.0, compliant=True)
+        stats.record_scion("a", "fp", "s", 30.0, compliant=True)
+        stats.record_ip("a", 100.0, scion_was_available=False)
+        host = stats.hosts["a"]
+        assert host.scion_latency.count == 2
+        assert host.scion_latency.mean == pytest.approx(20.0)
+        assert host.ip_latency.count == 1
+        assert host.ip_latency.mean == pytest.approx(100.0)
+
+    def test_metrics_mirror_records_request_ms(self):
+        registry = MetricsRegistry()
+        stats = PathUsageStats(metrics=registry)
+        stats.record_scion("a", "fp", "s", 10.0, compliant=True)
+        stats.record_ip("b", 20.0, scion_was_available=True)
+        scion = registry.histogram("request_ms", transport="scion")
+        ip = registry.histogram("request_ms", transport="ip")
+        assert scion.count == 1 and scion.mean == pytest.approx(10.0)
+        assert ip.count == 1 and ip.mean == pytest.approx(20.0)
+
+    def test_default_stats_need_no_registry(self):
+        # The counter API stays backward compatible: no registry wired,
+        # nothing observed anywhere but the local histograms.
+        stats = PathUsageStats()
+        stats.record_ip("a", 5.0, scion_was_available=False)
+        assert stats.hosts["a"].ip_requests == 1
+
+    def test_report_includes_latency_lines(self):
+        stats = PathUsageStats()
+        stats.record_scion("a.example", "fp", "[1 > 2]", 12.0,
+                           compliant=True)
+        stats.record_ip("a.example", 48.0, scion_was_available=False)
+        report = stats.report()
+        assert "scion" in report.lower()
+        assert "p95" in report

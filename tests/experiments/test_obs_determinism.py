@@ -1,0 +1,41 @@
+"""Tracing must be a pure observer: traced batteries are bit-identical.
+
+The observability contract is that a :class:`~repro.obs.spans.Tracer`
+never schedules events, draws randomness, or touches wall-clock time.
+These tests enforce it end to end: the same Figure 3 battery run with
+and without tracing yields the *exact* same samples — serially and on
+the worker pool.
+"""
+
+import functools
+
+import pytest
+
+from repro.experiments.harness import BoxStats, run_samples
+from repro.experiments.local_setup import FIGURE3_CONDITIONS, figure3_trial
+
+SEEDS = range(100, 104)
+N_RESOURCES = 6
+
+
+def battery(condition: str, obs: bool, workers: int) -> list[float]:
+    trial = functools.partial(figure3_trial, condition,
+                              n_resources=N_RESOURCES, obs=obs)
+    return run_samples(trial, SEEDS, workers=workers)
+
+
+class TestTracedEqualsUntraced:
+    @pytest.mark.parametrize("condition", FIGURE3_CONDITIONS)
+    def test_serial_battery_bit_identical(self, condition):
+        untraced = battery(condition, obs=False, workers=1)
+        traced = battery(condition, obs=True, workers=1)
+        assert traced == untraced  # ==, not approx: bit-identical
+        assert (BoxStats.from_samples(traced)
+                == BoxStats.from_samples(untraced))
+
+    @pytest.mark.parametrize("condition", ["mixed SCION-IP", "strict-SCION"])
+    def test_parallel_battery_bit_identical(self, condition):
+        untraced = battery(condition, obs=False, workers=4)
+        traced = battery(condition, obs=True, workers=4)
+        assert traced == untraced
+        assert traced == battery(condition, obs=True, workers=1)

@@ -1,0 +1,66 @@
+"""Chaos soak: repeated traced loads under random faults leak nothing.
+
+Excluded from the default run (marked ``chaos``); invoke with
+``pytest -m chaos``. Each load runs opportunistic mode against a
+randomly drawn fault schedule; afterwards every shared resource the
+stack pools — CPU slots, HTTP connections, recycled events, spans —
+must be back at rest.
+"""
+
+import pytest
+
+from repro.experiments.fault_battery import build_fault_world
+from repro.simnet.faults import inject, random_schedule
+
+LOADS = 10
+SOAK_WINDOW_MS = 180_000.0
+
+
+def assert_client_pools_quiescent(client):
+    for key, pool in client._pools.items():
+        assert pool.opening == 0, f"{key}: connection still opening"
+        assert not pool.waiters, f"{key}: waiter leaked"
+        for pooled in pool.connections:
+            assert not pooled.busy, f"{key}: pooled stream leaked busy"
+
+
+@pytest.mark.chaos
+class TestChaosSoak:
+    @pytest.mark.parametrize("seed", [9001, 9002])
+    def test_soak_leaves_no_leaked_resources(self, seed):
+        world = build_fault_world(seed, n_resources=5, obs=True)
+        ases = world.ases
+        schedule = random_schedule(
+            seed, SOAK_WINDOW_MS,
+            targets=(f"{ases.local_core}~{ases.third_core}",
+                     f"{ases.client}~{ases.local_core}", "*"),
+            n_faults=6)
+        inject(world.internet, schedule)
+
+        completed = 0
+        for _ in range(LOADS):
+            result = world.internet.loop.run_process(
+                world.browser.load(world.page))
+            assert result.plt_ms >= 0.0
+            completed += 1
+        assert completed == LOADS
+
+        tracer = world.tracer
+        assert tracer is not None
+        assert tracer.open_spans() == [], "span leaked open after soak"
+        assert len(tracer.spans_named("page.load")) == LOADS
+
+        browser = world.browser
+        assert browser.extension.cpu.in_use == 0
+        assert browser.proxy.cpu.in_use == 0
+        assert_client_pools_quiescent(browser.proxy.client)
+        assert_client_pools_quiescent(
+            browser._direct_engine.fetcher.client)
+
+        # Recycled events back in the loop pool must be clean: pending,
+        # with no stale callbacks — a triggered or waited-on event in the
+        # pool would corrupt the next request that borrows it.
+        loop = world.internet.loop
+        for event in loop._event_pool:
+            assert not event.triggered
+            assert not event._callbacks

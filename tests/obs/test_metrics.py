@@ -1,0 +1,83 @@
+"""Counters, gauges, fixed-bucket histograms, and the registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS_MS, NULL_REGISTRY,
+                               Histogram, MetricsRegistry, render_key)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", transport="scion")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_goes_anywhere(self):
+        gauge = MetricsRegistry().gauge("ratio")
+        gauge.set(0.75)
+        gauge.inc(-0.5)
+        assert gauge.value == 0.25
+
+    def test_histogram_buckets_and_mean(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bounds == (1.0, 10.0, math.inf)
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(55.5 / 3)
+
+    def test_histogram_quantile_is_bucket_resolution(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.6, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(10.0, 1.0))
+
+    def test_default_buckets_end_in_inf(self):
+        assert DEFAULT_LATENCY_BUCKETS_MS[-1] == math.inf
+
+
+class TestRegistry:
+    def test_instruments_interned_per_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", transport="scion")
+        b = registry.counter("requests_total", transport="scion")
+        c = registry.counter("requests_total", transport="ip")
+        assert a is b
+        assert a is not c
+
+    def test_render_key(self):
+        assert render_key("n", ()) == "n"
+        assert render_key("n", (("a", "1"), ("b", "x"))) == "n{a=1,b=x}"
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", k="v").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a{k=v}", "b"]
+        assert snapshot["histograms"]["h"]["bounds"] == [1.0, "inf"]
+        json.dumps(snapshot)  # must not raise (inf encoded as a string)
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("c").inc()
+        NULL_REGISTRY.gauge("g").set(9)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        assert not NULL_REGISTRY.enabled

@@ -128,6 +128,23 @@ class TestTrace:
         trace.record(1.0, "wire", "recv", packet)
         assert len(trace) == 1
 
+    def test_capacity_ring_keeps_newest_and_counts_drops(self):
+        trace = PacketTrace(capacity=3)
+        packet = Packet(src="a", dst="b", payload=None, size=1)
+        for tick in range(5):
+            trace.record(float(tick), "wire", "send", packet)
+        assert len(trace) == 3
+        assert [entry.time for entry in trace] == [2.0, 3.0, 4.0]
+        assert trace.dropped_entries == 2
+
+    def test_unbounded_trace_never_drops(self):
+        trace = PacketTrace()
+        packet = Packet(src="a", dst="b", payload=None, size=1)
+        for tick in range(100):
+            trace.record(float(tick), "wire", "send", packet)
+        assert len(trace) == 100
+        assert trace.dropped_entries == 0
+
     def test_packet_copy_shallow_gets_new_id(self):
         packet = Packet(src="a", dst="b", payload="p", size=9)
         clone = packet.copy_shallow()
