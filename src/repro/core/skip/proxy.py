@@ -27,6 +27,7 @@ from collections.abc import Generator
 from dataclasses import dataclass
 
 from repro.core.ppl.evaluator import PathPolicy
+from repro.core.skip.breaker import BreakerBoard, BreakerState
 from repro.core.skip.detection import DetectionResult, ScionDetector
 from repro.core.skip.session import ChoiceKind, PathChoice, PathSelector
 from repro.core.skip.stats import PathUsageStats
@@ -114,14 +115,17 @@ class SkipProxy:
         self.quic_port = quic_port
         self.tcp_port = tcp_port
         self.stats = PathUsageStats()
-        #: Failover state: recently-failed path fingerprints -> the
-        #: simulation time until which they are avoided.
+        #: Base avoidance window after a path failure; the breaker's
+        #: OPEN deadline, doubled on each re-trip.
         self.failure_backoff_ms = 30_000.0
         self.max_scion_attempts = 2
         self.max_ip_attempts = 2
         self.request_timeout_ms = request_timeout_ms
         self.retry_backoff_ms = retry_backoff_ms
-        self._path_failures: dict[str, float] = {}
+        #: Failover state: one circuit breaker per failed path
+        #: fingerprint (closed → open on failure → half-open with a
+        #: single probe before readmission).
+        self.breakers = BreakerBoard()
         self.failovers = 0
         self.tracer = NULL_TRACER
 
@@ -138,14 +142,38 @@ class SkipProxy:
         return nominal_ms * self.rng.uniform(0.6, 1.8)
 
     def _avoided_paths(self) -> frozenset[str]:
-        """Fingerprints of paths still in failure backoff."""
+        """Fingerprints the breaker board blocks right now.
+
+        A half-open breaker with a free probe slot is *not* avoided —
+        selecting it makes this request the probe (see
+        :meth:`_admit_choice`).
+        """
         assert self.host.loop is not None
-        now = self.host.loop.now
-        expired = [fingerprint for fingerprint, until
-                   in self._path_failures.items() if until <= now]
-        for fingerprint in expired:
-            del self._path_failures[fingerprint]
-        return frozenset(self._path_failures)
+        return self.breakers.blocked(self.host.loop.now)
+
+    def _admit_choice(self, choice: PathChoice, dst_isd_as, policy,
+                      span) -> PathChoice:
+        """Pass the selector's pick through its circuit breaker.
+
+        If the chosen path's breaker is half-open, this request claims
+        the single probe slot; should the slot be taken (a concurrent
+        fetch already probes), re-choose avoiding the path.
+        """
+        avoid: frozenset[str] | None = None
+        while choice.usable and choice.path is not None:
+            fingerprint = choice.path.fingerprint()
+            breaker = self.breakers.get(fingerprint)
+            if breaker is None or \
+                    breaker.state is not BreakerState.HALF_OPEN:
+                break
+            if breaker.try_acquire_probe():
+                span.event("breaker.half_open", fingerprint=fingerprint)
+                self.tracer.metrics.counter("breaker_probes_total").inc()
+                break
+            avoid = (avoid if avoid is not None
+                     else self._avoided_paths()) | {fingerprint}
+            choice = self.selector.choose(dst_isd_as, policy, avoid=avoid)
+        return choice
 
     def _effective_policy(self, host: str, server_preferences):
         """The user's policy with negotiated server preferences appended.
@@ -244,6 +272,8 @@ class SkipProxy:
             choice = self.selector.choose(detection.scion_address.isd_as,
                                           effective,
                                           avoid=self._avoided_paths())
+            choice = self._admit_choice(
+                choice, detection.scion_address.isd_as, effective, span)
         lookup_span.set(source=detection.source,
                         kind=choice.kind.value).end()
         metrics.histogram("path_lookup_ms").observe(lookup_span.duration_ms)
@@ -275,13 +305,19 @@ class SkipProxy:
                            attempt=attempts, error=type(error).__name__)
                 if choice.path is None:
                     break  # local-AS fetch failed; nothing to fail over to
-                # Blacklist the failed path for a while and tell the
-                # daemon (SCMP-style dead-path report): it drops the
-                # path from its cache and re-queries when the candidate
-                # set for this destination empties.
+                # Trip the path's circuit breaker and tell the daemon
+                # (SCMP-style dead-path report): it quarantines the
+                # path and re-queries when the candidate set for this
+                # destination empties. The breaker avoids the path
+                # until its backoff deadline, then readmits it through
+                # a single half-open probe.
                 fingerprint = choice.path.fingerprint()
-                self._path_failures[fingerprint] = \
-                    loop.now + self.failure_backoff_ms
+                transition = self.breakers.record_failure(
+                    fingerprint, loop.now, self.failure_backoff_ms)
+                if transition is not None:
+                    span.event("breaker.open", fingerprint=fingerprint,
+                               reopen=(transition == "reopen"))
+                    metrics.counter("breaker_opens_total").inc()
                 self.failovers += 1
                 span.event("report-path-failure", fingerprint=fingerprint)
                 self.host.daemon.report_path_failure(
@@ -290,8 +326,19 @@ class SkipProxy:
                 choice = self.selector.choose(
                     detection.scion_address.isd_as, effective,
                     avoid=self._avoided_paths())
+                choice = self._admit_choice(
+                    choice, detection.scion_address.isd_as, effective,
+                    span)
                 continue
             elapsed = loop.now - started
+            if choice.path is not None:
+                fingerprint = choice.path.fingerprint()
+                if self.breakers.record_success(
+                        fingerprint, loop.now) == "close":
+                    span.event("breaker.close", fingerprint=fingerprint)
+                    metrics.counter("breaker_closes_total").inc()
+                # Feed the daemon's per-path health EWMAs.
+                self.host.daemon.record_path_success(fingerprint, elapsed)
             self.stats.record_scion(
                 request.host,
                 fingerprint=(choice.path.fingerprint() if choice.path

@@ -134,4 +134,11 @@ class PathUsageStats:
             for record in stats.paths.values():
                 lines.append(f"  {record.summary} -> {record.uses} uses, "
                              f"mean {record.mean_latency_ms:.1f} ms")
+        utilization = self.metrics.gauges_named("as_link_bytes")
+        if utilization:
+            lines.append("per-AS link utilization (bytes on attached "
+                         "links, from the packet trace):")
+            for labels, sent in utilization.items():
+                isd_as = dict(labels).get("isd_as", "?")
+                lines.append(f"  {isd_as}: {sent:,.0f} B")
         return "\n".join(lines) if lines else "(no traffic yet)"

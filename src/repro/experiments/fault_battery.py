@@ -43,6 +43,7 @@ from repro.errors import ReproError
 from repro.experiments.harness import BoxStats, PendingSamples, submit_samples
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
+from repro.obs.metrics import export_link_utilization
 from repro.obs.spans import Tracer
 from repro.simnet.faults import FaultSchedule, inject
 from repro.topology.defaults import remote_testbed
@@ -91,7 +92,9 @@ def build_fault_world(seed: int, n_resources: int = 6,
     policy-compliant (failover has somewhere to go).
     """
     topology, ases = remote_testbed()
-    internet = Internet(topology, seed=seed)
+    # Packet tracing rides along with observability so traced loads can
+    # sample per-AS link-utilization gauges from the ring buffer.
+    internet = Internet(topology, seed=seed, trace=obs)
     client = internet.add_host("client", ases.client)
     origin = internet.add_host("origin", ases.remote_server)
     page = synthetic_page(ORIGIN, n_resources=n_resources, seed=seed)
@@ -110,6 +113,7 @@ def build_fault_world(seed: int, n_resources: int = 6,
     if obs:
         tracer = Tracer(internet.loop)
         browser.attach_tracer(tracer)
+        internet.revocations.tracer = tracer
     return FaultWorld(internet=internet, browser=browser, page=page,
                       server=server, ases=ases, tracer=tracer)
 
@@ -165,6 +169,9 @@ def traced_fault_load(scenario: str, seed: int, n_resources: int = 6,
     _prepare_scenario(world, scenario)
     result = world.internet.loop.run_process(
         world.browser.load(world.page))
+    assert world.tracer is not None
+    export_link_utilization(world.tracer.metrics,
+                            world.internet.network.trace)
     return world, result
 
 

@@ -1,0 +1,285 @@
+"""The resilience battery: time-to-recover and PLT under path churn.
+
+The chaos battery (PR 2) measures how one page load survives a fault.
+This battery measures how fast the *system* heals: a browsing session
+keeps loading the same page every :data:`LOAD_PERIOD_MS` while the
+preferred core link flaps repeatedly, and we record
+
+* **time-to-recover (TTR)** — how long after the first failure the
+  session gets its next *clean* load (every fetch succeeds on its
+  first-choice path: no failover, no fallback, nothing lost), and
+* **PLT under churn** — the mean page-load time across the session,
+* **failed requests** — fetches that failed on the path initially
+  chosen for them (rescued by SCION failover or IP fallback, or lost).
+
+Cells cross ``revocation on/off × opportunistic/strict``. With
+revocation enabled, routers adjacent to the flapping link originate
+SCMP-style revocations (:mod:`repro.scion.revocation`), so by the next
+load the daemon already filtered the dead path — recovery costs one
+propagation delay. With revocation disabled, every dead path must be
+discovered by a request timing out on it — recovery costs a full
+timeout plus blacklist cycle. The battery proves the former strictly
+beats the latter in both proxy modes.
+
+Trials are pure functions of ``(revocation, mode, seed)``; serial and
+worker-pool runs are bit-identical, like every other battery.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.core.browser.brave import BraveBrowser
+from repro.core.browser.page import content_for_origin, synthetic_page
+from repro.core.ppl.policies import latency_optimized
+from repro.dns.resolver import Resolver
+from repro.experiments.fault_battery import (
+    CHAOS_REQUEST_TIMEOUT_MS,
+    ORIGIN,
+    FaultWorld,
+)
+from repro.experiments.harness import BoxStats, PendingSamples, submit_samples
+from repro.http.server import HttpServer
+from repro.internet.build import Internet
+from repro.obs.spans import Tracer
+from repro.simnet.faults import FaultSchedule, inject
+from repro.topology.defaults import remote_testbed
+
+#: The battery's two control-plane conditions, in presentation order.
+REVOCATION_CONDITIONS = (True, False)
+
+#: Proxy modes, in presentation order.
+MODES = ("opportunistic", "strict")
+
+#: Page loads per trial session and their cadence.
+SESSION_LOADS = 6
+LOAD_PERIOD_MS = 15_000.0
+
+#: The link-flap churn the session endures: (start_ms, duration_ms) on
+#: the latency-best detour link. The first flap is the recovery clock's
+#: zero point.
+FLAPS = ((10_000.0, 15_000.0), (32_000.0, 8_000.0), (55_000.0, 10_000.0))
+
+#: When a session never produces a clean load after the first fault,
+#: TTR saturates at the session window's end.
+SESSION_WINDOW_MS = SESSION_LOADS * LOAD_PERIOD_MS
+
+#: Subresources per page (5 fetches per load with the main document).
+N_RESOURCES = 4
+
+
+def build_resilience_world(seed: int, strict: bool = False,
+                           revocation: bool = True,
+                           obs: bool = False) -> FaultWorld:
+    """A remote-testbed world for one churn session.
+
+    Identical to the chaos battery's world except that revocation
+    dissemination is explicitly switched per cell.
+    """
+    topology, ases = remote_testbed()
+    internet = Internet(topology, seed=seed, revocation=revocation,
+                        trace=obs)
+    client = internet.add_host("client", ases.client)
+    origin = internet.add_host("origin", ases.remote_server)
+    page = synthetic_page(ORIGIN, n_resources=N_RESOURCES, seed=seed)
+    server = HttpServer(origin, content_for_origin(page, ORIGIN),
+                        serve_tcp=True, serve_quic=True)
+    resolver = Resolver(internet.loop, lookup_latency_ms=2.0)
+    resolver.register_host(ORIGIN, ip_address=origin.addr,
+                           scion_address=origin.addr)
+    browser = BraveBrowser(client, resolver, rng=internet.network.rng)
+    browser.settings.extra_policies.append(latency_optimized())
+    browser.extension.apply_settings()
+    browser.proxy.request_timeout_ms = CHAOS_REQUEST_TIMEOUT_MS
+    if strict:
+        browser.extension.enable_strict_mode()
+    tracer = None
+    if obs:
+        tracer = Tracer(internet.loop)
+        browser.attach_tracer(tracer)
+        internet.revocations.tracer = tracer
+    return FaultWorld(internet=internet, browser=browser, page=page,
+                      server=server, ases=ases, tracer=tracer)
+
+
+def churn_schedule(ases) -> FaultSchedule:
+    """The battery's link-flap churn on the detour link."""
+    schedule = FaultSchedule()
+    target = f"{ases.local_core}~{ases.third_core}"
+    for at_ms, duration_ms in FLAPS:
+        schedule.link_down(target, at_ms=at_ms, duration_ms=duration_ms)
+    return schedule
+
+
+def _session(world: FaultWorld, loads: int):
+    """Driver process: paced loads, one session, result rows.
+
+    Yields loop events; returns ``[(start_ms, done_ms, result), …]``.
+    """
+    loop = world.internet.loop
+    rows = []
+    for index in range(loads):
+        start = index * LOAD_PERIOD_MS
+        if loop.now < start:
+            yield loop.timeout(start - loop.now)
+        started = loop.now
+        result = yield from world.browser.load(world.page)
+        rows.append((started, loop.now, result))
+    return rows
+
+
+def resilience_trial(revocation: bool, mode: str, seed: int,
+                     loads: int = SESSION_LOADS) -> tuple[float, float,
+                                                          float, float]:
+    """One churn session; returns ``(ttr_ms, mean_plt_ms,
+    failed_requests, lost_requests)``.
+
+    * ``ttr_ms`` — completion of the first clean load at/after the first
+      flap, minus the flap time (saturated at the session window).
+    * ``mean_plt_ms`` — mean PLT over every load in the session.
+    * ``failed_requests`` — fetches that failed on their initially
+      chosen path (failover + fallback rescues plus outright losses).
+    * ``lost_requests`` — fetches that never arrived at all.
+
+    Pure function of its arguments — the parallel trial pool relies on
+    that.
+    """
+    world = build_resilience_world(seed, strict=(mode == "strict"),
+                                   revocation=revocation)
+    inject(world.internet, churn_schedule(world.ases))
+    rows = world.internet.loop.run_process(_session(world, loads))
+    total_per_load = 1 + len(world.page.resources)
+    first_fault = FLAPS[0][0]
+    ttr = loads * LOAD_PERIOD_MS - first_fault
+    plts = []
+    failed_requests = 0.0
+    lost_requests = 0.0
+    recovered = False
+    for started, done, result in rows:
+        plts.append(result.plt_ms)
+        lost = total_per_load - result.ok_count
+        failed_requests += result.failover_count + result.fallback_count \
+            + lost
+        lost_requests += lost
+        clean = (lost == 0 and result.failover_count == 0
+                 and result.fallback_count == 0)
+        if not recovered and started >= first_fault and clean:
+            recovered = True
+            ttr = done - first_fault
+    return (ttr, sum(plts) / len(plts), failed_requests, lost_requests)
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """One (revocation, mode) cell of the battery."""
+
+    ttr: BoxStats
+    plt: BoxStats
+    failed_requests: int
+    lost_requests: int
+    total_requests: int
+
+
+@dataclass
+class ResilienceBatteryResult:
+    """The whole battery: one :class:`ResilienceCell` per condition."""
+
+    trials: int
+    cells: dict[tuple[bool, str], ResilienceCell] = field(
+        default_factory=dict)
+
+    def cell(self, revocation: bool, mode: str) -> ResilienceCell:
+        """Look up one cell."""
+        return self.cells[(revocation, mode)]
+
+    def render(self) -> str:
+        """The battery as a text table."""
+        lines = [
+            "== Resilience battery — time-to-recover and PLT under "
+            "path churn ==",
+            (f"{self.trials} trials/cell; {SESSION_LOADS} loads per "
+             f"session every {LOAD_PERIOD_MS / 1000:.0f} s under "
+             f"{len(FLAPS)} link flaps; failed = fetches that failed "
+             "on their first-choice path"),
+            "",
+        ]
+        for (revocation, mode), cell in self.cells.items():
+            label = f"revocation-{'on' if revocation else 'off'} / {mode}"
+            lines.append(cell.ttr.row(f"{label} TTR"))
+            lines.append(cell.plt.row(f"{label} PLT"))
+            lines.append(f"{'':<24} failed={cell.failed_requests}"
+                         f"/{cell.total_requests} "
+                         f"lost={cell.lost_requests}")
+        lines.append(
+            "note: expected shape — with revocation dissemination on, "
+            "the first load after a flap is already clean (TTR ≈ one "
+            "load period), because the daemon dropped the dead path "
+            "before any request tried it; with it off, every recovery "
+            "waits for a request to time out on the dead path first, "
+            "so TTR is several times higher and more requests fail, in "
+            "both proxy modes")
+        return "\n".join(lines)
+
+
+def resilience_holds(battery: ResilienceBatteryResult) -> bool:
+    """The acceptance shape: revocation-on recovers strictly faster and
+    fails strictly fewer requests than revocation-off, per mode."""
+    for mode in MODES:
+        on = battery.cell(True, mode)
+        off = battery.cell(False, mode)
+        if not (on.ttr.mean < off.ttr.mean
+                and on.failed_requests < off.failed_requests
+                and on.lost_requests <= off.lost_requests):
+            return False
+    return True
+
+
+class PendingResilienceBattery:
+    """The resilience battery with every cell's trials in flight."""
+
+    def __init__(self, trials: int,
+                 cells: list[tuple[tuple[bool, str],
+                                   PendingSamples]]) -> None:
+        self._trials = trials
+        self._cells = cells
+
+    def collect(self) -> ResilienceBatteryResult:
+        """Wait for every cell; assemble rows in submission order."""
+        battery = ResilienceBatteryResult(trials=self._trials)
+        per_session = SESSION_LOADS * (1 + N_RESOURCES)
+        for key, pending in self._cells:
+            rows = pending.collect()
+            battery.cells[key] = ResilienceCell(
+                ttr=BoxStats.from_samples([row[0] for row in rows]),
+                plt=BoxStats.from_samples([row[1] for row in rows]),
+                failed_requests=int(sum(row[2] for row in rows)),
+                lost_requests=int(sum(row[3] for row in rows)),
+                total_requests=self._trials * per_session,
+            )
+        return battery
+
+
+def submit_resilience_battery(trials: int = 6, base_seed: int = 4200,
+                              modes: tuple[str, ...] = MODES,
+                              workers: int | None = None,
+                              ) -> PendingResilienceBattery:
+    """Submit every (revocation, mode) cell's trials to the shared pool."""
+    cells: list[tuple[tuple[bool, str], PendingSamples]] = []
+    seeds = range(base_seed, base_seed + trials)
+    for revocation in REVOCATION_CONDITIONS:
+        for mode in modes:
+            trial = functools.partial(resilience_trial, revocation, mode)
+            cells.append(((revocation, mode),
+                          submit_samples(trial, seeds, workers=workers)))
+    return PendingResilienceBattery(trials, cells)
+
+
+def run_resilience_battery(trials: int = 6, base_seed: int = 4200,
+                           modes: tuple[str, ...] = MODES,
+                           workers: int | None = None,
+                           ) -> ResilienceBatteryResult:
+    """Run the resilience battery; deterministic per ``base_seed``."""
+    return submit_resilience_battery(trials=trials, base_seed=base_seed,
+                                     modes=modes,
+                                     workers=workers).collect()

@@ -21,6 +21,8 @@ by integration tests).
 
 from __future__ import annotations
 
+import random
+
 from repro.errors import TopologyError
 from repro.internet.host import Host
 from repro.internet.router import AsRouter
@@ -31,6 +33,7 @@ from repro.scion.beaconing import SegmentStore
 from repro.scion.daemon import PathDaemon
 from repro.scion.path_server import PathServer
 from repro.scion.pki import ControlPlanePki
+from repro.scion.revocation import RevocationService
 from repro.simnet.link import LinkConfig
 from repro.simnet.network import Network
 from repro.topology.graph import AsTopology
@@ -49,7 +52,8 @@ class Internet:
                  trace: bool = False, beacons_per_target: int = 8,
                  verify_beacons: bool = False, verify_macs: bool = True,
                  host_bandwidth_mbps: float = 0.0,
-                 host_jitter_ms: float = 0.0) -> None:
+                 host_jitter_ms: float = 0.0,
+                 revocation: bool | None = None) -> None:
         topology.validate()
         self.topology = topology
         self.network = Network(seed=seed, trace=trace)
@@ -78,6 +82,9 @@ class Internet:
             self.routers[info.isd_as] = router
 
         self._interas_links: dict[int, object] = {}
+        #: simnet link identity → the topology's InterAsLink, so link
+        #: faults can be translated into interface revocations.
+        self._interas_by_simnet: dict[int, object] = {}
         for link in topology.links():
             config = LinkConfig(
                 latency_ms=link.latency_ms,
@@ -91,6 +98,7 @@ class Internet:
                 a_ifid=link.a_ifid, b_ifid=link.b_ifid,
                 name=f"{link.a}#{link.a_ifid}<->{link.b}#{link.b_ifid}")
             self._interas_links[link.link_id] = simnet_link
+            self._interas_by_simnet[id(simnet_link)] = link
             self.routers[link.a].external_ifids.add(link.a_ifid)
             self.routers[link.b].external_ifids.add(link.b_ifid)
 
@@ -99,6 +107,21 @@ class Internet:
         # under fault injection, and lookup stats are per-world).
         self.segment_store: SegmentStore = self.snapshot.store
         self.path_server = PathServer(self.segment_store)
+        # The degradation stream is dedicated and only consumed while the
+        # server is degraded, so fault-free worlds draw nothing from it.
+        # (String seeds hash via SHA-512 — stable across processes.)
+        self.path_server.degradation_rng = random.Random(
+            f"path-server-degraded:{seed}")
+
+        # SCMP-style revocation dissemination (see repro.scion.revocation).
+        # set_link_state and the fault injector report link transitions;
+        # daemons subscribe as hosts attach.
+        self.revocations = RevocationService(
+            loop=self.network.loop, pki=self.pki,
+            path_server=self.path_server, enabled=revocation)
+        #: Links currently held down administratively (set_link_state), so
+        #: absolute up/down calls translate to refcounted transitions.
+        self._admin_down: set[int] = set()
 
         self.bgp: BgpRib = self.snapshot.bgp
         for isd_as, router in self.routers.items():
@@ -145,6 +168,7 @@ class Internet:
             pki=self.pki if verify_paths else None,
             clock=self.network.loop,
         )
+        self.revocations.subscribe(host.daemon)
         self.hosts[name] = host
         return host
 
@@ -163,11 +187,37 @@ class Internet:
 
         Returns the number of links affected. Downed links silently drop
         all packets — the failure the proxy's path failover reacts to.
+        The adjacent routers notice each transition and feed the
+        revocation service (down → originate, up → lift), refcounted
+        against any overlapping injected faults.
         """
         affected = self.links_between(a, b)
         for link in affected:
             link.up = up
+            interas = self._interas_by_simnet.get(id(link))
+            if interas is None:
+                continue
+            if not up and interas.link_id not in self._admin_down:
+                self._admin_down.add(interas.link_id)
+                self.revocations.link_down(interas)
+            elif up and interas.link_id in self._admin_down:
+                self._admin_down.discard(interas.link_id)
+                self.revocations.link_up(interas)
         return len(affected)
+
+    def revocation_link_down(self, simnet_link) -> None:
+        """Fault-injector hook: an inter-AS link's first covering fault
+        started (host access links have no interfaces to revoke)."""
+        interas = self._interas_by_simnet.get(id(simnet_link))
+        if interas is not None:
+            self.revocations.link_down(interas)
+
+    def revocation_link_up(self, simnet_link) -> None:
+        """Fault-injector hook: an inter-AS link's last covering fault
+        ended."""
+        interas = self._interas_by_simnet.get(id(simnet_link))
+        if interas is not None:
+            self.revocations.link_up(interas)
 
     def links_between(self, a: IsdAs | str, b: IsdAs | str) -> list:
         """All simnet links between two ASes (fault-injection targets)."""

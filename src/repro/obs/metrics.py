@@ -196,6 +196,18 @@ class MetricsRegistry:
             histogram = self._histograms[key] = Histogram(bounds)
         return histogram
 
+    def gauges_named(self, name: str) -> dict[tuple, float]:
+        """All gauges with ``name``, keyed by their label items.
+
+        Label items are the interned ``(key, value)`` tuples, sorted —
+        what reports iterate to render one family of gauges (e.g. the
+        per-AS link-utilization section).
+        """
+        return {labels: gauge.value
+                for (gauge_name, labels), gauge in sorted(
+                    self._gauges.items())
+                if gauge_name == name}
+
     # -- output -------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -240,6 +252,9 @@ class NullRegistry:
     def gauge(self, name: str, **labels: Any) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
+    def gauges_named(self, name: str) -> dict[tuple, float]:
+        return {}
+
     def histogram(self, name: str, bounds: tuple[float, ...] = (),
                   **labels: Any) -> _NullInstrument:
         return _NULL_INSTRUMENT
@@ -273,3 +288,35 @@ def export_snapshot_cache_metrics(registry: MetricsRegistry) -> None:
     registry.gauge("snapshot_cache_hit_ratio").set(
         stats.hits / lookups if lookups else 0.0)
     registry.gauge("snapshot_cache_size").set(snapshot.cache_size())
+
+
+def export_link_utilization(registry: MetricsRegistry, trace) -> None:
+    """Sample per-link and per-AS utilization gauges from a packet trace.
+
+    Reads the :class:`~repro.simnet.trace.PacketTrace` ring buffer's
+    send accounting and publishes two gauge families:
+
+    * ``link_bytes_sent{link=…}`` — bytes sent on each named link;
+    * ``as_link_bytes{isd_as=…}`` — the same bytes attributed to every
+      AS endpoint parsed out of the link names (inter-AS links count for
+      both sides; a host access link counts for its AS).
+
+    Purely observational: reads the ring, writes gauges, touches no
+    simulation state.
+    """
+    from repro.errors import AddressError
+    from repro.topology.isd_as import IsdAs
+
+    per_as: dict[str, float] = {}
+    for link_name, sent in sorted(trace.bytes_by_link().items()):
+        registry.gauge("link_bytes_sent", link=link_name).set(sent)
+        for endpoint in link_name.split("<->"):
+            as_text = endpoint.split("#", 1)[0]
+            try:
+                isd_as = IsdAs.parse(as_text)
+            except AddressError:
+                continue  # the host side of an access link
+            key = str(isd_as)
+            per_as[key] = per_as.get(key, 0.0) + sent
+    for isd_as_text, total in sorted(per_as.items()):
+        registry.gauge("as_link_bytes", isd_as=isd_as_text).set(total)

@@ -1,6 +1,6 @@
 """Performance measurement and the repo's recorded perf trajectory.
 
-Four fixed workloads quantify the simulator's speed:
+Five fixed workloads quantify the simulator's speed:
 
 * **event-loop throughput** — raw scheduler events/sec (a ``call_soon``
   storm) and coroutine events/sec (a process yielding timeouts), the
@@ -13,7 +13,11 @@ Four fixed workloads quantify the simulator's speed:
   cross-trial world reuse saves;
 * **tracing overhead** — the same trial untraced vs. with the
   ``repro.obs`` tracer attached, guarding the observability subsystem's
-  "inert and cheap" contract.
+  "inert and cheap" contract;
+* **recovery latency** — the mean simulated time-to-recover of
+  revocation-driven self-healing under link churn (the resilience
+  battery's revocation-on cell), guarding the dissemination pipeline's
+  end-to-end latency PR over PR.
 
 Results append to ``BENCH_results.json`` at the repo root so successive
 PRs accumulate a machine-readable performance trajectory (events/sec,
@@ -298,6 +302,46 @@ def measure_tracing(trials: int = 8, n_resources: int = 12,
 
 
 # ---------------------------------------------------------------------------
+# Workload 5 — self-healing recovery latency
+# ---------------------------------------------------------------------------
+
+
+def measure_resilience(trials: int = 4,
+                       base_seed: int = 4200) -> dict[str, Any]:
+    """Recovery latency of revocation-driven self-healing under churn.
+
+    Runs revocation-on opportunistic churn sessions from the resilience
+    battery and records the mean *simulated* time-to-recover as
+    ``recovery_ms`` — the headline the trajectory guards: if a PR makes
+    self-healing slower (revocations propagating later, the daemon
+    filtering less eagerly), ``--compare`` flags the regression even
+    though every test still passes. A second pass over the same seeds
+    must be bit-identical (the battery's determinism contract).
+    """
+    from repro.experiments.resilience_battery import resilience_trial
+
+    seeds = range(base_seed, base_seed + trials)
+
+    def pass_over_seeds() -> tuple[list[tuple[float, ...]], float]:
+        started = time.perf_counter()
+        samples = [resilience_trial(True, "opportunistic", seed)
+                   for seed in seeds]
+        return samples, time.perf_counter() - started
+
+    first_samples, first_s = pass_over_seeds()
+    second_samples, second_s = pass_over_seeds()
+    wall_s = min(first_s, second_s)
+    recovery = sum(sample[0] for sample in first_samples) / trials
+    return {
+        "workload": f"resilience/{trials}",
+        "trials": trials,
+        "recovery_ms": round(recovery, 2),
+        "resilience_trial_ms": round(wall_s / trials * 1000.0, 2),
+        "identical": first_samples == second_samples,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory comparison (--compare)
 # ---------------------------------------------------------------------------
 
@@ -314,6 +358,9 @@ COMPARE_METRICS = (
     ("cached_trial_ms", False),
     # Absent in pre-observability rows.
     ("traced_trial_ms", False),
+    # Absent in pre-revocation rows: mean simulated time-to-recover of
+    # the self-healing path machinery (resilience workload).
+    ("recovery_ms", False),
 )
 
 
@@ -441,6 +488,11 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"overhead {row['tracing_overhead_pct']:+.1f}%")
             parts.append("deterministic" if row["identical"]
                          else "NON-DETERMINISTIC")
+        if "recovery_ms" in row:
+            parts.append(f"recovery {row['recovery_ms']:,.0f} simulated ms")
+            parts.append(f"wall {row['resilience_trial_ms']:.1f} ms/trial")
+            parts.append("deterministic" if row["identical"]
+                         else "NON-DETERMINISTIC")
         lines.append("  ".join(parts))
     return "\n".join(lines)
 
@@ -453,16 +505,19 @@ def run_suite(quick: bool = False,
         battery = measure_battery(trials=6, n_resources=6, workers=workers)
         cache = measure_snapshot_cache(trials=4, n_resources=6)
         tracing = measure_tracing(trials=4, n_resources=6)
+        resilience = measure_resilience(trials=2)
     else:
         throughput = measure_event_throughput()
         battery = measure_battery(workers=workers)
         cache = measure_snapshot_cache()
         tracing = measure_tracing()
+        resilience = measure_resilience()
     context = machine_fingerprint()
     context["source"] = "repro.perf"
     context["label"] = "quick" if quick else "full"
     return [{**context, **throughput}, {**context, **battery},
-            {**context, **cache}, {**context, **tracing}]
+            {**context, **cache}, {**context, **tracing},
+            {**context, **resilience}]
 
 
 def main(argv: list[str] | None = None) -> int:

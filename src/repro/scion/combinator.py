@@ -148,7 +148,9 @@ def _core_traversals(store: SegmentStore, from_core: IsdAs,
 
 def combine_segments(src: IsdAs, dst: IsdAs, store: SegmentStore,
                      core_ases: set[IsdAs],
-                     max_paths: int = 64) -> list[ScionPath]:
+                     max_paths: int = 64,
+                     revoked: frozenset[tuple[IsdAs, int]] = frozenset(),
+                     ) -> list[ScionPath]:
     """All loop-free end-to-end paths from ``src`` to ``dst``.
 
     Args:
@@ -158,14 +160,21 @@ def combine_segments(src: IsdAs, dst: IsdAs, store: SegmentStore,
         core_ases: the set of core ASes (an end host learns this from its
             TRCs).
         max_paths: cap on returned paths, lowest metadata latency first.
+        revoked: revoked ``(isd_as, ifid)`` interfaces; combinations
+            traversing any of them are dropped *before* the ``max_paths``
+            cap, so revocation never shrinks the usable candidate set
+            below what the store could offer.
     """
     if src == dst:
         return []
     # Combination over a given store is deterministic, and the store
     # invalidates this memo whenever it mutates (generation bump), so a
     # snapshot-cached store pays the assemble-and-sort cost once per
-    # (src, dst) pair instead of once per daemon lookup.
-    memo_key = (src, dst, max_paths, frozenset(core_ases))
+    # (src, dst) pair instead of once per daemon lookup. The revoked set
+    # joins the key (content, not identity): snapshot-shared stores stay
+    # correct because each distinct revocation view memoizes separately,
+    # and the common empty view keeps its hot entry.
+    memo_key = (src, dst, max_paths, frozenset(core_ases), revoked)
     cached = store._combine_memo.get(memo_key)
     if cached is not None:
         store.combine_memo_hits += 1
@@ -198,6 +207,9 @@ def combine_segments(src: IsdAs, dst: IsdAs, store: SegmentStore,
                 if path is not None:
                     candidates.append(path)
 
+    if revoked:
+        candidates = [path for path in candidates
+                      if not (revoked & path.interface_set())]
     unique: dict[str, ScionPath] = {}
     for path in candidates:
         unique.setdefault(path.fingerprint(), path)

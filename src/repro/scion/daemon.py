@@ -22,6 +22,7 @@ from typing import Any
 from repro.errors import NoPathError, PathServerUnreachableError
 from repro.obs.spans import NULL_TRACER
 from repro.scion.combinator import combine_segments
+from repro.scion.health import HealthTracker
 from repro.scion.path import ScionPath
 from repro.scion.path_server import PathServer
 from repro.scion.pki import ControlPlanePki
@@ -44,6 +45,13 @@ class DaemonStats:
     #: Lookups that failed because the path-server infrastructure was
     #: unreachable and the cache could not answer.
     server_unreachable: int = 0
+    #: Pushed interface revocations applied / lifted (network-wide
+    #: failure dissemination, not the per-host quarantine above).
+    revocations_applied: int = 0
+    revocations_lifted: int = 0
+    #: Cache entries evicted because they were combined under a
+    #: revocation that has since been lifted or lapsed.
+    revocation_evictions: int = 0
 
 
 @dataclass
@@ -70,13 +78,24 @@ class PathDaemon:
     #: How long a reported-dead path stays quarantined when the reporter
     #: does not say (ms).
     dead_path_ttl_ms: float = 30_000.0
-    #: dst → (paths, earliest expiry among them in ms). The expiry bound
-    #: lets cache hits skip per-path expiry filtering until a path could
-    #: actually have aged out.
-    _cache: dict[IsdAs, tuple[list[ScionPath], float]] = field(
+    #: Observed per-fingerprint health (EWMA latency/loss fed from the
+    #: proxy's request outcomes); demotes repeatedly-failing candidates
+    #: behind healthy ones in every answer.
+    health: HealthTracker = field(default_factory=HealthTracker)
+    #: dst → (paths, earliest expiry among them in ms, revoked view the
+    #: combination was computed under). The expiry bound lets cache hits
+    #: skip per-path expiry filtering until a path could actually have
+    #: aged out; the revoked view lets lifts evict exactly the entries
+    #: whose combinations were narrowed by the revocation.
+    _cache: dict[IsdAs, tuple[list[ScionPath], float,
+                              frozenset[tuple[IsdAs, int]]]] = field(
         default_factory=dict)
     #: fingerprint → quarantine-end time (ms) for paths reported dead.
     _dead_paths: dict[str, float] = field(default_factory=dict)
+    #: Revoked interface → expiry time (ms), pushed by the revocation
+    #: service; paths traversing any of these are filtered from every
+    #: answer until the revocation is lifted or lapses.
+    _revoked: dict[tuple[IsdAs, int], float] = field(default_factory=dict)
     #: Observability hook; lookups are synchronous (zero simulated
     #: time), so the daemon reports through metrics rather than spans.
     tracer: Any = NULL_TRACER
@@ -98,7 +117,7 @@ class PathDaemon:
         if entry is not None:
             self.stats.cache_hits += 1
             metrics.counter("daemon_cache_hits_total").inc()
-            paths, earliest_expiry = entry
+            paths, earliest_expiry, combined_under = entry
             if self.clock is None or self.clock.now < earliest_expiry:  # type: ignore[attr-defined]
                 # Fast path: no cached path can have expired yet.
                 fresh = list(paths)
@@ -107,17 +126,21 @@ class PathDaemon:
                 if fresh:
                     if len(fresh) < len(paths):
                         self._cache[dst] = (fresh,
-                                            self._earliest_expiry(fresh))
+                                            self._earliest_expiry(fresh),
+                                            combined_under)
                 else:
                     del self._cache[dst]  # everything aged out: refetch
                     self.stats.cache_evictions += 1
             if fresh:
                 alive = self._not_quarantined(fresh)
+                if alive and self._revoked:
+                    alive = self._not_revoked(alive)
                 if alive:
-                    return alive
-                # Every cached path was reported dead: keep the entry
-                # (quarantine is time-bounded) but try a fresh
-                # combination below — beaconing may know more by now.
+                    return self.health.rank(alive)
+                # Every cached path was reported dead or revoked: keep
+                # the entry (quarantine and revocations are
+                # time-bounded) but try a fresh combination below —
+                # beaconing may know more by now.
         if not getattr(self.path_server, "available", True):
             # Infrastructure outage: the cache could not answer and the
             # server cannot be queried — expired segments stay expired.
@@ -131,18 +154,20 @@ class PathDaemon:
             for segment in segments:
                 segment.verify(self.pki)
                 self.stats.segments_verified += 1
+        revoked = self._revocation_view()
         paths = combine_segments(self.isd_as, dst, self.path_server.store,
                                  core_ases=self.core_ases,
-                                 max_paths=self.max_paths)
+                                 max_paths=self.max_paths,
+                                 revoked=revoked)
         paths = self._unexpired(paths)
         if not paths:
             raise NoPathError(f"no SCION path {self.isd_as} -> {dst}")
-        self._cache[dst] = (paths, self._earliest_expiry(paths))
+        self._cache[dst] = (paths, self._earliest_expiry(paths), revoked)
         alive = self._not_quarantined(paths)
         if not alive:
             raise NoPathError(
                 f"all SCION paths {self.isd_as} -> {dst} reported dead")
-        return alive
+        return self.health.rank(alive)
 
     @staticmethod
     def _earliest_expiry(paths: list[ScionPath]) -> float:
@@ -171,7 +196,12 @@ class PathDaemon:
         self.tracer.metrics.counter("path_failures_reported_total").inc()
         now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
         ttl = self.dead_path_ttl_ms if ttl_ms is None else ttl_ms
+        # Purge expired marks on the report path too — a daemon that
+        # only ever *reports* under churn (its apps keep failing over
+        # before looking up) must not grow the quarantine map unboundedly.
+        self._purge_quarantine(now)
         self._dead_paths[fingerprint] = now + ttl
+        self.health.record_failure(fingerprint)
         entry = self._cache.get(dst)
         if entry is not None and self._not_quarantined(entry[0]):
             return True
@@ -184,6 +214,15 @@ class PathDaemon:
         except NoPathError:
             return False
 
+    def _purge_quarantine(self, now: float) -> None:
+        """Drop quarantine marks whose TTL has passed."""
+        if not self._dead_paths:
+            return
+        expired = [fp for fp, until in self._dead_paths.items()
+                   if until <= now]
+        for fp in expired:
+            del self._dead_paths[fp]
+
     def _not_quarantined(self, paths: list[ScionPath]) -> list[ScionPath]:
         """``paths`` minus those under an active dead-path quarantine.
 
@@ -193,14 +232,90 @@ class PathDaemon:
         if not self._dead_paths:
             return list(paths)
         now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
-        expired = [fp for fp, until in self._dead_paths.items()
-                   if until <= now]
-        for fp in expired:
-            del self._dead_paths[fp]
+        self._purge_quarantine(now)
         if not self._dead_paths:
             return list(paths)
         return [path for path in paths
                 if path.fingerprint() not in self._dead_paths]
+
+    # -- revocations (network-wide failure dissemination) -----------------
+
+    def apply_revocation(self, revocation) -> None:
+        """A pushed interface revocation from the control plane.
+
+        Verified against the PKI when the daemon verifies segments.
+        Answers filter live (see :meth:`_not_revoked`), so cached
+        combinations need no eviction here — they simply stop offering
+        the affected paths.
+        """
+        if self.pki is not None:
+            revocation.verify(self.pki)
+        key = revocation.key
+        if revocation.expires_ms > self._revoked.get(key, 0.0):
+            self._revoked[key] = revocation.expires_ms
+        self.stats.revocations_applied += 1
+        self.tracer.metrics.counter("daemon_revocations_applied_total").inc()
+
+    def lift_revocation(self, key: tuple[IsdAs, int]) -> None:
+        """The control plane says the revoked interface recovered.
+
+        Cache entries combined *under* the revocation excluded the now-
+        healed paths entirely, so they are evicted — the next lookup
+        recombines and readmits them.
+        """
+        if self._revoked.pop(key, None) is None:
+            return
+        self.stats.revocations_lifted += 1
+        self.tracer.metrics.counter("daemon_revocations_lifted_total").inc()
+        self._evict_combined_under(key)
+
+    def _evict_combined_under(self, key: tuple[IsdAs, int]) -> None:
+        stale = [dst for dst, entry in self._cache.items()
+                 if key in entry[2]]
+        for dst in stale:
+            del self._cache[dst]
+            self.stats.cache_evictions += 1
+            self.stats.revocation_evictions += 1
+
+    def _active_revocations(self) -> frozenset[tuple[IsdAs, int]]:
+        """Unexpired revoked interfaces; lapsed ones are purged (and
+        their narrowed cache entries evicted) on the way."""
+        if not self._revoked:
+            return frozenset()
+        now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
+        expired = [key for key, until in self._revoked.items()
+                   if until <= now]
+        for key in expired:
+            del self._revoked[key]
+            self._evict_combined_under(key)
+        return frozenset(self._revoked)
+
+    def _not_revoked(self, paths: list[ScionPath]) -> list[ScionPath]:
+        """``paths`` minus those traversing a revoked interface."""
+        active = self._active_revocations()
+        if not active:
+            return paths
+        return [path for path in paths
+                if not (active & path.interface_set())]
+
+    def _revocation_view(self) -> frozenset[tuple[IsdAs, int]]:
+        """The revoked set a fresh combination must respect: the
+        daemon's own pushed revocations merged with the path server's
+        (possibly degraded) view."""
+        revoked = self._active_revocations()
+        view = getattr(self.path_server, "revocation_view", None)
+        if view is not None:
+            now = self.clock.now if self.clock is not None else 0.0  # type: ignore[attr-defined]
+            server_view = view(now)
+            if server_view:
+                revoked = revoked | server_view
+        return revoked
+
+    def record_path_success(self, fingerprint: str,
+                            latency_ms: float) -> None:
+        """An application request over ``fingerprint`` succeeded —
+        feeds the health tracker's EWMA latency/loss."""
+        self.health.record_success(fingerprint, latency_ms)
 
     def try_paths(self, dst: IsdAs) -> list[ScionPath]:
         """Like :meth:`paths` but returns [] instead of raising.

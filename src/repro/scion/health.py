@@ -1,0 +1,105 @@
+"""Per-path health scoring for the daemon's candidate ranking.
+
+The daemon's base order is metadata latency (what beaconing promised);
+health scoring folds in what the host actually *observed* — EWMA
+latency and loss per path fingerprint, fed by the SKIP proxy's request
+outcomes. Ranking stays conservative: a path is demoted only after
+``demote_after`` *consecutive* failures, so one unlucky timeout (which
+already triggers quarantine + circuit breaking at the proxy) does not
+permanently reorder candidates, and a single success restores full
+standing. Demotion is a stable partition — healthy paths keep their
+latency order ahead of suspect ones.
+
+Pure bookkeeping: recording draws no RNG and schedules nothing, so
+tracking is free to stay always-on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Smoothing factor for the latency/loss EWMAs.
+EWMA_ALPHA = 0.3
+
+#: Consecutive failures before a fingerprint is demoted in ranking.
+DEMOTE_AFTER = 2
+
+
+@dataclass
+class PathHealth:
+    """Observed health of one path fingerprint."""
+
+    ewma_latency_ms: float = 0.0
+    #: EWMA of the failure indicator (1.0 = failed, 0.0 = succeeded).
+    ewma_loss: float = 0.0
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+
+    def record_success(self, latency_ms: float) -> None:
+        """Fold one successful request's latency in."""
+        if self.successes == 0 and self.failures == 0:
+            self.ewma_latency_ms = latency_ms
+        else:
+            self.ewma_latency_ms += EWMA_ALPHA * (
+                latency_ms - self.ewma_latency_ms)
+        self.ewma_loss *= 1.0 - EWMA_ALPHA
+        self.successes += 1
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Fold one failed request in (latency unknown)."""
+        self.ewma_loss += EWMA_ALPHA * (1.0 - self.ewma_loss)
+        self.failures += 1
+        self.consecutive_failures += 1
+
+
+@dataclass
+class HealthTracker:
+    """Health records for every fingerprint a daemon has heard about."""
+
+    demote_after: int = DEMOTE_AFTER
+    _paths: dict[str, PathHealth] = field(default_factory=dict)
+
+    def record_success(self, fingerprint: str, latency_ms: float) -> None:
+        """An application request over ``fingerprint`` succeeded."""
+        self._record(fingerprint).record_success(latency_ms)
+
+    def record_failure(self, fingerprint: str) -> None:
+        """An application request over ``fingerprint`` failed."""
+        self._record(fingerprint).record_failure()
+
+    def _record(self, fingerprint: str) -> PathHealth:
+        health = self._paths.get(fingerprint)
+        if health is None:
+            health = PathHealth()
+            self._paths[fingerprint] = health
+        return health
+
+    def get(self, fingerprint: str) -> PathHealth | None:
+        """The record for ``fingerprint``, if any observation exists."""
+        return self._paths.get(fingerprint)
+
+    def demoted(self, fingerprint: str) -> bool:
+        """Whether ranking should push ``fingerprint`` behind healthy
+        candidates."""
+        health = self._paths.get(fingerprint)
+        return (health is not None
+                and health.consecutive_failures >= self.demote_after)
+
+    @property
+    def any_demoted(self) -> bool:
+        """Fast gate: is any fingerprint currently demoted?"""
+        return any(health.consecutive_failures >= self.demote_after
+                   for health in self._paths.values())
+
+    def rank(self, paths: list) -> list:
+        """Stable partition: healthy candidates first, demoted last.
+
+        Within each class the incoming (latency) order is preserved.
+        No-op — and allocation-light — when nothing is demoted.
+        """
+        if not self._paths or not self.any_demoted:
+            return paths
+        return sorted(paths,
+                      key=lambda p: 1 if self.demoted(p.fingerprint()) else 0)

@@ -108,6 +108,20 @@ class ScionPath:
                 pairs.append((hop.isd_as, hop.egress))
         return pairs
 
+    def interface_set(self) -> frozenset[tuple[IsdAs, int]]:
+        """The traversed interfaces as a set, for revocation matching.
+
+        Memoized: revocation filtering intersects this against the
+        active revoked set on every combination and cached-answer
+        check, so the set is built once per path object.
+        """
+        cached = getattr(self, "_interface_set", None)
+        if cached is not None:
+            return cached
+        pairs = frozenset(self.interfaces())
+        object.__setattr__(self, "_interface_set", pairs)
+        return pairs
+
     def fingerprint(self) -> str:
         """Stable identifier derived from the interface sequence.
 

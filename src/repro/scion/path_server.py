@@ -15,8 +15,10 @@ the paper's proxy pays on first contact with a destination.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
 from repro.scion.beaconing import SegmentStore
 from repro.scion.segments import PathSegment
 from repro.topology.isd_as import IsdAs
@@ -30,6 +32,12 @@ class LookupStats:
     down_lookups: int = 0
     core_lookups: int = 0
     segments_served: int = 0
+    #: Revocation-view requests answered with the stale pre-degradation
+    #: snapshot (partial-degradation mode).
+    stale_views_served: int = 0
+    #: Revocations applied / lifted by the control plane.
+    revocations_applied: int = 0
+    revocations_lifted: int = 0
 
     def total(self) -> int:
         """All lookups of any type."""
@@ -54,6 +62,90 @@ class PathServer:
     #: :meth:`repro.scion.daemon.PathDaemon.paths`).
     available: bool = True
     stats: LookupStats = field(default_factory=LookupStats)
+    #: Partial degradation (ROADMAP chaos (b)): with this probability a
+    #: revocation-view request is answered from the stale snapshot taken
+    #: when degradation began, and a revocation push to a subscriber is
+    #: dropped. 0.0 = healthy. Managed by begin/end_degradation.
+    stale_probability: float = 0.0
+    #: Dedicated seeded stream for degradation draws; set by the world
+    #: builder. Only consumed while degraded, so fault-free seed streams
+    #: are untouched.
+    degradation_rng: random.Random | None = None
+    #: Revoked interface → expiry time (ms), fed by the revocation
+    #: service; daemons merge this view into fresh combinations.
+    _revocations: dict[tuple[IsdAs, int], float] = field(
+        default_factory=dict)
+    #: The revocation view frozen at the moment degradation began.
+    _stale_view: frozenset = frozenset()
+
+    # -- revocations ------------------------------------------------------
+
+    def apply_revocation(self, revocation) -> None:
+        """Record a disseminated interface revocation."""
+        key = revocation.key
+        expires = revocation.expires_ms
+        current = self._revocations.get(key, 0.0)
+        if expires > current:
+            self._revocations[key] = expires
+        self.stats.revocations_applied += 1
+
+    def lift_revocation(self, key: tuple[IsdAs, int]) -> None:
+        """Drop a revocation after its link recovered."""
+        if self._revocations.pop(key, None) is not None:
+            self.stats.revocations_lifted += 1
+
+    def revocation_view(self, now: float) -> frozenset:
+        """Active revoked interfaces as this server would report them.
+
+        Expired entries are purged; while degraded, the stale
+        pre-degradation snapshot is served instead with
+        ``stale_probability`` (seed-driven).
+        """
+        expired = [key for key, until in self._revocations.items()
+                   if until <= now]
+        for key in expired:
+            del self._revocations[key]
+        if self.stale_probability > 0.0:
+            if self.degradation_rng is None:
+                raise ReproError(
+                    "path server degraded without a degradation RNG")
+            if self.degradation_rng.random() < self.stale_probability:
+                self.stats.stale_views_served += 1
+                return self._stale_view
+        return frozenset(self._revocations)
+
+    def drops_push(self) -> bool:
+        """Whether a degraded infrastructure loses one subscriber push.
+
+        Draws only while degraded, keeping healthy worlds RNG-silent.
+        """
+        if self.stale_probability <= 0.0:
+            return False
+        if self.degradation_rng is None:
+            raise ReproError(
+                "path server degraded without a degradation RNG")
+        return self.degradation_rng.random() < self.stale_probability
+
+    # -- partial degradation ----------------------------------------------
+
+    def begin_degradation(self, probability: float) -> None:
+        """Enter (or deepen) partial degradation; overlapping faults add
+        up, clamped to certainty."""
+        if self.stale_probability == 0.0:
+            # Snapshot what the world looked like when health ended —
+            # the stale truth a degraded server keeps repeating.
+            self._stale_view = frozenset(self._revocations)
+        self.stale_probability = min(
+            1.0, self.stale_probability + probability)
+
+    def end_degradation(self, probability: float) -> None:
+        """One degradation cause cleared; at zero the server is healthy
+        again and forgets the stale snapshot."""
+        self.stale_probability = max(
+            0.0, self.stale_probability - probability)
+        if self.stale_probability < 1e-12:
+            self.stale_probability = 0.0
+            self._stale_view = frozenset()
 
     def up_segments(self, isd_as: IsdAs) -> list[PathSegment]:
         """Up segments available at the requesting AS."""

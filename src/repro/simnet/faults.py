@@ -21,11 +21,21 @@ Supported fault kinds:
 * ``SCION_OUTAGE`` — the shared path-server infrastructure becomes
   unreachable: daemons keep serving cached paths, but refreshes and
   first-contact lookups fail, and expired segments are not renewed.
+* ``PATH_SERVER_DEGRADED`` — the infrastructure stays reachable but
+  *partially* degrades: with the given probability it serves a stale
+  revocation view frozen at degradation start and drops revocation
+  pushes to subscribers (draws come from the server's dedicated seeded
+  stream, never the world's).
 
 Targets name either an inter-AS link by its endpoint pair
 (``"1-ff00:0:110~3-ff00:0:310"``), a host's access link by host name
 (``"client"``), or ``"*"`` for every link in the world. ``SCION_OUTAGE``
-needs no target.
+and ``PATH_SERVER_DEGRADED`` need no target.
+
+Worlds that expose ``revocation_link_down`` / ``revocation_link_up``
+(:class:`repro.internet.build.Internet` does) are notified on a link's
+0→1 and 1→0 down-reference transitions, which is how link faults feed
+SCMP-style revocation origination.
 
 :func:`random_schedule` derives a schedule from a seed for chaos-style
 batteries; it draws only from its own ``random.Random(seed)``, never
@@ -50,6 +60,7 @@ class FaultKind(enum.Enum):
     LATENCY_SPIKE = "latency-spike"
     JITTER_BURST = "jitter-burst"
     SCION_OUTAGE = "scion-outage"
+    PATH_SERVER_DEGRADED = "path-server-degraded"
 
 
 @dataclass(frozen=True)
@@ -83,6 +94,11 @@ class FaultSpec:
         if self.kind in (FaultKind.LATENCY_SPIKE, FaultKind.JITTER_BURST) \
                 and self.magnitude <= 0:
             raise SimulationError(f"{self.kind.value} needs magnitude > 0 ms")
+        if self.kind is FaultKind.PATH_SERVER_DEGRADED \
+                and not 0 < self.magnitude <= 1:
+            raise SimulationError(
+                "path-server-degraded magnitude (stale probability) "
+                "must be in (0, 1]")
 
     @property
     def ends_ms(self) -> float:
@@ -129,6 +145,12 @@ class FaultSchedule:
                      duration_ms: float = float("inf")) -> "FaultSchedule":
         """Shorthand for a :attr:`FaultKind.SCION_OUTAGE` entry."""
         return self.add(FaultSpec(FaultKind.SCION_OUTAGE, at_ms, duration_ms))
+
+    def path_server_degraded(self, at_ms: float, duration_ms: float,
+                             probability: float) -> "FaultSchedule":
+        """Shorthand for a :attr:`FaultKind.PATH_SERVER_DEGRADED` entry."""
+        return self.add(FaultSpec(FaultKind.PATH_SERVER_DEGRADED, at_ms,
+                                  duration_ms, magnitude=probability))
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -220,11 +242,21 @@ class FaultInjector:
             self._outage_refs += 1
             self.world.path_server.available = False
             return
+        if spec.kind is FaultKind.PATH_SERVER_DEGRADED:
+            self.world.path_server.begin_degradation(spec.magnitude)
+            return
         for link in self._links(spec):
             if spec.kind is FaultKind.LINK_DOWN:
                 key = id(link)
                 self._down_refs[key] = self._down_refs.get(key, 0) + 1
                 link.up = False
+                if self._down_refs[key] == 1:
+                    # First fault covering this link: the adjacent
+                    # routers notice and originate revocations.
+                    notify = getattr(self.world, "revocation_link_down",
+                                     None)
+                    if notify is not None:
+                        notify(link)
             elif spec.kind is FaultKind.LOSS_BURST:
                 link.extra_loss_rate += spec.magnitude
             elif spec.kind is FaultKind.LATENCY_SPIKE:
@@ -239,6 +271,9 @@ class FaultInjector:
             if self._outage_refs == 0:
                 self.world.path_server.available = True
             return
+        if spec.kind is FaultKind.PATH_SERVER_DEGRADED:
+            self.world.path_server.end_degradation(spec.magnitude)
+            return
         for link in self._links(spec):
             if spec.kind is FaultKind.LINK_DOWN:
                 key = id(link)
@@ -246,6 +281,10 @@ class FaultInjector:
                 if self._down_refs[key] == 0:
                     del self._down_refs[key]
                     link.up = True
+                    notify = getattr(self.world, "revocation_link_up",
+                                     None)
+                    if notify is not None:
+                        notify(link)
             elif spec.kind is FaultKind.LOSS_BURST:
                 link.extra_loss_rate = max(
                     0.0, link.extra_loss_rate - spec.magnitude)

@@ -1,0 +1,127 @@
+"""Circuit-breaker unit tests: closed → open → half-open → closed.
+
+The half-open single-probe rule and the exactly-once close are what the
+breaker buys over PR 2's time-based blacklist, so both are pinned here.
+"""
+
+from repro.core.skip.breaker import (
+    MAX_BACKOFF_DOUBLINGS,
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+)
+
+BACKOFF = 1_000.0
+
+
+class TestCircuitBreaker:
+    def test_closed_breaker_never_blocks(self):
+        breaker = CircuitBreaker()
+        assert not breaker.blocks(0.0)
+        assert breaker.record_success(5.0) is None
+        assert not breaker.blocks(10.0)
+
+    def test_first_failure_opens_and_blocks_until_deadline(self):
+        breaker = CircuitBreaker()
+        assert breaker.record_failure(100.0, BACKOFF) == "open"
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.blocks(100.0)
+        assert breaker.blocks(100.0 + BACKOFF - 1.0)
+
+    def test_deadline_expiry_transitions_to_half_open(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        assert not breaker.blocks(BACKOFF)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        breaker.blocks(BACKOFF)  # observe the transition
+        assert breaker.try_acquire_probe()
+        assert not breaker.try_acquire_probe()
+        # With the probe slot taken, concurrent requests must avoid it.
+        assert breaker.blocks(BACKOFF + 1.0)
+
+    def test_probe_success_closes_exactly_once(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        breaker.blocks(BACKOFF)
+        assert breaker.try_acquire_probe()
+        assert breaker.record_success(BACKOFF + 50.0) == "close"
+        assert breaker.state is BreakerState.CLOSED
+        assert not breaker.probe_in_flight
+        # A second (racing) success is a plain no-op, not another close.
+        assert breaker.record_success(BACKOFF + 51.0) is None
+        assert breaker.closes == 1
+        assert breaker.trip_count == 0  # backoff history reset
+
+    def test_probe_failure_reopens_with_doubled_backoff(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        breaker.blocks(BACKOFF)
+        breaker.try_acquire_probe()
+        assert breaker.record_failure(BACKOFF + 10.0, BACKOFF) == "reopen"
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_until == BACKOFF + 10.0 + 2 * BACKOFF
+        assert not breaker.probe_in_flight
+
+    def test_backoff_doubling_caps(self):
+        breaker = CircuitBreaker()
+        now = 0.0
+        for _ in range(MAX_BACKOFF_DOUBLINGS + 3):
+            breaker.record_failure(now, BACKOFF)
+            now = breaker.open_until
+            breaker.blocks(now)  # half-open
+            breaker.try_acquire_probe()
+        cap = BACKOFF * 2 ** MAX_BACKOFF_DOUBLINGS
+        assert breaker.open_until - now <= cap
+
+    def test_straggler_failure_extends_open_without_redoubling(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        trip_count = breaker.trip_count
+        # A second in-flight request fails while already OPEN: the
+        # deadline extends but the trip count (and so the doubling
+        # schedule) does not advance.
+        assert breaker.record_failure(10.0, BACKOFF) is None
+        assert breaker.open_until == 10.0 + BACKOFF
+        assert breaker.trip_count == trip_count
+
+    def test_late_success_after_deadline_closes(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        # Nothing queried blocks(); the success itself observes that the
+        # deadline passed and counts as the probe result.
+        assert breaker.record_success(BACKOFF + 5.0) == "close"
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestBreakerBoard:
+    def test_success_on_unknown_path_creates_nothing(self):
+        board = BreakerBoard()
+        assert board.record_success("fp-a", 0.0) is None
+        assert board.get("fp-a") is None
+        assert board.blocked(0.0) == frozenset()
+
+    def test_blocked_reflects_each_breaker(self):
+        board = BreakerBoard()
+        board.record_failure("fp-a", 0.0, BACKOFF)
+        board.record_failure("fp-b", 0.0, BACKOFF)
+        assert board.blocked(1.0) == {"fp-a", "fp-b"}
+        # Past the deadline both sit half-open with a free probe slot —
+        # eligible again until a probe is claimed.
+        assert board.blocked(BACKOFF) == frozenset()
+        assert board.get("fp-a").try_acquire_probe()
+        assert board.blocked(BACKOFF + 1.0) == {"fp-a"}
+
+    def test_probe_accounting_for_soak_assertions(self):
+        board = BreakerBoard()
+        board.record_failure("fp-a", 0.0, BACKOFF)
+        assert board.open_count == 1
+        board.blocked(BACKOFF)
+        board.get("fp-a").try_acquire_probe()
+        assert board.probes_in_flight == 1
+        assert board.record_success("fp-a", BACKOFF + 1.0) == "close"
+        assert board.probes_in_flight == 0
+        assert board.open_count == 0

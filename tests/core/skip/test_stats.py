@@ -109,3 +109,16 @@ class TestLatencyHistograms:
         report = stats.report()
         assert "scion" in report.lower()
         assert "p95" in report
+
+
+class TestUtilizationSection:
+    def test_report_renders_per_as_utilization_when_present(self):
+        registry = MetricsRegistry()
+        stats = PathUsageStats(metrics=registry)
+        stats.record_scion("a.example", "fp", "[1 > 2]", 12.0,
+                           compliant=True)
+        assert "utilization" not in stats.report()
+        registry.gauge("as_link_bytes", isd_as="1-ff00:0:110").set(4_096.0)
+        report = stats.report()
+        assert "per-AS link utilization" in report
+        assert "1-ff00:0:110: 4,096 B" in report

@@ -64,3 +64,16 @@ class TestChaosSoak:
         for event in loop._event_pool:
             assert not event.triggered
             assert not event._callbacks
+
+        # Revocation dissemination and circuit breakers must be at rest
+        # too: once the schedule's tail events settle, no propagation
+        # timer is pending, no subscription was leaked (exactly the two
+        # hosts' daemons), and no half-open probe is still outstanding.
+        world.internet.run()
+        revocations = world.internet.revocations
+        assert revocations.pending_propagations == 0, \
+            "revocation propagation timer leaked"
+        assert revocations.subscriber_count == 2, \
+            "revocation subscription leaked"
+        assert browser.proxy.breakers.probes_in_flight == 0, \
+            "half-open breaker probe leaked"

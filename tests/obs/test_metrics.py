@@ -81,3 +81,47 @@ class TestRegistry:
         assert NULL_REGISTRY.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {}}
         assert not NULL_REGISTRY.enabled
+
+
+class TestLinkUtilization:
+    def test_gauges_named_selects_one_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("as_link_bytes", isd_as="1-ff00:0:110").set(100.0)
+        registry.gauge("as_link_bytes", isd_as="1-ff00:0:120").set(50.0)
+        registry.gauge("other").set(7.0)
+        family = registry.gauges_named("as_link_bytes")
+        assert family == {
+            (("isd_as", "1-ff00:0:110"),): 100.0,
+            (("isd_as", "1-ff00:0:120"),): 50.0,
+        }
+        assert NULL_REGISTRY.gauges_named("as_link_bytes") == {}
+
+    def test_export_attributes_bytes_to_both_as_endpoints(self):
+        from repro.obs.metrics import export_link_utilization
+
+        class FakeTrace:
+            def bytes_by_link(self):
+                return {
+                    "1-ff00:0:110#1<->1-ff00:0:111#2": 1_000.0,
+                    "1-ff00:0:110<->client": 300.0,  # host access link
+                }
+
+        registry = MetricsRegistry()
+        export_link_utilization(registry, FakeTrace())
+        per_link = registry.gauges_named("link_bytes_sent")
+        assert len(per_link) == 2
+        per_as = {dict(labels)["isd_as"]: value for labels, value
+                  in registry.gauges_named("as_link_bytes").items()}
+        # The inter-AS link counts for both sides; the access link only
+        # for its AS (the plain host name is not an ISD-AS).
+        assert per_as == {"1-ff00:0:110": 1_300.0, "1-ff00:0:111": 1_000.0}
+
+    def test_export_from_a_traced_fault_world(self):
+        from repro.experiments.fault_battery import traced_fault_load
+
+        world, result = traced_fault_load("baseline", seed=500,
+                                          n_resources=2)
+        assert result.ok_count == 3
+        per_as = world.tracer.metrics.gauges_named("as_link_bytes")
+        assert per_as, "traced load exported no utilization gauges"
+        assert all(value > 0.0 for value in per_as.values())
