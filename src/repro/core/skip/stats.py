@@ -141,4 +141,13 @@ class PathUsageStats:
             for labels, sent in utilization.items():
                 isd_as = dict(labels).get("isd_as", "?")
                 lines.append(f"  {isd_as}: {sent:,.0f} B")
+        transfers = self.metrics.counters_named("fastpath_transfers_total")
+        fallbacks = self.metrics.counters_named("fastpath_fallbacks_total")
+        if transfers or fallbacks:
+            analytic = sum(transfers.values())
+            lines.append(f"hybrid-fidelity fast path: "
+                         f"{analytic:,.0f} analytic transfers")
+            for labels, count in fallbacks.items():
+                reason = dict(labels).get("reason", "?")
+                lines.append(f"  fallback[{reason}]: {count:,.0f}")
         return "\n".join(lines) if lines else "(no traffic yet)"

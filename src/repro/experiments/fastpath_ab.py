@@ -1,0 +1,242 @@
+"""A/B harness for the hybrid-fidelity fast path.
+
+Measures, per figure condition, how closely the flow-level fast path
+(:mod:`repro.simnet.fastpath`) reproduces the packet-level oracle, and
+what it saves. Both arms run the *same* trial function over the same
+seeds; only the ``REPRO_FASTPATH`` knob differs (the knob is read at
+world construction, so no module juggling is needed).
+
+The comparison is **paired and noise-free**: host jitter is zeroed in
+both arms, so every trial is deterministic and the per-seed relative
+error measures the analytic model itself, not jitter noise. On these
+fault-free conditions the documented contract
+(:data:`repro.simnet.fastpath.PLT_ERROR_BOUND`, 1 %) must hold for
+every seed of every condition — ``--selftest`` asserts exactly that,
+plus that two oracle passes are bit-identical (the fast path draws
+nothing from the world RNG, so disabling it is side-effect-free).
+
+With jitter enabled the fast path replaces random draws with their
+expected values, so *per-seed* PLTs differ by design while distribution
+medians track within sampling error; the harness reports that drift
+informationally (``--jittered``), it is not part of the bound.
+
+Usage::
+
+    python -m repro.experiments.fastpath_ab [--selftest] [--trials N]
+    python -m repro.experiments.fastpath_ab --jittered
+
+Exit status 1 when any condition exceeds the bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simnet.fastpath import FASTPATH_ENV, PLT_ERROR_BOUND
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Paired A/B outcome of one figure condition."""
+
+    figure: str
+    condition: str
+    oracle_plts: tuple[float, ...]
+    fastpath_plts: tuple[float, ...]
+    oracle_s: float
+    fastpath_s: float
+
+    @property
+    def max_rel_error(self) -> float:
+        """Worst per-seed |fast - oracle| / oracle over the condition."""
+        return max((abs(f - o) / o for o, f
+                    in zip(self.oracle_plts, self.fastpath_plts)),
+                   default=0.0)
+
+    @property
+    def speedup(self) -> float:
+        """Oracle wall-clock over fast-path wall-clock."""
+        return self.oracle_s / self.fastpath_s if self.fastpath_s else 0.0
+
+    @property
+    def within_bound(self) -> bool:
+        """Does every seed meet the documented PLT error bound?"""
+        return self.max_rel_error <= PLT_ERROR_BOUND
+
+
+@dataclass
+class AbReport:
+    """The whole A/B run."""
+
+    conditions: list[ConditionReport] = field(default_factory=list)
+    oracle_repeatable: bool = True
+
+    @property
+    def within_bound(self) -> bool:
+        return self.oracle_repeatable and all(
+            c.within_bound for c in self.conditions)
+
+    @property
+    def speedup(self) -> float:
+        oracle = sum(c.oracle_s for c in self.conditions)
+        fast = sum(c.fastpath_s for c in self.conditions)
+        return oracle / fast if fast else 0.0
+
+    def render(self) -> str:
+        lines = ["== fastpath A/B (paired, jitter-free) =="]
+        for c in self.conditions:
+            flag = "" if c.within_bound else "  << EXCEEDS BOUND"
+            lines.append(
+                f"fig{c.figure}  {c.condition:<28} "
+                f"max_err={c.max_rel_error * 100:7.4f}%  "
+                f"speedup={c.speedup:5.2f}x{flag}")
+        lines.append(
+            f"overall: speedup {self.speedup:.2f}x, bound "
+            f"{PLT_ERROR_BOUND:.0%}, oracle repeatable: "
+            f"{self.oracle_repeatable}, "
+            f"{'PASS' if self.within_bound else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _with_fastpath(enabled: bool, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` with the ``REPRO_FASTPATH`` knob forced."""
+    previous = os.environ.get(FASTPATH_ENV)
+    os.environ[FASTPATH_ENV] = "1" if enabled else "0"
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            del os.environ[FASTPATH_ENV]
+        else:
+            os.environ[FASTPATH_ENV] = previous
+
+
+def _figure_trials(trials: int, jitter: bool
+                   ) -> list[tuple[str, str, Callable[[int], float],
+                                   range]]:
+    """(figure, condition, trial_fn, seeds) for every figure condition.
+
+    Seeds match the real batteries (figure 3 from 100, figure 5 from
+    500, figure 6 from 600) so the A/B run exercises the exact worlds
+    the figures are generated from.
+    """
+    import functools
+
+    from repro.experiments import local_setup, remote_setup
+
+    local_cal = local_setup.DEFAULT_CALIBRATION
+    remote_cal = remote_setup.DEFAULT_REMOTE_CALIBRATION
+    if not jitter:
+        local_cal = dataclasses.replace(local_cal, host_jitter_ms=0.0)
+        remote_cal = dataclasses.replace(remote_cal, host_jitter_ms=0.0)
+
+    out: list = []
+    for condition in local_setup.FIGURE3_CONDITIONS:
+        out.append(("3", condition,
+                    functools.partial(local_setup.figure3_trial, condition,
+                                      calibration=local_cal),
+                    range(100, 100 + trials)))
+    for figure, primary, base in (("5", remote_setup.FAR_ORIGIN, 500),
+                                  ("6", remote_setup.NEAR_ORIGIN, 600)):
+        for condition in remote_setup.REMOTE_CONDITIONS:
+            out.append((figure, condition,
+                        functools.partial(remote_setup.remote_trial, primary,
+                                          condition,
+                                          calibration=remote_cal),
+                        range(base, base + trials)))
+    return out
+
+
+def run_ab(trials: int = 3, jitter: bool = False,
+           check_repeatable: bool = True) -> AbReport:
+    """Run the paired A/B battery over every figure condition.
+
+    ``jitter=False`` (the default) zeroes host jitter so the comparison
+    is exact-paired; ``check_repeatable`` re-runs the first oracle
+    condition and asserts bit-identical samples (the
+    ``REPRO_FASTPATH=0`` determinism contract).
+    """
+    report = AbReport()
+    for index, (figure, condition, trial, seeds) in enumerate(
+            _figure_trials(trials, jitter)):
+
+        def pass_over(enabled: bool) -> tuple[list[float], float]:
+            def run() -> list[float]:
+                return [trial(seed) for seed in seeds]
+            started = time.perf_counter()
+            samples = _with_fastpath(enabled, run)
+            return samples, time.perf_counter() - started
+
+        oracle, oracle_s = pass_over(False)
+        fast, fast_s = pass_over(True)
+        report.conditions.append(ConditionReport(
+            figure=figure, condition=condition,
+            oracle_plts=tuple(oracle), fastpath_plts=tuple(fast),
+            oracle_s=oracle_s, fastpath_s=fast_s))
+        if check_repeatable and index == 0:
+            again, _ = pass_over(False)
+            report.oracle_repeatable = again == oracle
+    return report
+
+
+def jittered_median_drift(trials: int = 30) -> list[tuple[str, str, float,
+                                                          float, float]]:
+    """Median PLT drift per condition with host jitter *enabled*.
+
+    Returns ``(figure, condition, oracle_median, fastpath_median,
+    rel_drift)`` rows — informational: with jitter on, the fast path
+    collapses noise to its expected value, so medians track within
+    sampling error of the median estimator rather than a hard bound.
+    """
+    rows = []
+    for figure, condition, trial, seeds in _figure_trials(trials, True):
+        oracle = _with_fastpath(False, lambda: [trial(s) for s in seeds])
+        fast = _with_fastpath(True, lambda: [trial(s) for s in seeds])
+        om = statistics.median(oracle)
+        fm = statistics.median(fast)
+        rows.append((figure, condition, om, fm,
+                     abs(fm - om) / om if om else 0.0))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fastpath_ab",
+        description="paired fast-path vs packet-level-oracle comparison "
+                    "across every figure condition")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="seeds per condition (default: 5, "
+                             "or 2 with --selftest)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="small paired battery asserting the "
+                             "documented error bound (CI gate)")
+    parser.add_argument("--jittered", action="store_true",
+                        help="also report informational median drift "
+                             "with host jitter enabled")
+    args = parser.parse_args(argv)
+
+    trials = args.trials or (2 if args.selftest else 5)
+    report = run_ab(trials=trials)
+    print(report.render())
+    if args.jittered:
+        print("== jittered median drift (informational) ==")
+        for figure, condition, om, fm, drift in jittered_median_drift(
+                trials=max(trials, 20)):
+            print(f"fig{figure}  {condition:<28} oracle={om:9.3f} "
+                  f"fast={fm:9.3f} drift={drift * 100:6.3f}%")
+    if not report.within_bound:
+        print("ERROR: fast path exceeded its documented PLT bound",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

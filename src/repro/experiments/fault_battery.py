@@ -43,7 +43,8 @@ from repro.errors import ReproError
 from repro.experiments.harness import BoxStats, PendingSamples, submit_samples
 from repro.http.server import HttpServer
 from repro.internet.build import Internet
-from repro.obs.metrics import export_link_utilization
+from repro.obs.metrics import (export_link_contention,
+                               export_link_utilization)
 from repro.obs.spans import Tracer
 from repro.simnet.faults import FaultSchedule, inject
 from repro.topology.defaults import remote_testbed
@@ -94,7 +95,11 @@ def build_fault_world(seed: int, n_resources: int = 6,
     topology, ases = remote_testbed()
     # Packet tracing rides along with observability so traced loads can
     # sample per-AS link-utilization gauges from the ring buffer.
-    internet = Internet(topology, seed=seed, trace=obs)
+    # Chaos worlds run pure packet-level: most scenarios arm the fault
+    # injector (which disables the fast path anyway), and the ones that
+    # don't — baseline, quic-outage, segment-expiry — must produce rows
+    # bit-identical to them and to pre-fast-path behavior.
+    internet = Internet(topology, seed=seed, trace=obs, fastpath=False)
     client = internet.add_host("client", ases.client)
     origin = internet.add_host("origin", ases.remote_server)
     page = synthetic_page(ORIGIN, n_resources=n_resources, seed=seed)
@@ -114,6 +119,8 @@ def build_fault_world(seed: int, n_resources: int = 6,
         tracer = Tracer(internet.loop)
         browser.attach_tracer(tracer)
         internet.revocations.tracer = tracer
+        if internet.fastpath is not None:
+            internet.fastpath.attach_tracer(tracer)
     return FaultWorld(internet=internet, browser=browser, page=page,
                       server=server, ases=ases, tracer=tracer)
 
@@ -172,6 +179,7 @@ def traced_fault_load(scenario: str, seed: int, n_resources: int = 6,
     assert world.tracer is not None
     export_link_utilization(world.tracer.metrics,
                             world.internet.network.trace)
+    export_link_contention(world.tracer.metrics, world.internet.network)
     return world, result
 
 

@@ -134,6 +134,8 @@ def build_local_world(page: WebPage, seed: int,
     if obs:
         tracer = Tracer(internet.loop)
         browser.attach_tracer(tracer)
+        if internet.fastpath is not None:
+            internet.fastpath.attach_tracer(tracer)
     return LocalWorld(internet=internet, browser=browser, page=page,
                       tracer=tracer)
 

@@ -131,6 +131,8 @@ def build_remote_world(page: WebPage, seed: int,
     if obs:
         tracer = Tracer(internet.loop)
         browser.attach_tracer(tracer)
+        if internet.fastpath is not None:
+            internet.fastpath.attach_tracer(tracer)
     return RemoteWorld(internet=internet, browser=browser, page=page,
                        tracer=tracer)
 

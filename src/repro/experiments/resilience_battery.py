@@ -99,6 +99,8 @@ def build_resilience_world(seed: int, strict: bool = False,
         tracer = Tracer(internet.loop)
         browser.attach_tracer(tracer)
         internet.revocations.tracer = tracer
+        if internet.fastpath is not None:
+            internet.fastpath.attach_tracer(tracer)
     return FaultWorld(internet=internet, browser=browser, page=page,
                       server=server, ases=ases, tracer=tracer)
 

@@ -34,6 +34,7 @@ from repro.scion.daemon import PathDaemon
 from repro.scion.path_server import PathServer
 from repro.scion.pki import ControlPlanePki
 from repro.scion.revocation import RevocationService
+from repro.simnet.fastpath import FastPath, fastpath_enabled
 from repro.simnet.link import LinkConfig
 from repro.simnet.network import Network
 from repro.topology.graph import AsTopology
@@ -53,12 +54,22 @@ class Internet:
                  verify_beacons: bool = False, verify_macs: bool = True,
                  host_bandwidth_mbps: float = 0.0,
                  host_jitter_ms: float = 0.0,
-                 revocation: bool | None = None) -> None:
+                 revocation: bool | None = None,
+                 fastpath: bool | None = None) -> None:
         topology.validate()
         self.topology = topology
         self.network = Network(seed=seed, trace=trace)
         self.host_bandwidth_mbps = host_bandwidth_mbps
         self.host_jitter_ms = host_jitter_ms
+
+        #: Hybrid-fidelity fast path (see :mod:`repro.simnet.fastpath`):
+        #: explicit ``fastpath=`` wins, else the ``REPRO_FASTPATH`` env
+        #: knob (default on). Must be wired before any link exists so the
+        #: link watcher hook reaches every link.
+        self.fastpath: FastPath | None = None
+        if fastpath_enabled(fastpath):
+            self.fastpath = FastPath(self.network)
+            self.network.link_watcher = self.fastpath.on_link_changed
 
         # The expensive, immutable control plane comes from the
         # process-local snapshot cache: PKI generation, beaconing, and
@@ -149,6 +160,7 @@ class Internet:
             raise TopologyError(f"duplicate host name {name!r}")
         info = self.topology.as_info(identifier)
         host = Host(name=name, addr=HostAddr(isd_as=identifier, host=name))
+        host.fastpath = self.fastpath
         self.network.add_node(host)
         router = self.routers[identifier]
         host_ifid = router.next_free_ifid()

@@ -148,6 +148,9 @@ class Host(Node):
         super().__init__(name)
         self.addr = addr
         self.daemon: "PathDaemon | None" = None  # set by the Internet builder
+        #: The world's hybrid-fidelity fast-path controller (or None);
+        #: set by the Internet builder, consulted at transport connect.
+        self.fastpath = None
         self._sockets: dict[int, UdpSocket] = {}
         self._ephemeral = itertools.count(EPHEMERAL_PORT_BASE)
         self.datagrams_sent = 0

@@ -52,6 +52,11 @@ class SynAck:
 class TcpConnection:
     """An established TCP connection: one bidirectional message stream."""
 
+    #: Set by :meth:`repro.simnet.fastpath.FastPath.register` when the
+    #: world runs with the hybrid-fidelity fast path enabled.
+    fastpath = None
+    _fp_record = None
+
     def __init__(self, loop, send_raw: Callable[[Any, int], None],
                  initial_rtt_ms: float, conn_id: int) -> None:
         self.conn_id = conn_id
@@ -61,6 +66,9 @@ class TcpConnection:
 
     def send(self, payload: Any, size: int) -> None:
         """Send one application message of ``size`` bytes."""
+        if self.fastpath is not None and self.fastpath.try_send(
+                self, None, self.channel, payload, size):
+            return
         self.channel.send_message(payload, size)
 
     def recv(self):
@@ -69,7 +77,14 @@ class TcpConnection:
 
     def close(self) -> None:
         """Close our sending direction."""
+        if self.fastpath is not None and self.fastpath.defer_close(self.channel):
+            return  # close re-issued once the analytic transfer lands
         self.channel.close()
+
+    def fastpath_channel(self, stream_id) -> ReliableChannel:
+        """Receiving channel for an analytically-delivered transfer
+        (TCP has a single stream; ``stream_id`` is ignored)."""
+        return self.channel
 
     @property
     def srtt_ms(self) -> float:
@@ -133,6 +148,10 @@ class TcpListener:
         connection = TcpConnection(self.host.loop, send_raw,
                                    initial_rtt_ms=50.0,
                                    conn_id=syn.payload.conn_id)
+        if self.host.fastpath is not None:
+            self.host.fastpath.register(
+                connection, "tcp", syn.payload.conn_id, "server",
+                self.host, syn.src, syn.via, reply_path)
         self.host.loop.process(self.handler(connection),
                                name=f"tcp-handler:{self.host.name}:{self.port}")
         return connection
@@ -181,6 +200,9 @@ def tcp_connect(host: Host, dst: HostAddr, dst_port: int,
 
     connection = TcpConnection(loop, send_raw, initial_rtt_ms=rtt,
                                conn_id=conn_id)
+    if getattr(host, "fastpath", None) is not None:
+        host.fastpath.register(connection, "tcp", conn_id, "client",
+                               host, dst, via, path)
 
     def receive_loop() -> Generator:
         while True:

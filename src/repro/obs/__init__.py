@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    export_link_contention,
     export_snapshot_cache_metrics,
 )
 from repro.obs.spans import (
@@ -76,6 +77,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "export_link_contention",
     "export_snapshot_cache_metrics",
     "NULL_SPAN",
     "NULL_TRACER",

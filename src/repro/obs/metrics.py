@@ -208,6 +208,18 @@ class MetricsRegistry:
                     self._gauges.items())
                 if gauge_name == name}
 
+    def counters_named(self, name: str) -> dict[tuple, float]:
+        """All counters with ``name``, keyed by their label items.
+
+        The counter twin of :meth:`gauges_named` — what reports iterate
+        to render one counter family (e.g. the fast-path fallback
+        breakdown by reason).
+        """
+        return {labels: counter.value
+                for (counter_name, labels), counter in sorted(
+                    self._counters.items())
+                if counter_name == name}
+
     # -- output -------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -253,6 +265,9 @@ class NullRegistry:
         return _NULL_INSTRUMENT
 
     def gauges_named(self, name: str) -> dict[tuple, float]:
+        return {}
+
+    def counters_named(self, name: str) -> dict[tuple, float]:
         return {}
 
     def histogram(self, name: str, bounds: tuple[float, ...] = (),
@@ -320,3 +335,43 @@ def export_link_utilization(registry: MetricsRegistry, trace) -> None:
             per_as[key] = per_as.get(key, 0.0) + sent
     for isd_as_text, total in sorted(per_as.items()):
         registry.gauge("as_link_bytes", isd_as=isd_as_text).set(total)
+
+
+def export_link_contention(registry: MetricsRegistry, network) -> None:
+    """Sample per-link and per-AS contention gauges from live links.
+
+    Reads each :class:`~repro.simnet.link.Link`'s contention bookkeeping
+    — ``inflight`` (packets on the wire right now) and
+    ``busy_until(sender)`` (when each direction's transmitter frees up),
+    the same O(1) facts fast-path eligibility checks — and publishes:
+
+    * ``link_inflight{link=…}`` — in-flight packets per named link;
+    * ``link_busy_ms{link=…}`` — how far beyond *now* the busier
+      direction's transmitter is committed (0 when idle);
+    * ``as_link_inflight{isd_as=…}`` — in-flight packets attributed to
+      every AS endpoint parsed out of the link names, the contention
+      companion of the per-AS utilization family above.
+
+    Purely observational, like :func:`export_link_utilization`.
+    """
+    from repro.errors import AddressError
+    from repro.topology.isd_as import IsdAs
+
+    now = network.loop.now
+    per_as: dict[str, float] = {}
+    for link in network.links:
+        registry.gauge("link_inflight", link=link.name).set(link.inflight)
+        busiest = max((link.busy_until(sender)
+                       for sender in link._tx_free_at), default=0.0)
+        registry.gauge("link_busy_ms", link=link.name).set(
+            max(0.0, busiest - now))
+        for endpoint in link.name.split("<->"):
+            as_text = endpoint.split("#", 1)[0]
+            try:
+                isd_as = IsdAs.parse(as_text)
+            except AddressError:
+                continue  # the host side of an access link
+            key = str(isd_as)
+            per_as[key] = per_as.get(key, 0.0) + link.inflight
+    for isd_as_text, total in sorted(per_as.items()):
+        registry.gauge("as_link_inflight", isd_as=isd_as_text).set(total)

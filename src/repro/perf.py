@@ -342,6 +342,74 @@ def measure_resilience(trials: int = 4,
 
 
 # ---------------------------------------------------------------------------
+# Workload 6 — hybrid-fidelity fast path
+# ---------------------------------------------------------------------------
+
+
+def measure_fastpath(trials: int = 8, n_resources: int = 12,
+                     base_seed: int = 100) -> dict[str, Any]:
+    """Per-trial latency of a fault-free figure-3 trial, packet-level
+    oracle vs. hybrid-fidelity fast path.
+
+    Both arms run the same seeds with host jitter zeroed, so the PLT
+    samples are exact-paired and the row records the worst relative
+    error next to the wall-clock and loop-event savings —
+    ``fastpath_trial_ms`` and ``fastpath_events_per_sec`` are the
+    headline metrics the trajectory guards (a PR that silently demotes
+    everything back to packet level shows up as ``fastpath_trial_ms``
+    regressing toward ``oracle_trial_ms``).
+    """
+    import dataclasses as _dataclasses
+
+    from repro.experiments import local_setup
+    from repro.simnet.fastpath import FASTPATH_ENV, PLT_ERROR_BOUND
+
+    calibration = _dataclasses.replace(local_setup.DEFAULT_CALIBRATION,
+                                       host_jitter_ms=0.0)
+    seeds = range(base_seed, base_seed + trials)
+
+    def pass_over_seeds(enabled: bool) -> tuple[list[float], float, int]:
+        previous = os.environ.get(FASTPATH_ENV)
+        os.environ[FASTPATH_ENV] = "1" if enabled else "0"
+        try:
+            samples: list[float] = []
+            events = 0
+            started = time.perf_counter()
+            for seed in seeds:
+                page = local_setup.make_page("SCION-only", n_resources, seed)
+                world = local_setup.build_local_world(
+                    page, seed, calibration=calibration)
+                samples.append(local_setup.load_once(world))
+                events += world.internet.loop.events_processed
+            return samples, time.perf_counter() - started, events
+        finally:
+            if previous is None:
+                del os.environ[FASTPATH_ENV]
+            else:
+                os.environ[FASTPATH_ENV] = previous
+
+    pass_over_seeds(True)  # prime the snapshot cache for both arms
+    oracle_samples, oracle_s, oracle_events = pass_over_seeds(False)
+    fast_samples, fast_s, fast_events = pass_over_seeds(True)
+    max_err = max(abs(f - o) / o
+                  for o, f in zip(oracle_samples, fast_samples))
+    return {
+        "workload": f"fastpath/{trials}x{n_resources}",
+        "trials": trials,
+        "n_resources": n_resources,
+        "oracle_trial_ms": round(oracle_s / trials * 1000.0, 2),
+        "fastpath_trial_ms": round(fast_s / trials * 1000.0, 2),
+        "fastpath_speedup": round(oracle_s / fast_s, 2) if fast_s else 0.0,
+        "oracle_events": oracle_events,
+        "fastpath_events": fast_events,
+        "fastpath_events_per_sec": round(fast_events / fast_s, 1)
+        if fast_s else 0.0,
+        "fastpath_max_rel_err_pct": round(max_err * 100.0, 4),
+        "within_bound": max_err <= PLT_ERROR_BOUND,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory comparison (--compare)
 # ---------------------------------------------------------------------------
 
@@ -361,6 +429,9 @@ COMPARE_METRICS = (
     # Absent in pre-revocation rows: mean simulated time-to-recover of
     # the self-healing path machinery (resilience workload).
     ("recovery_ms", False),
+    # Absent in pre-fast-path rows (hybrid-fidelity workload).
+    ("fastpath_trial_ms", False),
+    ("fastpath_events_per_sec", True),
 )
 
 
@@ -389,6 +460,12 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
     report dict with per-metric baseline/current/change and the list of
     metric names that regressed beyond ``threshold`` (throughput
     dropping or wall-clock growing by more than that fraction).
+
+    Runs from different PRs legitimately carry different workloads and
+    metrics: a metric present only in the current run is reported as
+    ``"new"`` and one present only in the baseline as ``"gone"`` —
+    neither is a regression, so a PR that adds or retires a workload
+    does not wedge the gate.
     """
     runs = _runs_by_ts(rows, label)
     if len(runs) < 2:
@@ -397,8 +474,23 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
     metrics: list[dict[str, Any]] = []
     for name, higher_is_better in COMPARE_METRICS:
         old, new = baseline.get(name), current.get(name)
-        if not isinstance(old, (int, float)) or not old \
-                or not isinstance(new, (int, float)):
+        old_ok = isinstance(old, (int, float)) and old
+        new_ok = isinstance(new, (int, float))
+        if not old_ok and new_ok:
+            metrics.append({
+                "metric": name, "baseline": None, "current": new,
+                "status": "new", "higher_is_better": higher_is_better,
+                "regression": False,
+            })
+            continue
+        if old_ok and not new_ok:
+            metrics.append({
+                "metric": name, "baseline": old, "current": None,
+                "status": "gone", "higher_is_better": higher_is_better,
+                "regression": False,
+            })
+            continue
+        if not old_ok or not new_ok:
             continue
         change = (new - old) / old
         regressed = (change < -threshold if higher_is_better
@@ -407,6 +499,7 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
             "metric": name,
             "baseline": old,
             "current": new,
+            "status": "ok",
             "change_pct": round(change * 100.0, 1),
             "higher_is_better": higher_is_better,
             "regression": regressed,
@@ -429,6 +522,16 @@ def render_comparison(report: dict[str, Any]) -> str:
     for metric in report["metrics"]:
         direction = "higher=better" if metric["higher_is_better"] \
             else "lower=better"
+        status = metric.get("status", "ok")
+        if status == "new":
+            lines.append(f"{metric['metric']:<26} {'(absent)':>14} -> "
+                         f"{metric['current']:>14,.1f}  (new metric)")
+            continue
+        if status == "gone":
+            lines.append(f"{metric['metric']:<26} "
+                         f"{metric['baseline']:>14,.1f} -> "
+                         f"{'(absent)':>14}  (gone)")
+            continue
         flag = "  << REGRESSION" if metric["regression"] else ""
         lines.append(
             f"{metric['metric']:<26} {metric['baseline']:>14,.1f} -> "
@@ -493,6 +596,15 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"wall {row['resilience_trial_ms']:.1f} ms/trial")
             parts.append("deterministic" if row["identical"]
                          else "NON-DETERMINISTIC")
+        if "fastpath_trial_ms" in row:
+            parts.append(f"oracle {row['oracle_trial_ms']:.1f} ms/trial")
+            parts.append(f"fastpath {row['fastpath_trial_ms']:.1f} ms/trial")
+            parts.append(f"speedup {row['fastpath_speedup']:.2f}x")
+            parts.append(
+                f"{row['fastpath_events_per_sec']:,.0f} ev/s")
+            parts.append(f"max_err {row['fastpath_max_rel_err_pct']:.4f}%"
+                         + ("" if row["within_bound"]
+                            else " EXCEEDS BOUND"))
         lines.append("  ".join(parts))
     return "\n".join(lines)
 
@@ -506,18 +618,20 @@ def run_suite(quick: bool = False,
         cache = measure_snapshot_cache(trials=4, n_resources=6)
         tracing = measure_tracing(trials=4, n_resources=6)
         resilience = measure_resilience(trials=2)
+        fastpath = measure_fastpath(trials=4, n_resources=6)
     else:
         throughput = measure_event_throughput()
         battery = measure_battery(workers=workers)
         cache = measure_snapshot_cache()
         tracing = measure_tracing()
         resilience = measure_resilience()
+        fastpath = measure_fastpath()
     context = machine_fingerprint()
     context["source"] = "repro.perf"
     context["label"] = "quick" if quick else "full"
     return [{**context, **throughput}, {**context, **battery},
             {**context, **cache}, {**context, **tracing},
-            {**context, **resilience}]
+            {**context, **resilience}, {**context, **fastpath}]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -555,6 +669,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"recorded {len(rows)} rows in {path}")
     if not all(row.get("identical", True) for row in rows):
         print("ERROR: a workload diverged from its serial/uncached run",
+              file=sys.stderr)
+        return 1
+    if not all(row.get("within_bound", True) for row in rows):
+        print("ERROR: the fast path exceeded its documented PLT bound",
               file=sys.stderr)
         return 1
     return 0

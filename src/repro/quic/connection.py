@@ -81,6 +81,10 @@ class QuicStream:
         """Send one application message of ``size`` bytes."""
         if self.connection.closed:
             raise ConnectionClosedError("connection is closed")
+        fastpath = self.connection.fastpath
+        if fastpath is not None and fastpath.try_send(
+                self.connection, self.stream_id, self.channel, payload, size):
+            return
         self.channel.send_message(payload, size)
 
     def recv(self):
@@ -89,11 +93,19 @@ class QuicStream:
 
     def close(self) -> None:
         """Close our sending direction of the stream."""
+        fastpath = self.connection.fastpath
+        if fastpath is not None and fastpath.defer_close(self.channel):
+            return  # close re-issued once the analytic transfer lands
         self.channel.close()
 
 
 class QuicConnection:
     """An established QUIC connection (either side)."""
+
+    #: Set by :meth:`repro.simnet.fastpath.FastPath.register` when the
+    #: world runs with the hybrid-fidelity fast path enabled.
+    fastpath = None
+    _fp_record = None
 
     def __init__(self, loop, conn_id: int,
                  send_datagram: Callable[[Any, int], None],
@@ -156,6 +168,23 @@ class QuicConnection:
             else:
                 self._accept_queue.append(stream)
         stream.channel.on_frame(payload.frame)
+
+    def fastpath_channel(self, stream_id: int) -> "ReliableChannel":
+        """Receiving channel for an analytically-delivered transfer.
+
+        Mirrors :meth:`on_datagram`'s stream bring-up — the peer stream
+        is created (and accept waiters woken) at delivery time, exactly
+        when the first data packet would have arrived.
+        """
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            stream = QuicStream(self, stream_id)
+            self.streams[stream_id] = stream
+            if self._accept_waiters:
+                self._accept_waiters.popleft().succeed(stream)
+            else:
+                self._accept_queue.append(stream)
+        return stream.channel
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -222,6 +251,10 @@ class QuicListener:
         connection = QuicConnection(
             self.host.loop, conn_id=hello.payload.conn_id,
             send_datagram=send_datagram, initial_rtt_ms=50.0, is_client=False)
+        if self.host.fastpath is not None:
+            self.host.fastpath.register(
+                connection, "quic", hello.payload.conn_id, "server",
+                self.host, hello.src, hello.via, reply_path)
         self.host.loop.process(self.handler(connection),
                                name=f"quic-handler:{self.host.name}:{self.port}")
         return connection
@@ -280,6 +313,9 @@ def quic_connect(host: Host, dst: HostAddr, dst_port: int,
     connection = QuicConnection(loop, conn_id=conn_id,
                                 send_datagram=send_datagram,
                                 initial_rtt_ms=rtt, is_client=True)
+    if getattr(host, "fastpath", None) is not None:
+        host.fastpath.register(connection, "quic", conn_id, "client",
+                               host, dst, via, path)
 
     def receive_loop() -> Generator:
         while True:

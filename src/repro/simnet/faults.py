@@ -223,6 +223,12 @@ class FaultInjector:
         if self._armed:
             raise SimulationError("injector already armed")
         self._armed = True
+        # Faults mean packet-level fidelity for the whole run: disabling
+        # the fast path *now* (not at first fault) keeps the RNG stream —
+        # and therefore the whole battery — bit-identical to oracle mode.
+        fastpath = getattr(self.world, "fastpath", None)
+        if fastpath is not None:
+            fastpath.disable("faults-armed")
         loop = self.world.loop
         for spec in self.schedule:
             loop.call_at(spec.at_ms, self._apply, spec)

@@ -74,25 +74,86 @@ class Link:
         #: Administrative state: a downed link silently drops everything
         #: (fiber cut / interface down), letting experiments inject
         #: failures mid-run.
-        self.up = True
+        self._up = True
         #: Dynamic fault hooks (see :mod:`repro.simnet.faults`): additive
         #: loss probability, one-way latency and jitter applied on top of
         #: the static :class:`LinkConfig`. Zero means no active fault; the
         #: RNG draw pattern is unchanged while all three stay zero, so
         #: fault-free runs consume the seed stream exactly as before.
-        self.extra_loss_rate = 0.0
-        self.extra_latency_ms = 0.0
-        self.extra_jitter_ms = 0.0
+        self._extra_loss_rate = 0.0
+        self._extra_latency_ms = 0.0
+        self._extra_jitter_ms = 0.0
+        #: Called with ``self`` whenever up/extra_* change value — the
+        #: fast path (see :mod:`repro.simnet.fastpath`) subscribes here to
+        #: revoke analytic eligibility the instant a fault hook fires.
+        self.watcher = None
         self._endpoints = {a.name: (a, a_port), b.name: (b, b_port)}
         # Receiver per sender, precomputed: transmit() runs per packet and
         # must not search the endpoint table each time.
         self._peer_of = {a.name: (b, b_port), b.name: (a, a_port)}
         # Transmitter-free times, one per direction, keyed by sender name.
         self._tx_free_at = {a.name: 0.0, b.name: 0.0}
+        #: Packets currently on the wire (sent, not yet delivered) —
+        #: cheap contention bookkeeping for fast-path eligibility and
+        #: utilization gauges.
+        self.inflight = 0
         # Counters for stats/feedback (paper §4: per-path usage statistics).
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+
+    # -- dynamic state (notifying properties) --------------------------------
+    # The setters keep plain-attribute call sites working (faults.py,
+    # set_link_state) while notifying the watcher on real transitions, so
+    # in-flight fast-path transfers can be demoted live.
+
+    @property
+    def up(self) -> bool:
+        """Administrative link state."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value != self._up:
+            self._up = value
+            if self.watcher is not None:
+                self.watcher(self)
+
+    @property
+    def extra_loss_rate(self) -> float:
+        """Additive fault-injected loss probability."""
+        return self._extra_loss_rate
+
+    @extra_loss_rate.setter
+    def extra_loss_rate(self, value: float) -> None:
+        if value != self._extra_loss_rate:
+            self._extra_loss_rate = value
+            if self.watcher is not None:
+                self.watcher(self)
+
+    @property
+    def extra_latency_ms(self) -> float:
+        """Additive fault-injected one-way latency."""
+        return self._extra_latency_ms
+
+    @extra_latency_ms.setter
+    def extra_latency_ms(self, value: float) -> None:
+        if value != self._extra_latency_ms:
+            self._extra_latency_ms = value
+            if self.watcher is not None:
+                self.watcher(self)
+
+    @property
+    def extra_jitter_ms(self) -> float:
+        """Additive fault-injected jitter bound."""
+        return self._extra_jitter_ms
+
+    @extra_jitter_ms.setter
+    def extra_jitter_ms(self, value: float) -> None:
+        if value != self._extra_jitter_ms:
+            self._extra_jitter_ms = value
+            if self.watcher is not None:
+                self.watcher(self)
 
     def peer_of(self, node_name: str) -> "Node":
         """The node on the other end of the link from ``node_name``."""
@@ -101,6 +162,23 @@ class Link:
             raise SimulationError(
                 f"{node_name} is not attached to link {self.name}")
         return peer[0]
+
+    def peer_port_of(self, node_name: str) -> int:
+        """The interface id at the *far* end, seen from ``node_name``."""
+        peer = self._peer_of.get(node_name)
+        if peer is None:
+            raise SimulationError(
+                f"{node_name} is not attached to link {self.name}")
+        return peer[1]
+
+    def busy_until(self, sender_name: str) -> float:
+        """When the transmitter in ``sender_name``'s direction frees up.
+
+        In the past (or 0.0) when the direction is idle; on
+        infinite-bandwidth links serialization is instant so this never
+        exceeds the last send time.
+        """
+        return self._tx_free_at.get(sender_name, 0.0)
 
     def transmit(self, packet: Packet, sender_name: str) -> None:
         """Send ``packet`` from the named endpoint toward the other one."""
@@ -111,7 +189,7 @@ class Link:
         receiver, receiver_port = peer
         cfg = self.config
 
-        if not self.up:
+        if not self._up:
             self.packets_dropped += 1
             self._record("drop-down", packet)
             return
@@ -119,7 +197,7 @@ class Link:
             self.packets_dropped += 1
             self._record("drop-mtu", packet)
             return
-        loss_rate = cfg.loss_rate + self.extra_loss_rate
+        loss_rate = cfg.loss_rate + self._extra_loss_rate
         if loss_rate > 0.0 and self.rng.random() < loss_rate:
             self.packets_dropped += 1
             self._record("drop-loss", packet)
@@ -129,17 +207,19 @@ class Link:
         start = max(self.loop.now, self._tx_free_at[sender_name])
         tx_done = start + serialization
         self._tx_free_at[sender_name] = tx_done
-        jitter_bound = cfg.jitter_ms + self.extra_jitter_ms
+        jitter_bound = cfg.jitter_ms + self._extra_jitter_ms
         jitter = self.rng.uniform(0.0, jitter_bound) if jitter_bound > 0 else 0.0
-        arrival = tx_done + cfg.latency_ms + self.extra_latency_ms + jitter
+        arrival = tx_done + cfg.latency_ms + self._extra_latency_ms + jitter
 
         self.packets_sent += 1
         self.bytes_sent += packet.size
+        self.inflight += 1
         self._record("send", packet)
         packet.hops += 1
         self.loop.call_at(arrival, self._deliver, receiver, receiver_port, packet)
 
     def _deliver(self, receiver: "Node", port: int, packet: Packet) -> None:
+        self.inflight -= 1
         self._record("recv", packet)
         receiver.receive(packet, port)
 

@@ -28,6 +28,10 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
         self.trace: PacketTrace | None = PacketTrace() if trace else None
+        #: Assigned to every subsequently-created link's ``watcher`` hook;
+        #: set it *before* building topology (the fast path uses this to
+        #: observe live link-state transitions).
+        self.link_watcher = None
 
     # -- construction --------------------------------------------------------
 
@@ -73,6 +77,7 @@ class Network:
         ifid_b = b_ifid if b_ifid is not None else node_b.next_free_ifid()
         link = Link(self.loop, self.rng, node_a, ifid_a, node_b, ifid_b,
                     config, name=name, trace=self.trace)
+        link.watcher = self.link_watcher
         node_a.attach_port(ifid_a, link)
         node_b.attach_port(ifid_b, link)
         self.links.append(link)

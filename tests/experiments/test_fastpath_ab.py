@@ -1,0 +1,166 @@
+"""The fast-path A/B harness, its perf workload, and the determinism
+guarantees the fast path must not break.
+
+* :func:`repro.experiments.fastpath_ab.run_ab` — paired, jitter-free
+  comparison across every figure condition, within the documented bound;
+* :func:`repro.perf.measure_fastpath` — the trajectory row guarding
+  wall-clock and loop-event savings;
+* ``repro.perf compare`` — tolerates metrics present in only one run
+  (reported as ``new`` / ``gone``, never regressions);
+* fault and resilience batteries — bit-identical whether the fast path
+  is enabled or not (chaos worlds run pure packet-level);
+* serial and worker-pool figure-3 batteries — bit-identical with the
+  fast path on.
+"""
+
+import pytest
+
+from repro import perf
+from repro.experiments import fastpath_ab
+
+
+class TestConditionReport:
+    def _report(self, oracle=(100.0, 200.0), fast=(100.0, 200.0),
+                oracle_s=2.0, fastpath_s=1.0):
+        return fastpath_ab.ConditionReport(
+            figure="3", condition="SCION-only",
+            oracle_plts=oracle, fastpath_plts=fast,
+            oracle_s=oracle_s, fastpath_s=fastpath_s)
+
+    def test_exact_match_is_zero_error(self):
+        report = self._report()
+        assert report.max_rel_error == 0.0
+        assert report.within_bound
+        assert report.speedup == pytest.approx(2.0)
+
+    def test_worst_seed_sets_the_error(self):
+        report = self._report(fast=(100.0, 205.0))
+        assert report.max_rel_error == pytest.approx(0.025)
+        assert not report.within_bound
+
+    def test_ab_report_aggregates(self):
+        report = fastpath_ab.AbReport(conditions=[
+            self._report(), self._report(oracle_s=4.0, fastpath_s=1.0)])
+        assert report.within_bound
+        assert report.speedup == pytest.approx(3.0)
+        assert "PASS" in report.render()
+
+    def test_render_flags_bound_violation(self):
+        report = fastpath_ab.AbReport(conditions=[
+            self._report(fast=(100.0, 225.0))])
+        text = report.render()
+        assert "EXCEEDS BOUND" in text
+        assert "FAIL" in text
+
+    def test_oracle_drift_fails_the_run(self):
+        report = fastpath_ab.AbReport(conditions=[self._report()],
+                                      oracle_repeatable=False)
+        assert not report.within_bound
+
+
+class TestRunAb:
+    def test_one_seed_battery_meets_the_bound(self):
+        report = fastpath_ab.run_ab(trials=1)
+        # 4 figure-3 conditions + 4 remote conditions for each of
+        # figures 5 and 6.
+        assert len(report.conditions) == 12
+        assert report.oracle_repeatable
+        assert report.within_bound, report.render()
+
+    def test_selftest_cli_passes(self, capsys):
+        assert fastpath_ab.main(["--selftest", "--trials", "1"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestMeasureFastpath:
+    def test_row_fields_and_bound(self):
+        row = perf.measure_fastpath(trials=2, n_resources=4)
+        assert row["workload"] == "fastpath/2x4"
+        assert row["oracle_trial_ms"] > 0
+        assert row["fastpath_trial_ms"] > 0
+        assert row["fastpath_speedup"] > 0
+        assert row["fastpath_events"] < row["oracle_events"]
+        assert row["fastpath_events_per_sec"] > 0
+        assert row["within_bound"] is True
+
+
+def _run_rows(ts, label="full", extra=None):
+    rows = [
+        {"ts": ts, "label": label, "events_per_sec": 1000.0,
+         "coroutine_events_per_sec": 500.0},
+        {"ts": ts, "label": label, "serial_s": 10.0, "parallel_s": 2.0},
+    ]
+    if extra:
+        rows.append({"ts": ts, "label": label, **extra})
+    return rows
+
+
+class TestCompareNewAndGoneMetrics:
+    def test_metric_only_in_current_is_new_not_regression(self):
+        rows = _run_rows("t1") + _run_rows(
+            "t2", extra={"fastpath_trial_ms": 5.0,
+                         "fastpath_events_per_sec": 90_000.0})
+        report = perf.compare_runs(rows)
+        by_name = {m["metric"]: m for m in report["metrics"]}
+        assert by_name["fastpath_trial_ms"]["status"] == "new"
+        assert by_name["fastpath_trial_ms"]["baseline"] is None
+        assert by_name["fastpath_events_per_sec"]["status"] == "new"
+        assert report["regressions"] == []
+
+    def test_metric_only_in_baseline_is_gone_not_regression(self):
+        rows = _run_rows(
+            "t1", extra={"fastpath_trial_ms": 5.0}) + _run_rows("t2")
+        report = perf.compare_runs(rows)
+        by_name = {m["metric"]: m for m in report["metrics"]}
+        assert by_name["fastpath_trial_ms"]["status"] == "gone"
+        assert by_name["fastpath_trial_ms"]["current"] is None
+        assert report["regressions"] == []
+
+    def test_present_in_both_still_gates(self):
+        rows = (_run_rows("t1", extra={"fastpath_trial_ms": 5.0})
+                + _run_rows("t2", extra={"fastpath_trial_ms": 9.0}))
+        report = perf.compare_runs(rows)
+        assert report["regressions"] == ["fastpath_trial_ms"]
+
+    def test_render_marks_new_and_gone(self):
+        rows = (_run_rows("t1", extra={"fastpath_trial_ms": 5.0})
+                + _run_rows("t2", extra={"fastpath_events_per_sec": 90e3}))
+        text = perf.render_comparison(perf.compare_runs(rows))
+        assert "(new metric)" in text
+        assert "(gone)" in text
+
+
+class TestBatteriesUnchangedByFastpath:
+    """The chaos and resilience batteries are bit-identical with the
+    fast path on and off: fault worlds run pure packet-level, and the
+    injector disables the fast path the moment it arms."""
+
+    def test_fault_trial_bit_identical(self, monkeypatch):
+        from repro.experiments.fault_battery import fault_trial
+
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        on = [fault_trial(scenario, "opportunistic", 42, n_resources=4)
+              for scenario in ("baseline", "link-flap")]
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        off = [fault_trial(scenario, "opportunistic", 42, n_resources=4)
+               for scenario in ("baseline", "link-flap")]
+        assert on == off
+
+    def test_resilience_trial_bit_identical(self, monkeypatch):
+        from repro.experiments.resilience_battery import resilience_trial
+
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        on = resilience_trial(True, "opportunistic", 4200, loads=2)
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        off = resilience_trial(True, "opportunistic", 4200, loads=2)
+        assert on == off
+
+
+class TestSerialMatchesWorkers:
+    def test_figure3_battery_identical_with_fastpath_on(self, monkeypatch):
+        from repro.experiments.local_setup import run_figure3
+
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        serial = run_figure3(trials=3, n_resources=4, workers=1)
+        pooled = run_figure3(trials=3, n_resources=4, workers=4)
+        assert serial == pooled
