@@ -1,16 +1,19 @@
 # Developer entry points. `make verify` is the per-PR gate: the full
 # tier-1 test suite, the obs selftest, the fast-path A/B selftest
-# (paired error-bound check against the packet-level oracle), then a
-# quick perf smoke run (appends a row to BENCH_results.json), then the
-# trajectory compare, which exits non-zero if any headline metric
-# regressed more than 10 % against the previous full-size run.
+# (paired error-bound check against the packet-level oracle), the
+# component-ablation selftest (leave-one-out knob sweep with exact
+# contract verification), then a quick perf smoke run (appends a row to
+# BENCH_results.json), then the trajectory compare, which exits
+# non-zero if any headline metric regressed more than 10 % against the
+# previous full-size run.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs fastpath-ab perf perf-full compare experiments
+.PHONY: verify test obs fastpath-ab ablations2 perf perf-full compare \
+	experiments
 
-verify: test obs fastpath-ab perf compare
+verify: test obs fastpath-ab ablations2 perf compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +23,9 @@ obs:
 
 fastpath-ab:
 	$(PYTHON) -m repro.experiments.fastpath_ab --selftest
+
+ablations2:
+	$(PYTHON) -m repro.experiments.ablations2 --selftest
 
 perf:
 	$(PYTHON) -m repro.perf --quick

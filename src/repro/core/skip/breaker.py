@@ -31,6 +31,12 @@ from dataclasses import dataclass, field
 #: Cap on the exponential backoff doubling (2**6 = 64x the base).
 MAX_BACKOFF_DOUBLINGS = 6
 
+#: Environment knob disabling circuit breaking
+#: (``0``/``false``/``no``/``off``; see :mod:`repro.internet.knobs`).
+#: With it off a :class:`BreakerBoard` records nothing and never blocks
+#: a path — PR 2's bare quarantine behavior the ablation harness A/Bs.
+BREAKER_ENV = "REPRO_BREAKER"
+
 
 class BreakerState(enum.Enum):
     """The classic three circuit-breaker states."""
@@ -142,10 +148,18 @@ class BreakerBoard:
 
     Breakers are created lazily on first failure, so healthy paths cost
     the board nothing — one dict miss per success record.
+
+    ``enabled=None`` defers to the ``REPRO_BREAKER`` knob (resolved once
+    at construction); a disabled board stores nothing and blocks nothing.
     """
 
     failure_threshold: int = 1
+    enabled: bool | None = None
     _breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.internet.knobs import resolve_knob
+        self.enabled = resolve_knob(BREAKER_ENV, self.enabled)
 
     def get(self, fingerprint: str) -> CircuitBreaker | None:
         """The breaker for ``fingerprint``, if one was ever tripped."""
@@ -166,6 +180,8 @@ class BreakerBoard:
     def record_failure(self, fingerprint: str, now: float,
                        backoff_ms: float) -> str | None:
         """Route a failure to (lazily creating) the path's breaker."""
+        if not self.enabled:
+            return None
         breaker = self._breakers.get(fingerprint)
         if breaker is None:
             breaker = CircuitBreaker(

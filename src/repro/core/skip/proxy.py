@@ -97,7 +97,8 @@ class SkipProxy:
                  quic_port: int = 443, tcp_port: int = 80,
                  rng: random.Random | None = None,
                  request_timeout_ms: float = DEFAULT_REQUEST_TIMEOUT_MS,
-                 retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS) -> None:
+                 retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS,
+                 breaker: bool | None = None) -> None:
         if host.daemon is None:
             raise ProxyError(f"host {host.name} has no path daemon")
         if host.loop is None:
@@ -124,8 +125,9 @@ class SkipProxy:
         self.retry_backoff_ms = retry_backoff_ms
         #: Failover state: one circuit breaker per failed path
         #: fingerprint (closed → open on failure → half-open with a
-        #: single probe before readmission).
-        self.breakers = BreakerBoard()
+        #: single probe before readmission). ``breaker=None`` defers to
+        #: the ``REPRO_BREAKER`` knob.
+        self.breakers = BreakerBoard(enabled=breaker)
         self.failovers = 0
         self.tracer = NULL_TRACER
 

@@ -32,13 +32,13 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import os
 import statistics
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.internet.knobs import forced
 from repro.simnet.fastpath import FASTPATH_ENV, PLT_ERROR_BOUND
 
 
@@ -107,15 +107,8 @@ class AbReport:
 
 def _with_fastpath(enabled: bool, fn: Callable[[], Any]) -> Any:
     """Run ``fn`` with the ``REPRO_FASTPATH`` knob forced."""
-    previous = os.environ.get(FASTPATH_ENV)
-    os.environ[FASTPATH_ENV] = "1" if enabled else "0"
-    try:
+    with forced(FASTPATH_ENV, enabled):
         return fn()
-    finally:
-        if previous is None:
-            del os.environ[FASTPATH_ENV]
-        else:
-            os.environ[FASTPATH_ENV] = previous
 
 
 def _figure_trials(trials: int, jitter: bool

@@ -70,12 +70,14 @@ N_RESOURCES = 4
 
 
 def build_resilience_world(seed: int, strict: bool = False,
-                           revocation: bool = True,
+                           revocation: bool | None = True,
                            obs: bool = False) -> FaultWorld:
     """A remote-testbed world for one churn session.
 
     Identical to the chaos battery's world except that revocation
-    dissemination is explicitly switched per cell.
+    dissemination is explicitly switched per cell (``None`` defers to
+    the ``REPRO_REVOCATION`` environment knob — the ablation harness
+    drives the battery that way).
     """
     topology, ases = remote_testbed()
     internet = Internet(topology, seed=seed, revocation=revocation,
@@ -131,7 +133,7 @@ def _session(world: FaultWorld, loads: int):
     return rows
 
 
-def resilience_trial(revocation: bool, mode: str, seed: int,
+def resilience_trial(revocation: bool | None, mode: str, seed: int,
                      loads: int = SESSION_LOADS) -> tuple[float, float,
                                                           float, float]:
     """One churn session; returns ``(ttr_ms, mean_plt_ms,

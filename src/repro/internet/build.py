@@ -31,6 +31,7 @@ from repro.ip.bgp import BgpRib
 from repro.scion.addr import HostAddr
 from repro.scion.beaconing import SegmentStore
 from repro.scion.daemon import PathDaemon
+from repro.scion.health import HealthTracker
 from repro.scion.path_server import PathServer
 from repro.scion.pki import ControlPlanePki
 from repro.scion.revocation import RevocationService
@@ -55,10 +56,18 @@ class Internet:
                  host_bandwidth_mbps: float = 0.0,
                  host_jitter_ms: float = 0.0,
                  revocation: bool | None = None,
-                 fastpath: bool | None = None) -> None:
+                 fastpath: bool | None = None,
+                 snapshot_cache: bool | None = None,
+                 event_pool: bool | None = None,
+                 combine_memo: bool | None = None,
+                 health_ranking: bool | None = None) -> None:
         topology.validate()
         self.topology = topology
-        self.network = Network(seed=seed, trace=trace)
+        # Every feature knob below follows the same convention: an
+        # explicit kwarg wins, ``None`` defers to the matching REPRO_*
+        # environment variable (parsed by repro.internet.knobs), and the
+        # default is on. The ablation harness flips them one at a time.
+        self.network = Network(seed=seed, trace=trace, pooling=event_pool)
         self.host_bandwidth_mbps = host_bandwidth_mbps
         self.host_jitter_ms = host_jitter_ms
 
@@ -76,7 +85,7 @@ class Internet:
         # BGP convergence run once per configuration, not once per trial.
         self.snapshot = control_plane_snapshot(
             topology, seed=seed, beacons_per_target=beacons_per_target,
-            verify_beacons=verify_beacons)
+            verify_beacons=verify_beacons, cache=snapshot_cache)
         self.pki: ControlPlanePki = self.snapshot.pki
         self.core_ases: set[IsdAs] = set(self.snapshot.core_ases)
 
@@ -138,6 +147,10 @@ class Internet:
         for isd_as, router in self.routers.items():
             router.ip_table = self.bgp.forwarding_table(isd_as)
 
+        #: Per-world overrides threaded into every host's daemon.
+        self._combine_memo = combine_memo
+        self._health_ranking = health_ranking
+
         self.hosts: dict[str, Host] = {}
         self._host_links: dict[str, object] = {}
 
@@ -179,6 +192,8 @@ class Internet:
             core_ases=set(self.core_ases),
             pki=self.pki if verify_paths else None,
             clock=self.network.loop,
+            combine_memo=self._combine_memo,
+            health=HealthTracker(enabled=self._health_ranking),
         )
         self.revocations.subscribe(host.daemon)
         self.hosts[name] = host

@@ -45,10 +45,10 @@ cache behavior.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.internet.knobs import resolve_knob
 from repro.ip.bgp import BgpRib, compute_routes
 from repro.scion.beaconing import BeaconingService, SegmentStore
 from repro.scion.pki import ControlPlanePki
@@ -106,10 +106,14 @@ class ControlPlaneSnapshot:
     core_ases: frozenset[IsdAs]
 
 
-def cache_enabled() -> bool:
-    """Whether the snapshot cache is active (see ``REPRO_SNAPSHOT_CACHE``)."""
-    return os.environ.get(SNAPSHOT_CACHE_ENV, "1").strip().lower() \
-        not in ("0", "off", "false", "no")
+def cache_enabled(override: bool | None = None) -> bool:
+    """Whether the snapshot cache is active.
+
+    An explicit ``override`` (the ``Internet(snapshot_cache=...)``
+    kwarg) wins; otherwise the ``REPRO_SNAPSHOT_CACHE`` environment
+    knob, parsed by the shared :mod:`repro.internet.knobs` rules.
+    """
+    return resolve_knob(SNAPSHOT_CACHE_ENV, override)
 
 
 def snapshot_key(topology: AsTopology, seed: int, beacons_per_target: int,
@@ -134,16 +138,19 @@ def _build(topology: AsTopology, seed: int, beacons_per_target: int,
 
 def control_plane_snapshot(topology: AsTopology, seed: int = 0,
                            beacons_per_target: int = 8,
-                           verify_beacons: bool = False
+                           verify_beacons: bool = False,
+                           cache: bool | None = None
                            ) -> ControlPlaneSnapshot:
     """The (cached) control plane for one world configuration.
 
     On a hit, the returned snapshot is the very object a previous build
     produced — PKI generation, beaconing, and BGP convergence are all
-    skipped. On a miss the state is built once and interned.
+    skipped. On a miss the state is built once and interned. ``cache``
+    overrides the ``REPRO_SNAPSHOT_CACHE`` knob per call, so single
+    worlds can opt out without touching the process environment.
     """
     key = snapshot_key(topology, seed, beacons_per_target, verify_beacons)
-    if not cache_enabled():
+    if not cache_enabled(cache):
         stats.bypasses += 1
         return _build(topology, seed, beacons_per_target, verify_beacons, key)
     snapshot = _cache.get(key)

@@ -1,6 +1,6 @@
 """Performance measurement and the repo's recorded perf trajectory.
 
-Five fixed workloads quantify the simulator's speed:
+A set of fixed workloads quantifies the simulator's speed:
 
 * **event-loop throughput** — raw scheduler events/sec (a ``call_soon``
   storm) and coroutine events/sec (a process yielding timeouts), the
@@ -17,7 +17,12 @@ Five fixed workloads quantify the simulator's speed:
 * **recovery latency** — the mean simulated time-to-recover of
   revocation-driven self-healing under link churn (the resilience
   battery's revocation-on cell), guarding the dissemination pipeline's
-  end-to-end latency PR over PR.
+  end-to-end latency PR over PR;
+* **hybrid-fidelity fast path** — packet-level oracle vs. analytic
+  transfers on exact-paired jitter-free trials;
+* **ablation sweep** — wall-clock of the component-ablation selftest
+  (``repro.experiments.ablations2``), guarding the ``make verify``
+  gate's runtime.
 
 Results append to ``BENCH_results.json`` at the repo root so successive
 PRs accumulate a machine-readable performance trajectory (events/sec,
@@ -410,6 +415,36 @@ def measure_fastpath(trials: int = 8, n_resources: int = 12,
 
 
 # ---------------------------------------------------------------------------
+# Workload 7 — component ablation harness
+# ---------------------------------------------------------------------------
+
+
+def measure_ablation() -> dict[str, Any]:
+    """Wall-clock of the ablation harness's CI selftest sweep.
+
+    Runs :func:`repro.experiments.ablations2.run_ablations` at its
+    ``--selftest`` size and records the elapsed wall-clock as
+    ``ablate_selftest_ms`` — the trajectory guard that keeps the
+    ``make verify`` gate fast (a PR that balloons the sweep shows up in
+    ``--compare`` before it slows CI). ``identical`` records whether
+    every registered contract held and no component run errored.
+    """
+    from repro.experiments.ablations2 import run_ablations, selftest_config
+
+    started = time.perf_counter()
+    report = run_ablations(selftest_config())
+    elapsed = time.perf_counter() - started
+    top = report.ranked[0].component.name if report.ranked else None
+    return {
+        "workload": "ablations2/selftest",
+        "ablate_selftest_ms": round(elapsed * 1000.0, 1),
+        "ablate_components": len(report.results),
+        "ablate_top_component": top,
+        "identical": report.all_ok,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory comparison (--compare)
 # ---------------------------------------------------------------------------
 
@@ -432,6 +467,9 @@ COMPARE_METRICS = (
     # Absent in pre-fast-path rows (hybrid-fidelity workload).
     ("fastpath_trial_ms", False),
     ("fastpath_events_per_sec", True),
+    # Absent in pre-ablation-harness rows: wall-clock of the ablation
+    # selftest sweep (the make-verify CI gate).
+    ("ablate_selftest_ms", False),
 )
 
 
@@ -465,7 +503,11 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
     metrics: a metric present only in the current run is reported as
     ``"new"`` and one present only in the baseline as ``"gone"`` —
     neither is a regression, so a PR that adds or retires a workload
-    does not wedge the gate.
+    does not wedge the gate. A metric that is *present* in a run but
+    not comparable — non-numeric, or a zero baseline — is reported as
+    an ``"error"`` row instead of being silently dropped: a workload
+    that started writing garbage must show up in the report, not
+    vanish from it.
     """
     runs = _runs_by_ts(rows, label)
     if len(runs) < 2:
@@ -474,23 +516,34 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
     metrics: list[dict[str, Any]] = []
     for name, higher_is_better in COMPARE_METRICS:
         old, new = baseline.get(name), current.get(name)
+        old_present = name in baseline
+        new_present = name in current
+        if not old_present and not new_present:
+            continue
         old_ok = isinstance(old, (int, float)) and old
         new_ok = isinstance(new, (int, float))
-        if not old_ok and new_ok:
+        if (old_present and not old_ok) or (new_present and not new_ok):
+            metrics.append({
+                "metric": name,
+                "baseline": old if old_present else None,
+                "current": new if new_present else None,
+                "status": "error", "higher_is_better": higher_is_better,
+                "regression": False,
+            })
+            continue
+        if not old_present:
             metrics.append({
                 "metric": name, "baseline": None, "current": new,
                 "status": "new", "higher_is_better": higher_is_better,
                 "regression": False,
             })
             continue
-        if old_ok and not new_ok:
+        if not new_present:
             metrics.append({
                 "metric": name, "baseline": old, "current": None,
                 "status": "gone", "higher_is_better": higher_is_better,
                 "regression": False,
             })
-            continue
-        if not old_ok or not new_ok:
             continue
         change = (new - old) / old
         regressed = (change < -threshold if higher_is_better
@@ -531,6 +584,12 @@ def render_comparison(report: dict[str, Any]) -> str:
             lines.append(f"{metric['metric']:<26} "
                          f"{metric['baseline']:>14,.1f} -> "
                          f"{'(absent)':>14}  (gone)")
+            continue
+        if status == "error":
+            lines.append(f"{metric['metric']:<26} "
+                         f"{str(metric['baseline']):>14} -> "
+                         f"{str(metric['current']):>14}  "
+                         f"(ERROR: not comparable)")
             continue
         flag = "  << REGRESSION" if metric["regression"] else ""
         lines.append(
@@ -605,6 +664,12 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"max_err {row['fastpath_max_rel_err_pct']:.4f}%"
                          + ("" if row["within_bound"]
                             else " EXCEEDS BOUND"))
+        if "ablate_selftest_ms" in row:
+            parts.append(f"sweep {row['ablate_selftest_ms']:,.0f} ms")
+            parts.append(f"{row['ablate_components']} components")
+            parts.append(f"top={row['ablate_top_component']}")
+            parts.append("contracts OK" if row["identical"]
+                         else "CONTRACTS FAILED")
         lines.append("  ".join(parts))
     return "\n".join(lines)
 
@@ -626,12 +691,15 @@ def run_suite(quick: bool = False,
         tracing = measure_tracing()
         resilience = measure_resilience()
         fastpath = measure_fastpath()
+    # The ablation sweep is its own CI-gate-sized workload either way.
+    ablation = measure_ablation()
     context = machine_fingerprint()
     context["source"] = "repro.perf"
     context["label"] = "quick" if quick else "full"
     return [{**context, **throughput}, {**context, **battery},
             {**context, **cache}, {**context, **tracing},
-            {**context, **resilience}, {**context, **fastpath}]
+            {**context, **resilience}, {**context, **fastpath},
+            {**context, **ablation}]
 
 
 def main(argv: list[str] | None = None) -> int:

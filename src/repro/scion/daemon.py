@@ -82,6 +82,9 @@ class PathDaemon:
     #: proxy's request outcomes); demotes repeatedly-failing candidates
     #: behind healthy ones in every answer.
     health: HealthTracker = field(default_factory=HealthTracker)
+    #: Per-daemon override of the combined-path memo knob
+    #: (``REPRO_COMBINE_MEMO``); ``None`` defers to the environment.
+    combine_memo: bool | None = None
     #: dst → (paths, earliest expiry among them in ms, revoked view the
     #: combination was computed under). The expiry bound lets cache hits
     #: skip per-path expiry filtering until a path could actually have
@@ -158,7 +161,8 @@ class PathDaemon:
         paths = combine_segments(self.isd_as, dst, self.path_server.store,
                                  core_ases=self.core_ases,
                                  max_paths=self.max_paths,
-                                 revoked=revoked)
+                                 revoked=revoked,
+                                 memo=self.combine_memo)
         paths = self._unexpired(paths)
         if not paths:
             raise NoPathError(f"no SCION path {self.isd_as} -> {dst}")

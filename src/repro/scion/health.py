@@ -24,6 +24,13 @@ EWMA_ALPHA = 0.3
 #: Consecutive failures before a fingerprint is demoted in ranking.
 DEMOTE_AFTER = 2
 
+#: Environment knob disabling health-informed ranking
+#: (``0``/``false``/``no``/``off``; see :mod:`repro.internet.knobs`).
+#: With it off the tracker records nothing and :meth:`HealthTracker.rank`
+#: returns the metadata-latency order untouched — the pre-health daemon
+#: behavior the ablation harness A/Bs.
+HEALTH_RANKING_ENV = "REPRO_HEALTH_RANKING"
+
 
 @dataclass
 class PathHealth:
@@ -56,17 +63,31 @@ class PathHealth:
 
 @dataclass
 class HealthTracker:
-    """Health records for every fingerprint a daemon has heard about."""
+    """Health records for every fingerprint a daemon has heard about.
+
+    ``enabled=None`` defers to the ``REPRO_HEALTH_RANKING`` knob
+    (resolved once at construction); a disabled tracker records nothing
+    and ranks as the identity.
+    """
 
     demote_after: int = DEMOTE_AFTER
+    enabled: bool | None = None
     _paths: dict[str, PathHealth] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.internet.knobs import resolve_knob
+        self.enabled = resolve_knob(HEALTH_RANKING_ENV, self.enabled)
 
     def record_success(self, fingerprint: str, latency_ms: float) -> None:
         """An application request over ``fingerprint`` succeeded."""
+        if not self.enabled:
+            return
         self._record(fingerprint).record_success(latency_ms)
 
     def record_failure(self, fingerprint: str) -> None:
         """An application request over ``fingerprint`` failed."""
+        if not self.enabled:
+            return
         self._record(fingerprint).record_failure()
 
     def _record(self, fingerprint: str) -> PathHealth:
@@ -97,9 +118,10 @@ class HealthTracker:
         """Stable partition: healthy candidates first, demoted last.
 
         Within each class the incoming (latency) order is preserved.
-        No-op — and allocation-light — when nothing is demoted.
+        No-op — and allocation-light — when nothing is demoted or the
+        tracker is disabled.
         """
-        if not self._paths or not self.any_demoted:
+        if not self.enabled or not self._paths or not self.any_demoted:
             return paths
         return sorted(paths,
                       key=lambda p: 1 if self.demoted(p.fingerprint()) else 0)

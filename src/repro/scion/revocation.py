@@ -37,7 +37,6 @@ resilience battery A/Bs).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -64,12 +63,12 @@ def revocation_enabled(override: bool | None = None) -> bool:
     """Whether revocation origination is on.
 
     An explicit ``override`` wins; otherwise ``REPRO_REVOCATION``
-    (default on, ``0``/``false``/``no`` disable).
+    (default on, ``0``/``false``/``no``/``off`` disable — see
+    :mod:`repro.internet.knobs` for the shared parsing rules).
     """
-    if override is not None:
-        return bool(override)
-    return os.environ.get(REVOCATION_ENV, "1").lower() not in (
-        "0", "false", "no")
+    from repro.internet.knobs import resolve_knob
+
+    return resolve_knob(REVOCATION_ENV, override)
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,13 @@ from typing import Any
 
 from repro.errors import SimulationError
 
+#: Environment knob disabling the Event/Timeout recycling pools
+#: (``0``/``false``/``no``/``off``; see :mod:`repro.internet.knobs`).
+#: With pooling off, ``reusable_event()`` and ``timeout()`` hand out
+#: fresh, never-recycled objects — the pre-pooling behavior the
+#: ablation harness A/Bs.
+EVENT_POOL_ENV = "REPRO_EVENT_POOL"
+
 
 class Event:
     """A one-shot occurrence processes can wait on.
@@ -327,12 +334,12 @@ class EventLoop:
     """
 
     __slots__ = ("_now", "_sequence", "_queue", "_events_processed",
-                 "_cancelled", "_event_pool", "_timeout_pool")
+                 "_cancelled", "_event_pool", "_timeout_pool", "_pooling")
 
     #: Per-pool cap; beyond this, retired events are left to the GC.
     POOL_LIMIT = 256
 
-    def __init__(self) -> None:
+    def __init__(self, pooling: bool | None = None) -> None:
         self._now = 0.0
         self._sequence = 0
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
@@ -340,11 +347,24 @@ class EventLoop:
         self._cancelled: set[int] = set()
         self._event_pool: list[Event] = []
         self._timeout_pool: list[Timeout] = []
+        if pooling is None:
+            # Lazy import: knobs lives under repro.internet so every
+            # component shares one parsing rule, but simnet must stay
+            # importable standalone (no import-time cycle).
+            from repro.internet.knobs import knob
+            pooling = knob(EVENT_POOL_ENV, default=True)
+        self._pooling = bool(pooling)
 
     @property
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
+
+    @property
+    def pooling(self) -> bool:
+        """Whether Event/Timeout recycling pools are active (resolved
+        from the ``pooling`` argument, else ``REPRO_EVENT_POOL``)."""
+        return self._pooling
 
     @property
     def events_processed(self) -> int:
@@ -415,7 +435,13 @@ class EventLoop:
         reference after triggering — i.e. no late ``succeed``/``fail``
         on a consumed event — and never hand one to code that may touch
         it after the waiter resumed.
+
+        With pooling disabled (``REPRO_EVENT_POOL=0``) this degrades to
+        :meth:`event`: fresh, never-recycled objects, bit-identical
+        scheduling either way (the ablation contract).
         """
+        if not self._pooling:
+            return Event(self)
         pool = self._event_pool
         if pool:
             return pool.pop()
@@ -429,8 +455,11 @@ class EventLoop:
         Timeouts are drawn from a recycling pool: one consumed cleanly by
         its sole waiter is re-armed for a later ``timeout()`` call
         instead of being garbage. Cancelled or shared (AnyOf/AllOf)
-        timeouts are never recycled.
+        timeouts are never recycled. With pooling disabled
+        (``REPRO_EVENT_POOL=0``) every timeout is fresh.
         """
+        if not self._pooling:
+            return Timeout(self, delay, value)
         pool = self._timeout_pool
         if pool:
             if delay < 0:

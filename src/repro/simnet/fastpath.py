@@ -41,7 +41,6 @@ the fast path entirely and is bit-identical to pre-fast-path behavior.
 from __future__ import annotations
 
 import heapq
-import os
 import random
 from typing import Any
 
@@ -64,9 +63,9 @@ _SCION_LOCAL_HEADER_BYTES = 24
 def fastpath_enabled(override: bool | None = None) -> bool:
     """Resolve the fast-path knob: explicit override wins, then the
     ``REPRO_FASTPATH`` environment variable (default on)."""
-    if override is not None:
-        return override
-    return os.environ.get(FASTPATH_ENV, "1").lower() not in ("0", "false", "no")
+    from repro.internet.knobs import resolve_knob
+
+    return resolve_knob(FASTPATH_ENV, override)
 
 
 class RouteLeg:

@@ -21,8 +21,9 @@ from repro.simnet.trace import PacketTrace
 class Network:
     """Container for a simulated network."""
 
-    def __init__(self, seed: int = 0, trace: bool = False) -> None:
-        self.loop = EventLoop()
+    def __init__(self, seed: int = 0, trace: bool = False,
+                 pooling: bool | None = None) -> None:
+        self.loop = EventLoop(pooling=pooling)
         self.rng = random.Random(seed)
         self.seed = seed
         self.nodes: dict[str, Node] = {}

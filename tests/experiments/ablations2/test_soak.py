@@ -1,0 +1,80 @@
+"""Chaos-tier soak: wider fast-path seeds and leak-freedom.
+
+Tier 1 checks the fast-path bound on the harness's base seeds; this
+battery widens to five extra seeds per condition and then soaks a full
+traced churn session to assert nothing pools, probes, or spans leak —
+the resources the ablation toggles recycle must all be quiescent when
+the loop drains.
+"""
+
+import functools
+
+import pytest
+
+from repro.experiments import ablations2 as ab
+from repro.experiments.harness import run_samples
+from repro.experiments.resilience_battery import (
+    SESSION_LOADS,
+    _session,
+    build_resilience_world,
+    churn_schedule,
+)
+from repro.simnet.fastpath import FASTPATH_ENV, PLT_ERROR_BOUND
+from repro.simnet.faults import inject
+
+EXTRA_SEEDS = range(102, 107)
+
+
+@pytest.mark.chaos
+class TestFastpathBoundWiderSeeds:
+    @pytest.mark.parametrize("condition", ["SCION-only", "mixed SCION-IP",
+                                           "BGP/IP-only", "strict-SCION"])
+    def test_five_extra_seeds_stay_within_bound(self, condition):
+        defaults = ab.default_knob_states()
+        ablated = dict(defaults)
+        ablated[FASTPATH_ENV] = False
+
+        def samples(overrides):
+            trial = functools.partial(
+                ab.figure3_ablation_trial,
+                tuple(sorted(overrides.items())), condition, 8, False,
+                False)
+            return run_samples(trial, EXTRA_SEEDS, workers=1)
+
+        for (plt_on, _), (plt_off, _) in zip(samples(defaults),
+                                             samples(ablated)):
+            assert abs(plt_on - plt_off) / plt_off <= PLT_ERROR_BOUND
+
+
+@pytest.mark.chaos
+class TestNothingLeaks:
+    def test_traced_churn_session_leaves_no_residue(self):
+        """After a full churn session with every recycling layer active:
+        bounded event/timeout pools, no half-open breaker probes, no
+        in-flight revocation timers, no open spans."""
+        world = build_resilience_world(4300, revocation=True, obs=True)
+        inject(world.internet, churn_schedule(world.ases))
+        loop = world.internet.loop
+        loop.run_process(_session(world, SESSION_LOADS))
+
+        assert len(loop._event_pool) <= loop.POOL_LIMIT
+        assert len(loop._timeout_pool) <= loop.POOL_LIMIT
+        assert world.browser.proxy.breakers.probes_in_flight == 0
+        assert world.internet.revocations.pending_propagations == 0
+        assert world.tracer.open_spans() == []
+
+    def test_ablation_sweep_leaves_the_environment_clean(self):
+        """A whole sweep (toggles forced on and off repeatedly) must
+        restore every knob: a later world sees pristine defaults."""
+        import os
+
+        before = {name: os.environ.get(name)
+                  for name in ab.default_knob_states()}
+        config = ab.AblationConfig(conditions=("SCION-only",), trials=1,
+                                   n_resources=4, resilience_trials=1,
+                                   resilience_loads=2, contract_trials=1)
+        report = ab.run_ablations(config)
+        assert report.all_ok, report.render()
+        after = {name: os.environ.get(name)
+                 for name in ab.default_knob_states()}
+        assert after == before

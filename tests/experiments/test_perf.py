@@ -169,13 +169,14 @@ class TestCli:
         monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
         assert perf.main(["--quick", "--workers", "1"]) == 0
         payload = json.loads(target.read_text())
-        assert len(payload["rows"]) == 6
+        assert len(payload["rows"]) == 7
         assert any("events_per_sec" in row for row in payload["rows"])
         assert any("serial_s" in row for row in payload["rows"])
         assert any("cached_trial_ms" in row for row in payload["rows"])
         assert any("traced_trial_ms" in row for row in payload["rows"])
         assert any("recovery_ms" in row for row in payload["rows"])
         assert any("fastpath_trial_ms" in row for row in payload["rows"])
+        assert any("ablate_selftest_ms" in row for row in payload["rows"])
         assert "repro.perf" in capsys.readouterr().out
 
     def test_no_write_leaves_file_alone(self, tmp_path, monkeypatch):

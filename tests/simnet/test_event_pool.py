@@ -156,6 +156,45 @@ class TestTimeoutRecycling:
         assert loop._event_pool  # acquire events were recycled
 
 
+class TestPoolingDisabled:
+    """``EventLoop(pooling=False)`` (or ``REPRO_EVENT_POOL=0``) restores
+    the pre-pooling allocator: fresh objects, empty pools, identical
+    scheduling — the ablation harness's off-switch contract."""
+
+    def test_kwarg_disables_recycling(self):
+        loop = EventLoop(pooling=False)
+        assert loop.pooling is False
+        event = loop.reusable_event()
+        loop.call_later(1.0, event.succeed, "v")
+        assert consume(loop, event) == "v"
+        assert loop.reusable_event() is not event
+        assert loop._event_pool == []
+
+    def test_kwarg_disables_timeout_recycling(self):
+        loop = EventLoop(pooling=False)
+        first = loop.timeout(1.0, "a")
+        assert consume(loop, first) == "a"
+        assert loop.timeout(5.0, "b") is not first
+        assert loop._timeout_pool == []
+
+    def test_env_knob_disables_pooling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_POOL", "off")
+        assert EventLoop().pooling is False
+
+    def test_explicit_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_POOL", "0")
+        assert EventLoop(pooling=True).pooling is True
+
+    def test_page_load_bit_identical_with_pooling_off(self, monkeypatch):
+        from repro.experiments.local_setup import figure3_trial
+
+        monkeypatch.setenv("REPRO_EVENT_POOL", "1")
+        pooled = figure3_trial("mixed SCION-IP", 42, n_resources=6)
+        monkeypatch.setenv("REPRO_EVENT_POOL", "0")
+        fresh = figure3_trial("mixed SCION-IP", 42, n_resources=6)
+        assert pooled == fresh
+
+
 class TestDeterminismUnderRecycling:
     def test_page_load_is_bit_identical_with_pools(self):
         """The end-to-end guard: one full page-load trial, twice, same
