@@ -2,18 +2,19 @@
 # tier-1 test suite, the obs selftest, the fast-path A/B selftest
 # (paired error-bound check against the packet-level oracle), the
 # component-ablation selftest (leave-one-out knob sweep with exact
-# contract verification), then a quick perf smoke run (appends a row to
-# BENCH_results.json), then the trajectory compare, which exits
-# non-zero if any headline metric regressed more than 10 % against the
-# previous full-size run.
+# contract verification), the shard determinism selftest (serial vs
+# REPRO_SHARDS=2 exact sample equality, <10 s), then a quick perf
+# smoke run (appends a row to BENCH_results.json), then the trajectory
+# compare, which exits non-zero if any headline metric regressed more
+# than 10 % against the previous full-size run.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs fastpath-ab ablations2 perf perf-full compare \
-	experiments
+.PHONY: verify test obs fastpath-ab ablations2 shard perf perf-full \
+	compare experiments
 
-verify: test obs fastpath-ab ablations2 perf compare
+verify: test obs fastpath-ab ablations2 shard perf compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +27,9 @@ fastpath-ab:
 
 ablations2:
 	$(PYTHON) -m repro.experiments.ablations2 --selftest
+
+shard:
+	$(PYTHON) -m repro.experiments.sharded --selftest
 
 perf:
 	$(PYTHON) -m repro.perf --quick

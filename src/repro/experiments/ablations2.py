@@ -3,8 +3,8 @@
 Every optional subsystem this repo has grown — the hybrid-fidelity fast
 path, the control-plane snapshot cache, revocation dissemination, event
 pooling, the combine-segments memo, the proxy's circuit breakers, the
-daemon's health ranking, tracing — is registered here as a
-:class:`Component` with three declarative facts:
+daemon's health ranking, tracing, the sharded parallel event core — is
+registered here as a :class:`Component` with three declarative facts:
 
 * **its toggle** — the ``REPRO_*`` environment knob (or, for tracing,
   the ``obs=`` kwarg) that switches it, resolved by the uniform rules in
@@ -61,6 +61,7 @@ from repro.scion.health import HEALTH_RANKING_ENV
 from repro.scion.revocation import REVOCATION_ENV
 from repro.simnet.events import EVENT_POOL_ENV
 from repro.simnet.fastpath import FASTPATH_ENV, PLT_ERROR_BOUND
+from repro.simnet.shard import SHARDS_ENV
 
 #: Contract kinds.
 BIT_IDENTICAL = "bit_identical"
@@ -99,6 +100,11 @@ class Component:
             importance for components that only act under discovery-led
             recovery. Contracts are always verified without context.
         description: one line for the report.
+        on_value / off_value: what "on" and "off" *mean* for the knob.
+            Boolean knobs keep the ``True``/``False`` defaults; value
+            knobs like ``REPRO_SHARDS`` (an integer shard count, where
+            ``"1"`` is the serial default and ``"2"`` turns sharding
+            on) override them with the literal spelling to pin.
     """
 
     name: str
@@ -109,11 +115,23 @@ class Component:
     default_on: bool = True
     context: tuple[tuple[str, bool], ...] = ()
     description: str = ""
+    on_value: bool | str = True
+    off_value: bool | str = False
 
     @property
     def ablated_state(self) -> bool:
         """The non-default state the leave-one-out run pins."""
         return not self.default_on
+
+    @property
+    def default_value(self) -> bool | str:
+        """The knob spelling of the component's default state."""
+        return self.on_value if self.default_on else self.off_value
+
+    @property
+    def ablated_value(self) -> bool | str:
+        """The knob spelling the leave-one-out run pins."""
+        return self.off_value if self.default_on else self.on_value
 
 
 #: The registry: every toggleable component, in rough dependency order.
@@ -161,6 +179,13 @@ COMPONENTS: tuple[Component, ...] = (
         metrics=("ttr_ms", "plt_ms", "failed_requests"),
         context=((REVOCATION_ENV, False),),
         description="observed-health demotion in daemon path ranking"),
+    Component(
+        name="sharded_core", knob=SHARDS_ENV,
+        contract=BIT_IDENTICAL, battery=FIGURE3,
+        metrics=("wallclock_ms",), default_on=False,
+        on_value="2", off_value="1",
+        description="conservative-lookahead parallel event loops across "
+                    "worker processes (REPRO_SHARDS=2)"),
 )
 
 
@@ -173,21 +198,22 @@ def component(name: str) -> Component:
 
 
 def default_knob_states(components: tuple[Component, ...] = COMPONENTS
-                        ) -> dict[str, bool]:
+                        ) -> dict[str, bool | str]:
     """Every registered env knob pinned to its default.
 
     Both the baseline and each leave-one-out run pin *all* knobs, so
     the harness measures the registry's defaults — not whatever
-    ``REPRO_*`` happens to be set in the ambient environment.
+    ``REPRO_*`` happens to be set in the ambient environment. Value
+    knobs (``REPRO_SHARDS``) pin their literal default spelling.
     """
-    return {comp.knob: comp.default_on
+    return {comp.knob: comp.default_value
             for comp in components if comp.knob is not None}
 
 
 # -- trial functions (module-level: the worker pool pickles them) ---------
 
 
-def figure3_ablation_trial(overrides: tuple[tuple[str, bool], ...],
+def figure3_ablation_trial(overrides: tuple[tuple[str, bool | str], ...],
                            condition: str, n_resources: int, obs: bool,
                            jitter: bool, seed: int) -> tuple[float, float]:
     """One Figure 3 trial under pinned knobs.
@@ -195,7 +221,10 @@ def figure3_ablation_trial(overrides: tuple[tuple[str, bool], ...],
     Returns ``(plt_ms, loop_events)``. The knobs are forced *inside*
     the trial so spawned pool workers see exactly the same environment
     as a serial run, and are restored afterwards (the shared pool's
-    workers persist across batteries).
+    workers persist across batteries). Routing through
+    :func:`~repro.experiments.local_setup.figure3_trial_events` means a
+    pinned ``REPRO_SHARDS`` actually redirects the trial into the
+    sharded fleet — the sharded_core ablation measures the real thing.
     """
     from repro.experiments import local_setup
 
@@ -203,16 +232,12 @@ def figure3_ablation_trial(overrides: tuple[tuple[str, bool], ...],
     if not jitter:
         calibration = dataclasses.replace(calibration, host_jitter_ms=0.0)
     with forced_many(dict(overrides)):
-        page = local_setup.make_page(condition, n_resources, seed)
-        world = local_setup.build_local_world(
-            page, seed, calibration=calibration,
-            extension_enabled=condition != "BGP/IP-only",
-            strict=condition == "strict-SCION", obs=obs)
-        plt = local_setup.load_once(world)
-        return (plt, float(world.internet.loop.events_processed))
+        return local_setup.figure3_trial_events(
+            condition, seed, n_resources=n_resources,
+            calibration=calibration, obs=obs)
 
 
-def resilience_ablation_trial(overrides: tuple[tuple[str, bool], ...],
+def resilience_ablation_trial(overrides: tuple[tuple[str, bool | str], ...],
                               loads: int, seed: int
                               ) -> tuple[float, float, float, float]:
     """One resilience-battery churn session under pinned knobs.
@@ -332,7 +357,7 @@ def battery_label(battery: str, context: tuple[tuple[str, bool], ...] = ()
     return f"{battery}({pins})"
 
 
-def run_battery(battery: str, overrides: dict[str, bool],
+def run_battery(battery: str, overrides: dict[str, bool | str],
                 config: AblationConfig, obs: bool = False) -> BatteryRun:
     """Run one battery sweep under ``overrides``; deterministic samples."""
     pinned = tuple(sorted(overrides.items()))
@@ -429,7 +454,7 @@ def rank_score(comp: Component,
 # -- contracts -------------------------------------------------------------
 
 
-def _contract_probe(overrides: dict[str, bool], config: AblationConfig,
+def _contract_probe(overrides: dict[str, bool | str], config: AblationConfig,
                     obs: bool, jitter: bool) -> tuple:
     """The small fault-free Figure 3 slice contracts are stated on."""
     pinned = tuple(sorted(overrides.items()))
@@ -455,7 +480,7 @@ def verify_contract(comp: Component, config: AblationConfig,
     """
     overrides = default_knob_states()
     if comp.knob is not None:
-        overrides[comp.knob] = comp.ablated_state
+        overrides[comp.knob] = comp.ablated_value
     obs = comp.knob is None and comp.ablated_state
     if comp.contract == BIT_IDENTICAL:
         probe = _contract_probe(overrides, config, obs, jitter=True)
@@ -580,6 +605,22 @@ def _evidence_circuit_breaker() -> str:
     return "proxy.breakers inert (stores/blocks nothing) with knob off"
 
 
+def _evidence_sharded_core() -> str:
+    from repro.experiments.local_setup import figure3_trial_events
+    from repro.simnet import shard
+
+    with forced_many({SHARDS_ENV: "2"}):
+        sharded = figure3_trial_events("SCION-only", 4242, n_resources=4)
+    workers = shard.active_worker_count()
+    with forced_many({SHARDS_ENV: "1"}):
+        serial = figure3_trial_events("SCION-only", 4242, n_resources=4)
+    assert workers > 0, "no live worker fleet after a sharded trial"
+    assert sharded == serial, \
+        f"sharded sample {sharded} != serial {serial}"
+    return (f"{workers} worker process(es) served the sharded probe, "
+            f"samples identical to serial")
+
+
 def _evidence_health_ranking() -> str:
     with forced_many({HEALTH_RANKING_ENV: False}):
         world = _tiny_local_world()
@@ -601,6 +642,7 @@ EVIDENCE_PROBES = {
     "revocation": _evidence_revocation,
     "circuit_breaker": _evidence_circuit_breaker,
     "health_ranking": _evidence_health_ranking,
+    "sharded_core": _evidence_sharded_core,
 }
 
 
@@ -774,7 +816,7 @@ def run_ablations(config: AblationConfig | None = None,
             overrides = dict(defaults)
             overrides.update(dict(comp.context))
             if comp.knob is not None:
-                overrides[comp.knob] = comp.ablated_state
+                overrides[comp.knob] = comp.ablated_value
             obs = comp.knob is None and comp.ablated_state
             off_run = run_battery(comp.battery, overrides, config, obs=obs)
             base_run = report.baselines[battery_label(comp.battery,

@@ -1,0 +1,335 @@
+"""Shard-aware trial execution: worlds partitioned across processes.
+
+This is the experiment-side face of :mod:`repro.simnet.shard`. Each
+battery world gets a *scenario* — a module-level (spawn-picklable)
+function that builds one shard's slice of the world inside a worker
+process and returns a :class:`~repro.simnet.shard.ShardRun` — plus a
+trial entry point that routes a ``(seed, kwargs)`` through a cached
+:class:`~repro.simnet.shard.ShardedRunner` fleet and merges the
+results.
+
+Composition with the existing trial pool: ``REPRO_WORKERS`` fans seeds
+out across pool workers, ``REPRO_SHARDS`` fans each *world* out across
+shard sub-workers. Pool workers are non-daemonic, so each keeps its own
+warm shard fleet; :func:`repro.simnet.shard.close_all_runners` (wired
+to ``atexit``) reaps them.
+
+Determinism contract (test-enforced):
+
+* **Figure 3** — the local testbed is single-AS, so every slice plan
+  collapses to one populated shard and the worker runs the standard
+  engine to drain: sharded PLTs are bit-identical to serial for any
+  shard count, jitter included.
+* **Remote worlds** — multi-AS plans genuinely split the world. Each
+  shard draws from its own ``Network(seed)`` RNG stream, so exactness
+  against serial holds whenever the only RNG consumers live in one
+  shard: jitter-free calibrations with the fast path pinned off (the
+  shard determinism tests run exactly that configuration). Jittered
+  sharded runs are *self*-deterministic — the same ``(plan, seed)``
+  always yields the same sample.
+
+``python -m repro.experiments.sharded --selftest`` is the <10 s
+``make verify`` gate: figure-3 serial vs ``shards=2`` per-sample
+equality plus a jitter-free remote cross-check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.simnet.shard import (ShardContext, ShardPlan, ShardRun,
+                                ShardTrialOutcome, partition, resolve_shards,
+                                runner_for)
+
+__all__ = [
+    "topology_plan", "local_plan", "remote_plan",
+    "local_scenario", "remote_scenario", "fault_scenario",
+    "sharded_figure3_trial", "sharded_remote_trial", "sharded_fault_trial",
+    "main",
+]
+
+
+def topology_plan(topology, shards: int) -> ShardPlan:
+    """Partition an AS topology's graph into (at most) ``shards``.
+
+    Keys are the topology's ASes, edges its inter-AS links weighted by
+    propagation latency — the conservative lookahead bound.
+    """
+    keys = [info.isd_as for info in topology.ases()]
+    edges = [(link.a, link.b, link.latency_ms)
+             for link in topology.links()]
+    return partition(keys, edges, shards)
+
+
+def local_plan(shards: int) -> ShardPlan:
+    """The figure-3 laptop plan (single AS → one populated shard)."""
+    from repro.topology.defaults import local_testbed
+
+    return topology_plan(local_testbed(), shards)
+
+
+def remote_plan(shards: int) -> ShardPlan:
+    """The distributed-testbed plan (seven ASes across three ISDs)."""
+    from repro.topology.defaults import remote_testbed
+
+    topology, _ases = remote_testbed()
+    return topology_plan(topology, shards)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios (module-level: spawned workers import them by reference)
+# ---------------------------------------------------------------------------
+
+
+def _world_run(internet, browser, page, tracer=None) -> ShardRun:
+    """Wrap a built world slice in the worker-side run contract.
+
+    The shard owning the client starts the page load as a plain loop
+    process — the conservative coordinator, not ``run_process``, drives
+    the loop — and harvests its result at collect time. Server-only
+    shards contribute no result fields.
+    """
+    process = None
+    if browser is not None:
+        process = internet.loop.process(browser.load(page))
+
+    def collect() -> dict:
+        if process is None:
+            return {}
+        if not process.triggered:
+            from repro.errors import SimulationError
+
+            raise SimulationError(
+                "page load did not finish before the fleet drained")
+        if process.exception is not None:
+            raise process.exception
+        result = process.value
+        return {
+            "plt_ms": result.plt_ms,
+            "ok_count": result.ok_count,
+            "failover_count": result.failover_count,
+            "fallback_count": result.fallback_count,
+        }
+
+    stats = None
+    if tracer is not None:
+        stats = lambda: {"metrics": tracer.metrics.snapshot()}  # noqa: E731
+    return ShardRun(network=internet.network, collect=collect, stats=stats)
+
+
+def local_scenario(ctx: ShardContext, seed: int, condition: str,
+                   n_resources: int, calibration=None,
+                   obs: bool = False) -> ShardRun:
+    """One shard's slice of a figure-3 laptop world."""
+    from repro.experiments.local_setup import (DEFAULT_CALIBRATION,
+                                               build_local_world, make_page)
+
+    calibration = calibration or DEFAULT_CALIBRATION
+    page = make_page(condition, n_resources, seed)
+    world = build_local_world(
+        page, seed, calibration=calibration,
+        extension_enabled=condition != "BGP/IP-only",
+        strict=condition == "strict-SCION",
+        obs=obs, shard_slice=ctx)
+    return _world_run(world.internet, world.browser, world.page,
+                      world.tracer)
+
+
+def remote_scenario(ctx: ShardContext, seed: int, primary: str,
+                    condition: str, n_resources: int, calibration=None,
+                    obs: bool = False) -> ShardRun:
+    """One shard's slice of a figure-5/6 distributed world."""
+    from repro.experiments.remote_setup import (DEFAULT_REMOTE_CALIBRATION,
+                                                build_remote_world,
+                                                make_remote_page)
+
+    calibration = calibration or DEFAULT_REMOTE_CALIBRATION
+    page = make_remote_page(primary,
+                            multi_origin=condition.startswith("multiple"),
+                            n_resources=n_resources, seed=seed)
+    world = build_remote_world(
+        page, seed, calibration=calibration,
+        extension_enabled=condition.endswith("SCION"),
+        obs=obs, shard_slice=ctx)
+    return _world_run(world.internet, world.browser, world.page,
+                      world.tracer)
+
+
+def fault_scenario(ctx: ShardContext, seed: int, scenario: str, mode: str,
+                   n_resources: int) -> ShardRun:
+    """One shard's slice of a chaos-battery world.
+
+    Every shard arms the fault schedule against its *local* links (both
+    halves of a cut link flip consistently — each direction's egress
+    stub lives with its sender). Revocations propagate shard-locally
+    only, a documented fidelity gap: fault batteries measure recovery
+    behavior and are never bit-compared against serial runs.
+    """
+    from repro.experiments.fault_battery import (_prepare_scenario,
+                                                 build_fault_world)
+
+    world = build_fault_world(seed, n_resources=n_resources,
+                              strict=(mode == "strict"), shard_slice=ctx)
+    _prepare_scenario(world, scenario)
+    return _world_run(world.internet, world.browser, world.page)
+
+
+# ---------------------------------------------------------------------------
+# Trial entry points
+# ---------------------------------------------------------------------------
+
+
+def sharded_figure3_trial(condition: str, seed: int, shards: int,
+                          n_resources: int = 12, calibration=None,
+                          obs: bool = False) -> tuple[float, float]:
+    """One figure-3 trial across a shard fleet → ``(plt_ms, events)``."""
+    plan = local_plan(shards)
+    runner = runner_for(("figure3", plan.n_shards), local_scenario, plan)
+    outcome = runner.run_trial(seed, condition=condition,
+                               n_resources=n_resources,
+                               calibration=calibration, obs=obs)
+    return outcome.results["plt_ms"], float(outcome.events_total)
+
+
+def sharded_remote_trial(primary: str, condition: str, seed: int,
+                         shards: int, n_resources: int = 9,
+                         calibration=None, obs: bool = False
+                         ) -> tuple[float, float]:
+    """One remote trial across a shard fleet → ``(plt_ms, events)``."""
+    plan = remote_plan(shards)
+    runner = runner_for(("remote", plan.n_shards), remote_scenario, plan)
+    outcome = runner.run_trial(seed, primary=primary, condition=condition,
+                               n_resources=n_resources,
+                               calibration=calibration, obs=obs)
+    return outcome.results["plt_ms"], float(outcome.events_total)
+
+
+def sharded_fault_trial(scenario: str, mode: str, seed: int, shards: int,
+                        n_resources: int = 6
+                        ) -> tuple[float, float, float, float, float]:
+    """One chaos trial across a shard fleet; same tuple as
+    :func:`repro.experiments.fault_battery.fault_trial`."""
+    plan = remote_plan(shards)
+    runner = runner_for(("fault", plan.n_shards), fault_scenario, plan)
+    outcome = runner.run_trial(seed, scenario=scenario, mode=mode,
+                               n_resources=n_resources)
+    results = outcome.results
+    total = 1 + n_resources
+    ok = results["ok_count"]
+    return (results["plt_ms"], float(ok), float(results["failover_count"]),
+            float(results["fallback_count"]), float(total - ok))
+
+
+def sharded_trial_outcome(kind: str, seed: int, shards: int,
+                          **kwargs) -> ShardTrialOutcome:
+    """The full merged outcome (stats included) of one sharded trial.
+
+    ``kind`` is ``"figure3"``, ``"remote"``, or ``"fault"``; what the
+    perf workload and the stats-merging tests use when the scalar trial
+    returns above are not enough.
+    """
+    if kind == "figure3":
+        plan, scenario = local_plan(shards), local_scenario
+    elif kind == "remote":
+        plan, scenario = remote_plan(shards), remote_scenario
+    elif kind == "fault":
+        plan, scenario = remote_plan(shards), fault_scenario
+    else:
+        raise ValueError(f"unknown sharded trial kind {kind!r}")
+    runner = runner_for((kind, plan.n_shards), scenario, plan)
+    return runner.run_trial(seed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Determinism selftest (the make-verify gate)
+# ---------------------------------------------------------------------------
+
+
+def selftest(trials: int = 3, shards: int = 2,
+             verbose: bool = True) -> bool:
+    """Serial vs sharded exact sample equality, in a few seconds.
+
+    Two checks: (1) the figure-3 slice — jittered, fast path on, any
+    shard count must be bit-identical because the world is single-AS;
+    (2) one jitter-free, fastpath-off remote seed — the genuinely
+    partitioned world, exact because no RNG consumer crosses the cut.
+    """
+    import dataclasses
+
+    from repro.experiments.local_setup import figure3_trial
+    from repro.experiments.remote_setup import (DEFAULT_REMOTE_CALIBRATION,
+                                                FAR_ORIGIN, remote_trial)
+    from repro.internet.knobs import forced
+    from repro.simnet.fastpath import FASTPATH_ENV
+
+    started = time.perf_counter()
+    ok = True
+    conditions = ("SCION-only", "mixed SCION-IP")
+    seeds = range(100, 100 + trials)
+    for condition in conditions:
+        serial = [figure3_trial(condition, seed, n_resources=6, shards=1)
+                  for seed in seeds]
+        sharded = [figure3_trial(condition, seed, n_resources=6,
+                                 shards=shards)
+                   for seed in seeds]
+        match = serial == sharded
+        ok = ok and match
+        if verbose:
+            status = "ok" if match else "MISMATCH"
+            print(f"figure3 {condition!r:<18} serial vs shards={shards}: "
+                  f"{status} ({serial})")
+            if not match:
+                print(f"  sharded: {sharded}")
+
+    calm = dataclasses.replace(DEFAULT_REMOTE_CALIBRATION,
+                               host_jitter_ms=0.0)
+    with forced(FASTPATH_ENV, False):
+        serial_remote = remote_trial(FAR_ORIGIN, "single origin / SCION",
+                                     500, n_resources=6, calibration=calm,
+                                     shards=1)
+        sharded_remote = remote_trial(FAR_ORIGIN, "single origin / SCION",
+                                      500, n_resources=6, calibration=calm,
+                                      shards=shards)
+    match = serial_remote == sharded_remote
+    ok = ok and match
+    if verbose:
+        status = "ok" if match else "MISMATCH"
+        print(f"remote jitter-free fastpath-off serial vs shards={shards}: "
+              f"{status} ({serial_remote} vs {sharded_remote})")
+        elapsed = time.perf_counter() - started
+        print(f"shard determinism selftest: "
+              f"{'PASS' if ok else 'FAIL'} in {elapsed:.1f}s")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``--selftest`` (the make-verify gate) or a one-off trial."""
+    parser = argparse.ArgumentParser(
+        description="sharded discrete-event execution utilities")
+    parser.add_argument("--selftest", action="store_true",
+                        help="serial vs sharded exact-equality gate")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count (default: REPRO_SHARDS, else 2)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="seeds per condition in the selftest")
+    args = parser.parse_args(argv)
+    shards = args.shards if args.shards is not None else max(
+        2, resolve_shards())
+    if args.selftest:
+        ok = selftest(trials=args.trials, shards=shards)
+        return 0 if ok else 1
+    plt, events = sharded_figure3_trial("mixed SCION-IP", 100,
+                                        shards=shards)
+    print(f"figure3 mixed SCION-IP seed=100 shards={shards}: "
+          f"plt={plt:.2f}ms events={events:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    from repro.simnet.shard import close_all_runners
+
+    code = main()
+    close_all_runners()
+    sys.exit(code)

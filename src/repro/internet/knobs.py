@@ -66,11 +66,57 @@ def resolve_knob(name: str, override: bool | None = None,
     return knob(name, default)
 
 
+def int_knob(name: str, default: int = 1, minimum: int = 1) -> int:
+    """The integer value of environment knob ``name``.
+
+    Unset, empty, or any of :data:`FALSE_SPELLINGS` means ``default``;
+    a non-integer value raises ``ValueError`` (a typo'd width knob must
+    fail loudly, not silently run serial). Values are clamped to
+    ``minimum`` — the count knobs (``REPRO_SHARDS``) treat anything
+    below 1 as 1.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if not value or value in FALSE_SPELLINGS:
+        return default
+    try:
+        return max(minimum, int(value))
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not an integer") from None
+
+
+def resolve_int_knob(name: str, override: int | None = None,
+                     default: int = 1, minimum: int = 1) -> int:
+    """Resolve an integer knob: explicit override, then environment.
+
+    The count twin of :func:`resolve_knob` — ``Internet(shards=4)``
+    beats ``REPRO_SHARDS=2``, and with no override the environment
+    (then ``default``) decides.
+    """
+    if override is not None:
+        return max(minimum, int(override))
+    return int_knob(name, default, minimum)
+
+
+def _spell(value: "bool | str | int") -> str:
+    """The environment spelling of a pinned knob value.
+
+    Booleans keep the historical ``"1"``/``"0"`` spellings; strings and
+    integers (the value-carrying knobs like ``REPRO_SHARDS=2``) pin
+    verbatim.
+    """
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
 @contextmanager
-def forced(name: str, enabled: bool) -> Iterator[None]:
+def forced(name: str, enabled: "bool | str | int") -> Iterator[None]:
     """Pin one knob for the duration of the block, then restore it."""
     previous = os.environ.get(name)
-    os.environ[name] = "1" if enabled else "0"
+    os.environ[name] = _spell(enabled)
     try:
         yield
     finally:
@@ -81,16 +127,19 @@ def forced(name: str, enabled: bool) -> Iterator[None]:
 
 
 @contextmanager
-def forced_many(overrides: Mapping[str, bool]) -> Iterator[None]:
+def forced_many(overrides: "Mapping[str, bool | str | int]"
+                ) -> Iterator[None]:
     """Pin several knobs at once (the ablation harness's toggle set).
 
-    Restores every variable to its previous state on exit, even when
-    the block raises — a failed off-run must not poison later runs.
+    Values may be booleans (``"1"``/``"0"``) or literal strings/ints
+    for value-carrying knobs (``{"REPRO_SHARDS": "2"}``). Restores
+    every variable to its previous state on exit, even when the block
+    raises — a failed off-run must not poison later runs.
     """
     previous: dict[str, str | None] = {
         name: os.environ.get(name) for name in overrides}
     for name, enabled in overrides.items():
-        os.environ[name] = "1" if enabled else "0"
+        os.environ[name] = _spell(enabled)
     try:
         yield
     finally:

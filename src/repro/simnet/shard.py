@@ -1,0 +1,880 @@
+"""Sharded parallel discrete-event execution with conservative lookahead.
+
+The single-loop engine simulates one world on one clock. This module
+converts it into a *coordinated fleet of clocks*: the AS topology is
+partitioned into N shards (:func:`partition`), each shard builds only
+its own routers/hosts/links and runs its own
+:class:`~repro.simnet.events.EventLoop` in a spawn-safe worker process,
+and links whose endpoints land in different shards become
+:class:`CrossShardLink` egress stubs whose packets travel between
+workers as timestamped batches.
+
+Correctness comes from the classic conservative null-message argument
+(Chandy–Misra–Bryant, hub-coordinated): every packet crossing the cut
+from shard *j* to shard *i* takes at least ``L(j→i)`` — the link's
+configured propagation latency, a hard lower bound even under fault
+injection, which only ever *adds* delay or drops packets. The parent
+coordinator therefore grants each shard the exclusive window
+
+    ``grant_i = min over j≠i with cut links j→i of (eff_j + L(j→i))``
+
+where ``eff_j`` is shard *j*'s next pending event time (including
+batches not yet delivered to it). Events strictly before ``grant_i``
+cannot be invalidated by any future arrival, so the shard runs
+:meth:`EventLoop.run_before(grant_i) <repro.simnet.events.EventLoop.
+run_before>` and reports its new horizon. The globally earliest shard
+always receives a grant strictly above its own next event time, so the
+fleet never deadlocks; when every horizon is ``inf`` and no batch is in
+flight, the world is drained.
+
+Determinism: rounds are lock-step, inbound batches are inserted in
+sorted ``(arrival, link name, per-link sequence)`` order, and every
+shard seeds its own ``Network(seed)`` with the world's seed — so a
+sharded run is a pure function of ``(scenario, plan, seed)``. On the
+single-AS Figure 3 world the whole topology lands in one shard and the
+worker runs the standard engine to drain, which makes sharded runs
+bit-identical to serial ones for *any* requested shard count (the
+acceptance bar); multi-AS worlds are exact whenever the RNG-consuming
+sites (host-link jitter, browser overhead draws) are confined to one
+shard — e.g. jitter-free remote worlds (test-enforced).
+
+``REPRO_SHARDS=N`` (or ``Internet(shards=N)`` / explicit ``shards=``
+trial arguments) selects the width; ``1`` keeps the existing
+single-loop engine as the bit-identical oracle.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import multiprocessing
+import os
+import random
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.internet.knobs import int_knob
+from repro.simnet.link import Link, LinkConfig
+from repro.simnet.packet import Packet
+from repro.units import transmission_delay_ms
+
+#: Environment knob selecting the shard count (default 1 = serial).
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: A packet on the cut, parent-routed between workers:
+#: ``(arrival_ms, link_name, link_seq, dst_node, dst_port, packet)``.
+Wire = tuple[float, str, int, str, int, Packet]
+
+
+class ShardError(SimulationError):
+    """A worker died, timed out, or broke protocol mid-trial."""
+
+
+def resolve_shards(override: int | None = None) -> int:
+    """The effective shard count: explicit override, then environment.
+
+    Always at least 1 (serial). Mirrors
+    :func:`repro.experiments.harness.resolve_workers` for the trial
+    pool: the two knobs compose — the trial pool fans seeds out, each
+    trial fans its world out.
+    """
+    from repro.internet.knobs import resolve_int_knob
+
+    return resolve_int_knob(SHARDS_ENV, override, default=1, minimum=1)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """One topology edge whose endpoints live in different shards."""
+
+    a: Any
+    b: Any
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic assignment of topology keys to shards.
+
+    ``n_shards`` is the *effective* count — never more than the number
+    of keys, so requesting 4 shards of a single-AS world yields one
+    populated shard (and bit-identical execution, trivially).
+    """
+
+    n_shards: int
+    assignment: dict[Any, int]
+    cut_edges: tuple[CutEdge, ...]
+
+    def shard_of(self, key: Any) -> int:
+        """The shard owning ``key``."""
+        return self.assignment[key]
+
+    def lookahead_between(self) -> dict[tuple[int, int], float]:
+        """Minimum cut latency per directed shard pair ``(src, dst)``."""
+        lookahead: dict[tuple[int, int], float] = {}
+        for edge in self.cut_edges:
+            sa, sb = self.assignment[edge.a], self.assignment[edge.b]
+            for pair in ((sa, sb), (sb, sa)):
+                held = lookahead.get(pair)
+                if held is None or edge.latency_ms < held:
+                    lookahead[pair] = edge.latency_ms
+        return lookahead
+
+    def lookahead_into(self, shard: int) -> float:
+        """The minimum latency of ``shard``'s inbound cut links
+        (``inf`` when nothing can ever arrive)."""
+        return min((latency for (_src, dst), latency
+                    in self.lookahead_between().items() if dst == shard),
+                   default=math.inf)
+
+    def validate(self) -> None:
+        """Reject plans the conservative protocol cannot execute."""
+        if self.n_shards < 1:
+            raise ShardError("a plan needs at least one shard")
+        for edge in self.cut_edges:
+            if edge.latency_ms <= 0.0:
+                raise ShardError(
+                    f"cut edge {edge.a}~{edge.b} has zero latency — "
+                    f"no conservative lookahead exists across it")
+        used = set(self.assignment.values())
+        if used != set(range(self.n_shards)):
+            raise ShardError(f"shard ids not contiguous: {sorted(used)}")
+
+
+def partition(keys: list[Any], edges: list[tuple[Any, Any, float]],
+              n_shards: int) -> ShardPlan:
+    """Split ``keys`` into balanced shards, minimizing cut edges.
+
+    A deterministic min-cut-ish heuristic, not an optimal partitioner:
+    greedy farthest-point seeding, affinity-driven balanced growth
+    (each unassigned key joins the shard it shares the most edges
+    with, capped at ``ceil(n/k)`` members), then a few
+    Kernighan–Lin-style refinement passes that move a key when doing so
+    strictly reduces the cut (tie-broken toward a *larger* minimum cut
+    latency, i.e. more lookahead). Output depends only on the inputs —
+    the parent and every worker must agree on the plan byte for byte.
+    """
+    ordered = sorted(dict.fromkeys(keys), key=str)
+    if not ordered:
+        raise ShardError("cannot partition an empty key set")
+    effective = max(1, min(n_shards, len(ordered)))
+    if effective == 1:
+        return ShardPlan(n_shards=1,
+                         assignment={key: 0 for key in ordered},
+                         cut_edges=())
+
+    adjacency: dict[Any, dict[Any, tuple[int, float]]] = {
+        key: {} for key in ordered}
+    for a, b, latency in edges:
+        if a == b or a not in adjacency or b not in adjacency:
+            continue
+        for x, y in ((a, b), (b, a)):
+            count, best = adjacency[x].get(y, (0, math.inf))
+            adjacency[x][y] = (count + 1, min(best, latency))
+
+    def hop_distances(source: Any) -> dict[Any, int]:
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt: list[Any] = []
+            for node in frontier:
+                for peer in sorted(adjacency[node], key=str):
+                    if peer not in dist:
+                        dist[peer] = dist[node] + 1
+                        nxt.append(peer)
+            frontier = nxt
+        return dist
+
+    # Farthest-point seeding: spread the initial shard centers out.
+    seeds = [ordered[0]]
+    distances = [hop_distances(ordered[0])]
+    while len(seeds) < effective:
+        best_key, best_score = None, (-1.0, "")
+        for key in ordered:
+            if key in seeds:
+                continue
+            nearest = min(d.get(key, math.inf) for d in distances)
+            score = (nearest if nearest != math.inf else len(ordered) + 1,
+                     str(key))
+            if best_key is None or score > best_score:
+                best_key, best_score = key, score
+        seeds.append(best_key)
+        distances.append(hop_distances(best_key))
+
+    cap = math.ceil(len(ordered) / effective)
+    assignment: dict[Any, int] = {seed: idx
+                                  for idx, seed in enumerate(seeds)}
+    sizes = [1] * effective
+    while len(assignment) < len(ordered):
+        best: tuple[float, int, str, int] | None = None
+        best_pick: tuple[Any, int] | None = None
+        for key in ordered:
+            if key in assignment:
+                continue
+            for shard in range(effective):
+                if sizes[shard] >= cap:
+                    continue
+                affinity = sum(
+                    count for peer, (count, _lat) in adjacency[key].items()
+                    if assignment.get(peer) == shard)
+                # Highest affinity wins; then the smaller shard; then
+                # stable name order.
+                score = (-affinity, sizes[shard], str(key), shard)
+                if best is None or score < best:
+                    best, best_pick = score, (key, shard)
+        if best_pick is None:  # every shard at cap (can't happen) — guard
+            best_pick = (next(k for k in ordered if k not in assignment),
+                         sizes.index(min(sizes)))
+        key, shard = best_pick
+        assignment[key] = shard
+        sizes[shard] += 1
+
+    def cut_stats(assign: dict[Any, int]) -> tuple[int, float]:
+        cut, min_latency = 0, math.inf
+        for a, b, latency in edges:
+            if a in assign and b in assign and assign[a] != assign[b]:
+                cut += 1
+                min_latency = min(min_latency, latency)
+        return cut, min_latency
+
+    floor = len(ordered) // effective
+    for _ in range(4):
+        moved = False
+        for key in ordered:
+            src = assignment[key]
+            if sizes[src] <= max(1, floor):
+                continue
+            here_cut, here_lat = cut_stats(assignment)
+            best_move: tuple[int, float, int] | None = None
+            for shard in range(effective):
+                if shard == src or sizes[shard] >= cap:
+                    continue
+                assignment[key] = shard
+                cut, lat = cut_stats(assignment)
+                assignment[key] = src
+                candidate = (cut, -lat, shard)
+                if (cut, -lat) < (here_cut, -here_lat) and (
+                        best_move is None or candidate < best_move):
+                    best_move = candidate
+            if best_move is not None:
+                _cut, _lat, shard = best_move
+                assignment[key] = shard
+                sizes[src] -= 1
+                sizes[shard] += 1
+                moved = True
+        if not moved:
+            break
+
+    # Renumber shards by their smallest member so ids are stable.
+    order = sorted(range(effective),
+                   key=lambda s: min(str(k) for k, v in assignment.items()
+                                     if v == s))
+    renumber = {old: new for new, old in enumerate(order)}
+    assignment = {key: renumber[shard]
+                  for key, shard in assignment.items()}
+
+    cuts = tuple(CutEdge(a=a, b=b, latency_ms=latency)
+                 for a, b, latency in edges
+                 if a in assignment and b in assignment
+                 and assignment[a] != assignment[b])
+    plan = ShardPlan(n_shards=effective, assignment=assignment,
+                     cut_edges=cuts)
+    plan.validate()
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard links
+# ---------------------------------------------------------------------------
+
+
+class ExchangeOutbox:
+    """Per-worker buffer of packets bound for other shards."""
+
+    __slots__ = ("_by_shard",)
+
+    def __init__(self) -> None:
+        self._by_shard: dict[int, list[Wire]] = {}
+
+    def append(self, shard: int, item: Wire) -> None:
+        self._by_shard.setdefault(shard, []).append(item)
+
+    def drain(self) -> dict[int, list[Wire]]:
+        """Take everything buffered so far (the per-round exchange)."""
+        drained, self._by_shard = self._by_shard, {}
+        return drained
+
+    def pending(self) -> int:
+        """Batched items not yet drained (0 after every round)."""
+        return sum(len(items) for items in self._by_shard.values())
+
+
+class RemoteEndpoint:
+    """Name-only stand-in for a node owned by another shard.
+
+    Deliberately exposes *no* ``isd_as`` or ``host_ports`` attributes:
+    the hybrid-fidelity fast path's route resolver treats any hop whose
+    node lacks the expected attributes as unroutable, so transfers that
+    would cross the cut cleanly fall back to packet-level simulation
+    (which the exchange protocol carries) without special-casing.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def receive(self, packet: Packet, port: int) -> None:
+        raise ShardError(
+            f"remote endpoint {self.name} cannot receive locally")
+
+
+class CrossShardLink(Link):
+    """The local half of a link whose far end lives in another shard.
+
+    Egress only: :meth:`transmit` applies the same admission checks and
+    delay model as :class:`~repro.simnet.link.Link` (admin state, MTU,
+    loss, FIFO serialization, propagation + jitter) but buffers the
+    timestamped result in the shard's :class:`ExchangeOutbox` instead
+    of scheduling a local delivery. Inbound packets never pass through
+    the stub — the worker schedules them straight onto the destination
+    node, so each direction of a cut link is owned by its sender's
+    shard (fault injection on either half stays consistent: each shard
+    flips its own egress).
+
+    Loss and jitter draw from a dedicated per-link RNG seeded by
+    ``(world seed, link name)`` rather than the shard's ``network.rng``
+    — cut links on exactness-contract worlds are loss- and jitter-free,
+    so the stream is untouched there, and fault batteries (the only
+    consumers) stay deterministic per seed without coupling shards.
+    """
+
+    def __init__(self, loop, local, local_port: int, remote_name: str,
+                 remote_port: int, dst_shard: int, config: LinkConfig,
+                 outbox: ExchangeOutbox, name: str = "", trace=None,
+                 seed: int = 0) -> None:
+        rng = random.Random(f"xshard:{seed}:{name or remote_name}")
+        super().__init__(loop, rng, local, local_port,
+                         RemoteEndpoint(remote_name), remote_port,
+                         config, name=name, trace=trace)
+        self.dst_shard = dst_shard
+        self.outbox = outbox
+        self._local_name = local.name
+        self._remote_name = remote_name
+        self._remote_port = remote_port
+        self._link_seq = 0
+
+    def transmit(self, packet: Packet, sender_name: str) -> None:
+        """Send toward the remote shard (egress direction only)."""
+        if sender_name != self._local_name:
+            raise ShardError(
+                f"{sender_name} cannot transmit on {self.name}: only "
+                f"{self._local_name} is local to this shard")
+        cfg = self.config
+        if not self._up:
+            self.packets_dropped += 1
+            self._record("drop-down", packet)
+            return
+        if packet.size > cfg.mtu:
+            self.packets_dropped += 1
+            self._record("drop-mtu", packet)
+            return
+        loss_rate = cfg.loss_rate + self._extra_loss_rate
+        if loss_rate > 0.0 and self.rng.random() < loss_rate:
+            self.packets_dropped += 1
+            self._record("drop-loss", packet)
+            return
+
+        serialization = transmission_delay_ms(packet.size,
+                                              cfg.bandwidth_mbps)
+        start = max(self.loop.now, self._tx_free_at[sender_name])
+        tx_done = start + serialization
+        self._tx_free_at[sender_name] = tx_done
+        jitter_bound = cfg.jitter_ms + self._extra_jitter_ms
+        jitter = (self.rng.uniform(0.0, jitter_bound)
+                  if jitter_bound > 0 else 0.0)
+        arrival = tx_done + cfg.latency_ms + self._extra_latency_ms + jitter
+
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self._record("send", packet)
+        packet.hops += 1
+        self._link_seq += 1
+        self.outbox.append(self.dst_shard,
+                           (arrival, self.name, self._link_seq,
+                            self._remote_name, self._remote_port, packet))
+
+
+# ---------------------------------------------------------------------------
+# The scenario contract
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """What a scenario builder receives inside a worker process."""
+
+    plan: ShardPlan
+    shard_id: int
+    outbox: ExchangeOutbox
+    seed: int
+
+    def owns(self, key: Any) -> bool:
+        """Whether this worker's shard owns topology key ``key``."""
+        return self.plan.shard_of(key) == self.shard_id
+
+
+@dataclass
+class ShardRun:
+    """What a scenario returns: the shard's world plus hooks.
+
+    ``collect`` runs after the fleet drains and returns this shard's
+    result fields (e.g. ``{"plt_ms": ...}`` from the shard owning the
+    client; ``{}`` elsewhere); ``stats`` optionally contributes extra
+    per-shard stats (a metrics snapshot, trace-derived link bytes) on
+    top of the standard events/link/snapshot accounting.
+    """
+
+    network: Any
+    collect: Callable[[], dict] = field(default=dict)
+    stats: Callable[[], dict] | None = None
+
+
+#: A picklable scenario: ``scenario(ctx, seed, **kwargs) -> ShardRun``.
+Scenario = Callable[..., ShardRun]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _apply_repro_env(env: dict[str, str]) -> None:
+    """Mirror the parent's ``REPRO_*`` environment inside the worker.
+
+    Long-lived workers outlive knob flips in the parent (the ablation
+    harness pins knobs per trial), so every trial message carries the
+    parent's current view and the worker resets to it — unknown
+    ``REPRO_*`` variables are removed, not just overwritten.
+    """
+    for name in [k for k in os.environ if k.startswith("REPRO_")]:
+        if name not in env:
+            del os.environ[name]
+    os.environ.update(env)
+
+
+def _insert_inbound(network, items: list[Wire]) -> None:
+    """Schedule cross-shard arrivals onto this shard's loop.
+
+    Sorted by ``(arrival, link name, per-link sequence)`` so insertion
+    order — and therefore heap tie-breaking — is independent of how the
+    coordinator happened to batch the items. Per-link FIFO is preserved
+    by the sequence component.
+    """
+    loop = network.loop
+    nodes = network.nodes
+    for arrival, _link, _seq, node_name, port, packet in sorted(
+            items, key=lambda wire: (wire[0], wire[1], wire[2])):
+        loop.call_at(arrival, nodes[node_name].receive, packet, port)
+
+
+def _shard_stats(run: ShardRun, snapshot_base: dict[str, int]) -> dict:
+    """The standard per-shard stats block shipped back to the parent."""
+    from repro.internet import snapshot as snapshot_mod
+
+    network = run.network
+    stats = {
+        "events": network.loop.events_processed,
+        "links": {
+            link.name: {"packets_sent": link.packets_sent,
+                        "packets_dropped": link.packets_dropped,
+                        "bytes_sent": link.bytes_sent}
+            for link in network.links},
+        "snapshot": snapshot_mod.stats.delta_since(snapshot_base),
+    }
+    if run.stats is not None:
+        stats.update(run.stats())
+    return stats
+
+
+def _shard_worker_main(conn, scenario: Scenario, plan: ShardPlan,
+                       shard_id: int) -> None:
+    """Worker entry point: serve BUILD → GRANT* → COLLECT per trial."""
+    import traceback
+
+    from repro.internet import snapshot as snapshot_mod
+
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                conn.close()
+                return
+            if kind != "trial":
+                conn.send(("error", f"unexpected message {kind!r}"))
+                continue
+            _, seed, env, kwargs = message
+            try:
+                _apply_repro_env(env)
+                snapshot_base = snapshot_mod.stats.as_dict()
+                outbox = ExchangeOutbox()
+                ctx = ShardContext(plan=plan, shard_id=shard_id,
+                                   outbox=outbox, seed=seed)
+                run = scenario(ctx, seed, **kwargs)
+                loop = run.network.loop
+                conn.send(("built", loop.next_event_time(),
+                           outbox.drain()))
+                while True:
+                    message = conn.recv()
+                    if message[0] == "grant":
+                        _, horizon, inbound = message
+                        if inbound:
+                            _insert_inbound(run.network, inbound)
+                        loop.run_before(horizon)
+                        conn.send(("ran", loop.next_event_time(),
+                                   outbox.drain()))
+                    elif message[0] == "collect":
+                        if outbox.pending():
+                            raise ShardError(
+                                f"shard {shard_id} still holds "
+                                f"{outbox.pending()} undrained batches "
+                                f"at collect")
+                        if loop.next_event_time() != math.inf:
+                            raise ShardError(
+                                f"shard {shard_id} collected with "
+                                f"pending events at "
+                                f"{loop.next_event_time()}")
+                        conn.send(("done", run.collect(),
+                                   _shard_stats(run, snapshot_base)))
+                        break
+                    elif message[0] == "stop":
+                        conn.close()
+                        return
+                    else:
+                        raise ShardError(
+                            f"unexpected mid-trial message "
+                            f"{message[0]!r}")
+                del run
+            except Exception:  # noqa: BLE001 — shipped to the parent
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardTrialOutcome:
+    """One sharded trial's merged results and per-shard stats."""
+
+    results: dict
+    shard_stats: list[dict]
+    rounds: int
+
+    @property
+    def events_total(self) -> int:
+        """Loop events summed across every shard (the serial twin of
+        ``loop.events_processed``)."""
+        return sum(stats.get("events", 0) for stats in self.shard_stats)
+
+    def merged_links(self) -> dict[str, dict[str, int]]:
+        """Per-link counters summed across shards.
+
+        Both halves of a cut link share a name and each counts its own
+        egress direction, so the sum matches the serial single-object
+        counters.
+        """
+        merged: dict[str, dict[str, int]] = {}
+        for stats in self.shard_stats:
+            for name, counters in stats.get("links", {}).items():
+                row = merged.setdefault(name, {"packets_sent": 0,
+                                               "packets_dropped": 0,
+                                               "bytes_sent": 0})
+                for key, value in counters.items():
+                    row[key] = row.get(key, 0) + value
+        return merged
+
+    def merged_metrics(self) -> dict:
+        """Per-shard ``MetricsRegistry`` snapshots merged into one
+        (counters/histograms summed, gauges summed — each label set is
+        owned by exactly one shard)."""
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots([stats["metrics"]
+                                for stats in self.shard_stats
+                                if stats.get("metrics") is not None])
+
+
+#: Every live runner, for leak accounting (the chaos soak asserts the
+#: fleet is empty after teardown).
+_active_runners: "weakref.WeakSet[ShardedRunner]" = weakref.WeakSet()
+
+
+def active_worker_count() -> int:
+    """Live shard worker processes across every runner."""
+    return sum(1 for runner in _active_runners
+               for proc in runner._procs if proc.is_alive())
+
+
+def pending_batch_count() -> int:
+    """Cross-shard batches still buffered in any parent coordinator."""
+    return sum(runner.pending_batches for runner in _active_runners)
+
+
+class ShardedRunner:
+    """A persistent fleet of shard workers executing trials.
+
+    Spawning a worker per shard costs real wall-clock, so a runner is
+    built once per ``(scenario, plan)`` and reused across seeds: each
+    :meth:`run_trial` sends BUILD (the worker constructs a fresh world
+    slice from the seed), coordinates conservative grant rounds until
+    every shard drains, then COLLECTs results and stats. Use
+    :func:`runner_for` to share runners process-wide; always
+    :meth:`close` (or rely on the atexit hook) so no worker outlives
+    the experiment.
+    """
+
+    def __init__(self, scenario: Scenario, plan: ShardPlan) -> None:
+        plan.validate()
+        self.plan = plan
+        self.scenario = scenario
+        self.pending_batches = 0
+        self._lookahead = plan.lookahead_between()
+        self._closed = False
+        ctx = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        try:
+            for shard_id in range(plan.n_shards):
+                parent_end, child_end = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_end, scenario, plan, shard_id),
+                    daemon=True,
+                    name=f"repro-shard-{shard_id}")
+                proc.start()
+                child_end.close()
+                self._conns.append(parent_end)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+        _active_runners.add(self)
+
+    @property
+    def alive(self) -> bool:
+        """All workers up and the runner not closed."""
+        return (not self._closed
+                and all(proc.is_alive() for proc in self._procs))
+
+    # -- coordination ------------------------------------------------------
+
+    def _recv(self, shard_id: int, timeout: float):
+        conn = self._conns[shard_id]
+        if not conn.poll(timeout):
+            raise ShardError(
+                f"shard {shard_id} sent nothing for {timeout:.0f}s "
+                f"(alive={self._procs[shard_id].is_alive()})")
+        try:
+            return conn.recv()
+        except EOFError:
+            raise ShardError(
+                f"shard {shard_id} died "
+                f"(exitcode={self._procs[shard_id].exitcode})") from None
+
+    def _activity_bounds(self, eff: list[float]) -> list[float]:
+        """When each shard can next *do* anything, transitively.
+
+        ``eff`` alone is not a safe sender bound: a shard with no
+        pending events (``eff=inf``) still wakes when someone else's
+        packets reach it, and its replies then constrain the original
+        sender — the client/server round trip is the canonical case.
+        Bellman–Ford over the shard graph closes the chain: every
+        activity at shard *k* traces back to some shard's current
+        ``eff`` plus the cut latencies along the way, and cut latencies
+        are strictly positive (plan-validated), so a shard's own grant
+        always lands strictly above its own horizon.
+        """
+        bounds = list(eff)
+        for _ in range(len(bounds)):
+            changed = False
+            for (src, dst), latency in self._lookahead.items():
+                candidate = bounds[src] + latency
+                if candidate < bounds[dst]:
+                    bounds[dst] = candidate
+                    changed = True
+            if not changed:
+                break
+        return bounds
+
+    def _grant_for(self, shard: int, bounds: list[float]) -> float:
+        grant = math.inf
+        for (src, dst), latency in self._lookahead.items():
+            if dst == shard:
+                grant = min(grant, bounds[src] + latency)
+        return grant
+
+    def run_trial(self, seed: int, timeout: float = 300.0,
+                  max_rounds: int = 1_000_000,
+                  **kwargs) -> ShardTrialOutcome:
+        """Execute one seed across the fleet; returns merged outcome.
+
+        Any worker error tears the whole runner down (the surviving
+        workers are mid-round and unrecoverable); the cached-runner
+        layer respawns a fresh fleet on the next trial.
+        """
+        if self._closed:
+            raise ShardError("runner is closed")
+        n = self.plan.n_shards
+        env = {name: value for name, value in os.environ.items()
+               if name.startswith("REPRO_")}
+        next_times = [math.inf] * n
+        pending: list[list[Wire]] = [[] for _ in range(n)]
+
+        def absorb(shard_id: int, expect: str) -> None:
+            message = self._recv(shard_id, timeout)
+            if message[0] == "error":
+                raise ShardError(
+                    f"shard {shard_id} failed:\n{message[1]}")
+            if message[0] != expect:
+                raise ShardError(
+                    f"shard {shard_id}: expected {expect!r}, got "
+                    f"{message[0]!r}")
+            next_times[shard_id] = message[1]
+            for dst, items in message[2].items():
+                pending[dst].extend(items)
+
+        try:
+            for conn in self._conns:
+                conn.send(("trial", seed, env, kwargs))
+            for shard_id in range(n):
+                absorb(shard_id, "built")
+
+            rounds = 0
+            while True:
+                eff = [min(next_times[i],
+                           min((wire[0] for wire in pending[i]),
+                               default=math.inf))
+                       for i in range(n)]
+                self.pending_batches = sum(len(p) for p in pending)
+                if all(value == math.inf for value in eff):
+                    break
+                bounds = self._activity_bounds(eff)
+                grants = [self._grant_for(i, bounds) for i in range(n)]
+                for i in range(n):
+                    self._conns[i].send(("grant", grants[i], pending[i]))
+                    pending[i] = []
+                for i in range(n):
+                    absorb(i, "ran")
+                rounds += 1
+                if rounds > max_rounds:
+                    raise ShardError(
+                        f"exceeded {max_rounds} grant rounds; "
+                        f"livelocked lookahead?")
+
+            self.pending_batches = 0
+            results: dict = {}
+            shard_stats: list[dict] = []
+            for conn in self._conns:
+                conn.send(("collect",))
+            for shard_id in range(n):
+                message = self._recv(shard_id, timeout)
+                if message[0] == "error":
+                    raise ShardError(
+                        f"shard {shard_id} failed at collect:\n"
+                        f"{message[1]}")
+                results.update(message[1])
+                shard_stats.append(message[2])
+        except Exception:
+            self.close()
+            raise
+
+        from repro.internet import snapshot as snapshot_mod
+
+        for stats in shard_stats:
+            snapshot_mod.stats.merge(stats.get("snapshot", {}))
+        return ShardTrialOutcome(results=results, shard_stats=shard_stats,
+                                 rounds=rounds)
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker, escalating politely: stop → terminate →
+        kill. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout)
+            if proc.is_alive():  # pragma: no cover — last resort
+                proc.kill()
+                proc.join(timeout)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self.pending_batches = 0
+        _active_runners.discard(self)
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Process-wide runner cache
+# ---------------------------------------------------------------------------
+
+_runner_cache: dict[Any, ShardedRunner] = {}
+
+
+def runner_for(key: Any, scenario: Scenario,
+               plan: ShardPlan) -> ShardedRunner:
+    """A live cached runner for ``key``, respawning dead fleets.
+
+    Trial-pool workers call this per trial; the first call pays the
+    spawn, later seeds reuse the warm fleet (mirroring the shared
+    trial pool in :mod:`repro.experiments.harness`).
+    """
+    runner = _runner_cache.get(key)
+    if runner is not None and runner.alive:
+        return runner
+    if runner is not None:
+        runner.close()
+    runner = ShardedRunner(scenario, plan)
+    _runner_cache[key] = runner
+    return runner
+
+
+def close_all_runners() -> None:
+    """Tear down every cached runner (tests and atexit)."""
+    for runner in list(_runner_cache.values()):
+        runner.close()
+    _runner_cache.clear()
+    for runner in list(_active_runners):
+        runner.close()
+
+
+atexit.register(close_all_runners)

@@ -1,0 +1,177 @@
+"""Experiment-level sharding: knob routing, stats merging, ablation.
+
+The cross-process stats contract this file pins: counters produced
+inside shard workers — loop events, per-link packet/byte counts,
+``SnapshotStats``, ``MetricsRegistry`` snapshots — must aggregate into
+the parent's report so a sharded run and a serial run describe the
+same world with the same numbers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import sharded
+from repro.internet import snapshot
+from repro.internet.knobs import forced
+from repro.simnet import shard
+from repro.simnet.fastpath import FASTPATH_ENV
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_fleets():
+    yield
+    shard.close_all_runners()
+    assert shard.active_worker_count() == 0
+    assert shard.pending_batch_count() == 0
+
+
+def _calm_remote_calibration():
+    from repro.experiments.remote_setup import DEFAULT_REMOTE_CALIBRATION
+
+    return dataclasses.replace(DEFAULT_REMOTE_CALIBRATION,
+                               host_jitter_ms=0.0)
+
+
+class TestKnobRouting:
+    def test_env_knob_routes_figure3_through_the_fleet(self, monkeypatch):
+        from repro.experiments.local_setup import figure3_trial
+
+        monkeypatch.delenv(shard.SHARDS_ENV, raising=False)
+        serial = figure3_trial("mixed SCION-IP", 100, n_resources=6)
+        monkeypatch.setenv(shard.SHARDS_ENV, "2")
+        routed = figure3_trial("mixed SCION-IP", 100, n_resources=6)
+        assert routed == serial
+        assert shard.active_worker_count() > 0
+
+    def test_internet_records_the_resolved_width(self, monkeypatch):
+        from repro.internet.build import Internet
+        from repro.topology.defaults import local_testbed
+
+        monkeypatch.setenv(shard.SHARDS_ENV, "3")
+        assert Internet(local_testbed(), seed=0).shards == 3
+        assert Internet(local_testbed(), seed=0, shards=2).shards == 2
+
+    def test_plans_are_deterministic(self):
+        assert sharded.remote_plan(2) == sharded.remote_plan(2)
+        assert sharded.local_plan(4).n_shards == 1  # single-AS world
+
+
+class TestStatsMerging:
+    """Satellite: cross-process counters sum into the parent report."""
+
+    def test_events_and_links_sum_across_shards(self):
+        with forced(FASTPATH_ENV, False):
+            outcome = sharded.sharded_trial_outcome(
+                "remote", 500, shards=2,
+                primary="far.example", condition="single origin / SCION",
+                n_resources=6, calibration=_calm_remote_calibration())
+        assert len(outcome.shard_stats) == 2
+        per_shard = [stats["events"] for stats in outcome.shard_stats]
+        assert all(events > 0 for events in per_shard), \
+            "every shard should have executed events"
+        assert outcome.events_total == sum(per_shard)
+        merged = outcome.merged_links()
+        # Both halves of each cut link report under one serial name.
+        names = [name for stats in outcome.shard_stats
+                 for name in stats["links"]]
+        assert len(names) > len(merged) or len(set(names)) == len(names)
+        assert sum(row["packets_sent"] for row in merged.values()) == sum(
+            counters["packets_sent"]
+            for stats in outcome.shard_stats
+            for counters in stats["links"].values())
+
+    def test_snapshot_stats_flow_back_to_the_parent(self):
+        before = snapshot.stats.as_dict()
+        sharded.sharded_figure3_trial("SCION-only", 321, shards=2,
+                                      n_resources=4)
+        after = snapshot.stats.as_dict()
+        assert sum(after.values()) > sum(before.values()), \
+            "worker snapshot activity never merged into the parent"
+
+    def test_traced_metrics_merge_equals_serial_snapshot(self):
+        from repro.experiments.local_setup import (figure3_trial_events,
+                                                   make_page,
+                                                   build_local_world,
+                                                   load_once)
+
+        page = make_page("mixed SCION-IP", 6, 77)
+        world = build_local_world(page, 77, obs=True)
+        load_once(world)
+        serial_metrics = world.tracer.metrics.snapshot()
+
+        outcome = sharded.sharded_trial_outcome(
+            "figure3", 77, shards=2, condition="mixed SCION-IP",
+            n_resources=6, obs=True)
+        assert outcome.merged_metrics() == serial_metrics
+
+    def test_merge_snapshots_sums_disjoint_and_shared_keys(self):
+        from repro.obs.metrics import merge_snapshots
+
+        left = {"counters": {"pkts{link=a}": 2.0}, "gauges": {},
+                "histograms": {}}
+        right = {"counters": {"pkts{link=a}": 3.0, "pkts{link=b}": 1.0},
+                 "gauges": {"depth{q=x}": 4.0}, "histograms": {}}
+        merged = merge_snapshots([left, right])
+        assert merged["counters"] == {"pkts{link=a}": 5.0,
+                                      "pkts{link=b}": 1.0}
+        assert merged["gauges"] == {"depth{q=x}": 4.0}
+
+    def test_registry_merge_snapshot_roundtrips(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        source = MetricsRegistry()
+        source.counter("pkts", link="a").inc(5)
+        source.gauge("depth", q="x").set(2.0)
+        source.histogram("lat_ms", (1.0, 10.0), op="get").observe(3.5)
+
+        target = MetricsRegistry()
+        target.counter("pkts", link="a").inc(1)
+        target.merge_snapshot(source.snapshot())
+        merged = target.snapshot()
+        assert merged["counters"]["pkts{link=a}"] == 6.0
+        assert merged["gauges"]["depth{q=x}"] == 2.0
+        assert merged["histograms"]["lat_ms{op=get}"]["count"] == 1
+
+    def test_snapshot_stats_delta_and_merge(self):
+        stats = snapshot.SnapshotStats()
+        stats.hits, stats.misses = 4, 1
+        base = stats.as_dict()
+        stats.hits += 2
+        stats.bypasses += 3
+        delta = stats.delta_since(base)
+        assert delta == {"hits": 2, "misses": 0, "bypasses": 3,
+                         "evictions": 0}
+        other = snapshot.SnapshotStats()
+        other.merge(delta)
+        assert other.hits == 2 and other.bypasses == 3
+
+
+class TestAblationRegistration:
+    """Satellite: the sharded core is a first-class ablation component."""
+
+    def test_component_is_registered(self):
+        from repro.experiments import ablations2
+
+        comp = ablations2.component("sharded_core")
+        assert comp.knob == shard.SHARDS_ENV
+        assert comp.contract == ablations2.BIT_IDENTICAL
+        assert comp.battery == ablations2.FIGURE3
+        assert comp.default_on is False
+        assert comp.default_value == "1"
+        assert comp.ablated_value == "2"
+        assert "wallclock_ms" in comp.metrics
+        assert "sharded_core" in ablations2.EVIDENCE_PROBES
+
+    def test_default_knob_states_pin_the_serial_spelling(self):
+        from repro.experiments import ablations2
+
+        states = ablations2.default_knob_states()
+        assert states[shard.SHARDS_ENV] == "1"
+        # Boolean knobs keep their boolean pins.
+        assert states[FASTPATH_ENV] is True
+
+
+class TestSelftest:
+    def test_selftest_passes(self):
+        assert sharded.selftest(trials=1, shards=2, verbose=False)

@@ -1,0 +1,199 @@
+"""The sharded parallel core: partitioning, lookahead, exact execution.
+
+The determinism contract under test is the PR's acceptance bar: a
+fault-free figure-3 battery is bit-identical for *any* shard count, and
+the genuinely partitioned remote world is exact whenever no RNG
+consumer crosses the cut (jitter-free, fast path off).
+"""
+
+import math
+
+import pytest
+
+from repro.internet.knobs import forced
+from repro.simnet import shard
+from repro.simnet.events import EventLoop
+from repro.simnet.fastpath import FASTPATH_ENV
+from repro.simnet.shard import (CutEdge, ExchangeOutbox, ShardError,
+                                ShardPlan, close_all_runners, partition,
+                                resolve_shards)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_fleets():
+    """Every fleet spawned by this module must be gone afterwards."""
+    yield
+    close_all_runners()
+    assert shard.active_worker_count() == 0
+    assert shard.pending_batch_count() == 0
+
+
+class TestResolveShards:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(shard.SHARDS_ENV, raising=False)
+        assert resolve_shards() == 1
+
+    def test_environment_sets_the_width(self, monkeypatch):
+        monkeypatch.setenv(shard.SHARDS_ENV, "4")
+        assert resolve_shards() == 4
+
+    def test_explicit_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(shard.SHARDS_ENV, "4")
+        assert resolve_shards(2) == 2
+
+    @pytest.mark.parametrize("raw", ["0", "off", "false", "no", ""])
+    def test_disabling_spellings_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv(shard.SHARDS_ENV, raw)
+        assert resolve_shards() == 1
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(shard.SHARDS_ENV, "tango")
+        with pytest.raises(ValueError):
+            resolve_shards()
+
+
+LINE = ["a", "b", "c", "d", "e", "f"]
+LINE_EDGES = [("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 9.0),
+              ("d", "e", 1.0), ("e", "f", 1.0)]
+
+
+class TestPartition:
+    def test_line_splits_at_the_expensive_edge(self):
+        plan = partition(LINE, LINE_EDGES, 2)
+        assert plan.n_shards == 2
+        # Balanced halves, one cut edge — the c~d link.
+        assert sorted(plan.assignment.values()).count(0) == 3
+        assert len(plan.cut_edges) == 1
+        cut = plan.cut_edges[0]
+        assert {cut.a, cut.b} == {"c", "d"}
+        assert cut.latency_ms == 9.0
+
+    def test_deterministic_and_order_independent(self):
+        first = partition(LINE, LINE_EDGES, 2)
+        again = partition(list(reversed(LINE)),
+                          list(reversed(LINE_EDGES)), 2)
+        assert first == again
+
+    def test_effective_count_never_exceeds_keys(self):
+        plan = partition(["only"], [], 8)
+        assert plan.n_shards == 1
+        assert plan.cut_edges == ()
+
+    def test_single_shard_has_no_cut(self):
+        plan = partition(LINE, LINE_EDGES, 1)
+        assert plan.n_shards == 1
+        assert set(plan.assignment.values()) == {0}
+        assert plan.cut_edges == ()
+
+    def test_validate_accepts_partition_output(self):
+        partition(LINE, LINE_EDGES, 3).validate()
+
+    def test_lookahead_is_the_minimum_cut_latency(self):
+        plan = ShardPlan(
+            n_shards=2, assignment={"a": 0, "b": 1, "c": 1},
+            cut_edges=(CutEdge("a", "b", 5.0), CutEdge("a", "c", 2.0)))
+        assert plan.lookahead_between()[(0, 1)] == 2.0
+        assert plan.lookahead_into(1) == 2.0
+        assert plan.lookahead_into(0) == 2.0
+
+    def test_isolated_shard_has_infinite_lookahead(self):
+        plan = ShardPlan(n_shards=2, assignment={"a": 0, "b": 1},
+                         cut_edges=())
+        assert plan.lookahead_into(0) == math.inf
+
+    def test_zero_latency_cut_is_rejected(self):
+        plan = ShardPlan(n_shards=2, assignment={"a": 0, "b": 1},
+                         cut_edges=(CutEdge("a", "b", 0.0),))
+        with pytest.raises(ShardError, match="zero latency"):
+            plan.validate()
+
+    def test_non_contiguous_ids_are_rejected(self):
+        plan = ShardPlan(n_shards=2, assignment={"a": 0, "b": 2},
+                         cut_edges=())
+        with pytest.raises(ShardError, match="contiguous"):
+            plan.validate()
+
+    def test_empty_key_set_is_rejected(self):
+        with pytest.raises(ShardError):
+            partition([], [], 2)
+
+
+class TestRunBefore:
+    """The horizon-bounded drain the conservative protocol rides on."""
+
+    def test_exclusive_horizon(self):
+        loop = EventLoop()
+        fired = []
+        for at in (1.0, 2.0, 3.0):
+            loop.call_at(at, fired.append, at)
+        loop.run_before(3.0)
+        assert fired == [1.0, 2.0]
+        assert loop.now == 2.0  # never fabricated forward to the horizon
+        assert loop.next_event_time() == 3.0
+
+    def test_empty_loop_reports_infinity(self):
+        loop = EventLoop()
+        assert loop.next_event_time() == math.inf
+        loop.run_before(100.0)
+        assert loop.now == 0.0
+
+    def test_run_before_infinity_drains_like_run(self):
+        def counts(drain):
+            loop = EventLoop()
+            fired = []
+            loop.call_at(1.0, lambda: loop.call_at(5.0, fired.append, 5.0))
+            loop.call_at(2.0, fired.append, 2.0)
+            drain(loop)
+            return fired, loop.events_processed
+
+        assert counts(lambda lp: lp.run()) == \
+            counts(lambda lp: lp.run_before(math.inf))
+
+
+class TestExchangeOutbox:
+    def test_append_drain_pending(self):
+        outbox = ExchangeOutbox()
+        assert outbox.pending() == 0
+        item = (1.0, "link", 0, "node", 1, object())
+        outbox.append(1, item)
+        outbox.append(1, item)
+        outbox.append(0, item)
+        assert outbox.pending() == 3
+        drained = outbox.drain()
+        assert drained == {1: [item, item], 0: [item]}
+        assert outbox.pending() == 0
+        assert outbox.drain() == {}
+
+
+class TestShardedDeterminism:
+    """Spawn-backed end-to-end exactness (the acceptance bar)."""
+
+    def test_figure3_bit_identical_across_shard_counts(self):
+        from repro.experiments.local_setup import figure3_trial_events
+
+        for condition in ("mixed SCION-IP", "strict-SCION"):
+            serial = [figure3_trial_events(condition, seed, n_resources=6,
+                                           shards=1)
+                      for seed in (100, 101)]
+            for shards in (2, 4):
+                assert [figure3_trial_events(condition, seed,
+                                             n_resources=6, shards=shards)
+                        for seed in (100, 101)] == serial, \
+                    f"{condition} diverged at shards={shards}"
+
+    def test_remote_world_exact_when_rng_stays_on_one_shard(self):
+        import dataclasses
+
+        from repro.experiments.remote_setup import (
+            DEFAULT_REMOTE_CALIBRATION, FAR_ORIGIN, remote_trial)
+
+        calm = dataclasses.replace(DEFAULT_REMOTE_CALIBRATION,
+                                   host_jitter_ms=0.0)
+        with forced(FASTPATH_ENV, False):
+            serial = remote_trial(FAR_ORIGIN, "single origin / SCION",
+                                  500, n_resources=6, calibration=calm,
+                                  shards=1)
+            sharded = remote_trial(FAR_ORIGIN, "single origin / SCION",
+                                   500, n_resources=6, calibration=calm,
+                                   shards=2)
+        assert sharded == serial
