@@ -3,18 +3,19 @@
 # (paired error-bound check against the packet-level oracle), the
 # component-ablation selftest (leave-one-out knob sweep with exact
 # contract verification), the shard determinism selftest (serial vs
-# REPRO_SHARDS=2 exact sample equality, <10 s), then a quick perf
-# smoke run (appends a row to BENCH_results.json), then the trajectory
+# REPRO_SHARDS=2 exact sample equality, <10 s), the population-workload
+# selftest (determinism, tail sanity, leak audit, <10 s), then a quick
+# perf smoke run (appends a row to BENCH_results.json), then the trajectory
 # compare, which exits non-zero if any headline metric regressed more
 # than 10 % against the previous full-size run.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs fastpath-ab ablations2 shard perf perf-full \
-	compare experiments
+.PHONY: verify test obs fastpath-ab ablations2 shard population perf \
+	perf-full compare experiments
 
-verify: test obs fastpath-ab ablations2 shard perf compare
+verify: test obs fastpath-ab ablations2 shard population perf compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +31,9 @@ ablations2:
 
 shard:
 	$(PYTHON) -m repro.experiments.sharded --selftest
+
+population:
+	$(PYTHON) -m repro.experiments.population --selftest
 
 perf:
 	$(PYTHON) -m repro.perf --quick

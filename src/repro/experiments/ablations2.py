@@ -3,8 +3,9 @@
 Every optional subsystem this repo has grown — the hybrid-fidelity fast
 path, the control-plane snapshot cache, revocation dissemination, event
 pooling, the combine-segments memo, the proxy's circuit breakers, the
-daemon's health ranking, tracing, the sharded parallel event core — is
-registered here as a :class:`Component` with three declarative facts:
+daemon's health ranking, tracing, the sharded parallel event core,
+population revisit locality — is registered here as a
+:class:`Component` with three declarative facts:
 
 * **its toggle** — the ``REPRO_*`` environment knob (or, for tracing,
   the ``obs=`` kwarg) that switches it, resolved by the uniform rules in
@@ -62,6 +63,7 @@ from repro.scion.revocation import REVOCATION_ENV
 from repro.simnet.events import EVENT_POOL_ENV
 from repro.simnet.fastpath import FASTPATH_ENV, PLT_ERROR_BOUND
 from repro.simnet.shard import SHARDS_ENV
+from repro.workload.session import LOCALITY_ENV
 
 #: Contract kinds.
 BIT_IDENTICAL = "bit_identical"
@@ -70,6 +72,7 @@ STATISTICALLY_EQUIVALENT = "statistically_equivalent"
 #: Batteries importance is measured on.
 FIGURE3 = "figure3"
 RESILIENCE = "resilience"
+POPULATION = "population"
 
 
 @dataclass(frozen=True)
@@ -186,6 +189,12 @@ COMPONENTS: tuple[Component, ...] = (
         on_value="2", off_value="1",
         description="conservative-lookahead parallel event loops across "
                     "worker processes (REPRO_SHARDS=2)"),
+    Component(
+        name="population_locality", knob=LOCALITY_ENV,
+        contract=BIT_IDENTICAL, battery=POPULATION,
+        metrics=("daemon_hit_rate", "p99_plt_ms", "pool_wait_ms"),
+        description="revisit locality in population session plans "
+                    "(warm daemon caches + HTTP pools)"),
 )
 
 
@@ -252,6 +261,27 @@ def resilience_ablation_trial(overrides: tuple[tuple[str, bool | str], ...],
         return resilience_trial(None, "opportunistic", seed, loads=loads)
 
 
+def population_ablation_trial(overrides: tuple[tuple[str, bool | str], ...],
+                              users: int, sites: int, seed: int
+                              ) -> tuple[float, float, float, float]:
+    """One opportunistic population trial under pinned knobs.
+
+    Returns ``(p99_plt_ms, p50_plt_ms, daemon_hit_rate, pool_wait_ms)``
+    — p99 first so the paired-delta spread tracks the tail. The arrival
+    window is compressed so even the selftest slice carries real
+    concurrency (and therefore real pool contention).
+    """
+    from repro.experiments.population import population_trial
+    from repro.workload.arrivals import ArrivalCurve
+
+    with forced_many(dict(overrides)):
+        sample = population_trial(
+            "opportunistic-SCION", seed, users=users, sites=sites,
+            arrival=ArrivalCurve(window_ms=3_000.0))
+    return (sample.plt_p99_ms, sample.plt_p50_ms,
+            sample.daemon_cache_hit_rate, sample.pool_wait_ms)
+
+
 # -- configuration ---------------------------------------------------------
 
 
@@ -272,6 +302,10 @@ class AblationConfig:
     resilience_trials: int = 4
     resilience_base_seed: int = 4200
     resilience_loads: int = 6
+    population_trials: int = 2
+    population_base_seed: int = 910
+    population_users: int = 60
+    population_sites: int = 20
     contract_trials: int = 2
     workers: int = 1
 
@@ -283,6 +317,11 @@ class AblationConfig:
     def resilience_seeds(self) -> range:
         return range(self.resilience_base_seed,
                      self.resilience_base_seed + self.resilience_trials)
+
+    @property
+    def population_seeds(self) -> range:
+        return range(self.population_base_seed,
+                     self.population_base_seed + self.population_trials)
 
     def to_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -305,6 +344,8 @@ def selftest_config(workers: int = 1) -> AblationConfig:
     return AblationConfig(conditions=("SCION-only", "mixed SCION-IP"),
                           trials=3, n_resources=6,
                           resilience_trials=2, resilience_loads=3,
+                          population_trials=1, population_users=10,
+                          population_sites=8,
                           contract_trials=2, workers=workers)
 
 
@@ -347,6 +388,17 @@ def _resilience_metrics(samples: list[tuple[float, float, float, float]],
     }
 
 
+def _population_metrics(samples: list[tuple[float, float, float, float]],
+                        wallclock_ms: float) -> dict[str, float]:
+    return {
+        "p99_plt_ms": sum(row[0] for row in samples) / len(samples),
+        "p50_plt_ms": sum(row[1] for row in samples) / len(samples),
+        "daemon_hit_rate": sum(row[2] for row in samples) / len(samples),
+        "pool_wait_ms": sum(row[3] for row in samples),
+        "wallclock_ms": wallclock_ms,
+    }
+
+
 def battery_label(battery: str, context: tuple[tuple[str, bool], ...] = ()
                   ) -> str:
     """Display/baseline key for a battery under extra context pins."""
@@ -383,6 +435,16 @@ def run_battery(battery: str, overrides: dict[str, bool | str],
         return BatteryRun(battery=battery, samples=tuple(samples),
                           wallclock_ms=wallclock_ms,
                           metrics=_resilience_metrics(samples, wallclock_ms))
+    if battery == POPULATION:
+        trial = functools.partial(population_ablation_trial, pinned,
+                                  config.population_users,
+                                  config.population_sites)
+        samples = list(run_samples(trial, config.population_seeds,
+                                   workers=config.workers))
+        wallclock_ms = (time.perf_counter() - started) * 1000.0
+        return BatteryRun(battery=battery, samples=tuple(samples),
+                          wallclock_ms=wallclock_ms,
+                          metrics=_population_metrics(samples, wallclock_ms))
     raise ValueError(f"unknown battery {battery!r}")
 
 
@@ -621,6 +683,24 @@ def _evidence_sharded_core() -> str:
             f"samples identical to serial")
 
 
+def _evidence_population_locality() -> str:
+    from repro.workload.catalog import default_catalog
+    from repro.workload.session import SessionConfig, plan_session
+
+    catalog = default_catalog(12, origins=("far.example",), seed=0)
+    eager = SessionConfig(mean_visits=6.0, revisit_probability=1.0)
+    with forced_many({LOCALITY_ENV: True}):
+        on = plan_session(catalog, 0, 0, eager)
+    with forced_many({LOCALITY_ENV: False}):
+        off = plan_session(catalog, 0, 0, eager)
+    assert any(visit.revisit for visit in on[1:]), \
+        "no revisit despite locality on and revisit_probability=1"
+    assert not any(visit.revisit for visit in off), \
+        "revisit planned despite locality knobbed off"
+    return ("plans revisit with the knob on and never with it off "
+            "(revisit_probability=1 probe)")
+
+
 def _evidence_health_ranking() -> str:
     with forced_many({HEALTH_RANKING_ENV: False}):
         world = _tiny_local_world()
@@ -643,6 +723,7 @@ EVIDENCE_PROBES = {
     "circuit_breaker": _evidence_circuit_breaker,
     "health_ranking": _evidence_health_ranking,
     "sharded_core": _evidence_sharded_core,
+    "population_locality": _evidence_population_locality,
 }
 
 

@@ -46,7 +46,9 @@ from repro.simnet.shard import (ShardContext, ShardPlan, ShardRun,
 __all__ = [
     "topology_plan", "local_plan", "remote_plan",
     "local_scenario", "remote_scenario", "fault_scenario",
+    "population_scenario",
     "sharded_figure3_trial", "sharded_remote_trial", "sharded_fault_trial",
+    "sharded_population_trial",
     "main",
 ]
 
@@ -176,6 +178,36 @@ def fault_scenario(ctx: ShardContext, seed: int, scenario: str, mode: str,
     return _world_run(world.internet, world.browser, world.page)
 
 
+def population_scenario(ctx: ShardContext, seed: int, mode: str, users: int,
+                        sites: int, arrival, session) -> ShardRun:
+    """One shard's slice of a population world.
+
+    The client AS's shard owns the whole population (every user host,
+    browser, and session process); origin shards serve their sites and
+    contribute link/event stats only. The client shard's collect ships
+    the scalar aggregate plus a leak audit — the parent refuses a trial
+    whose slice did not drain quiescent.
+    """
+    from repro.experiments.population import (build_population_world,
+                                              collect_scalars, harvest_rows,
+                                              population_leak_report,
+                                              start_sessions)
+
+    world = build_population_world(mode, seed, users=users, sites=sites,
+                                   arrival=arrival, session=session,
+                                   shard_slice=ctx)
+    processes = start_sessions(world)
+
+    def collect() -> dict:
+        if not world.users:
+            return {}
+        payload = collect_scalars(world, mode, users, harvest_rows(processes))
+        payload["leaks"] = population_leak_report(world)
+        return payload
+
+    return ShardRun(network=world.internet.network, collect=collect)
+
+
 # ---------------------------------------------------------------------------
 # Trial entry points
 # ---------------------------------------------------------------------------
@@ -220,6 +252,44 @@ def sharded_fault_trial(scenario: str, mode: str, seed: int, shards: int,
     ok = results["ok_count"]
     return (results["plt_ms"], float(ok), float(results["failover_count"]),
             float(results["fallback_count"]), float(total - ok))
+
+
+def sharded_population_trial(mode: str, seed: int, shards: int,
+                             users: int = 100, sites: int | None = None,
+                             arrival=None, session=None):
+    """One population trial across a shard fleet → ``PopulationSample``.
+
+    The scalar aggregate comes from the client shard's collect; the
+    world-wide fields (loop events, per-AS link bytes) merge from every
+    shard's stats block, so utilization covers origin-side links too.
+    """
+    from repro.experiments.population import (DEFAULT_ARRIVAL, DEFAULT_SITES,
+                                              PopulationSample,
+                                              as_link_bytes)
+    from repro.simnet.shard import ShardError
+    from repro.workload.session import DEFAULT_SESSION
+
+    plan = remote_plan(shards)
+    runner = runner_for(("population", plan.n_shards), population_scenario,
+                        plan)
+    outcome = runner.run_trial(
+        seed, mode=mode, users=users,
+        sites=DEFAULT_SITES if sites is None else sites,
+        arrival=arrival or DEFAULT_ARRIVAL,
+        session=session or DEFAULT_SESSION)
+    results = dict(outcome.results)
+    leaks = results.pop("leaks", [])
+    if leaks:
+        raise ShardError(
+            f"population shard left leaked resources: {leaks[:3]}")
+    merged = outcome.merged_links()
+    return PopulationSample(
+        **results,
+        events=outcome.events_total,
+        as_link_bytes=as_link_bytes(
+            (name, counters["bytes_sent"])
+            for name, counters in merged.items()),
+    )
 
 
 def sharded_trial_outcome(kind: str, seed: int, shards: int,

@@ -61,6 +61,10 @@ class ClientStats:
     errors: int = 0
     bytes_fetched: int = 0
     timeouts: int = 0
+    #: Requests that queued because every pooled connection was busy.
+    pool_waits: int = 0
+    #: Total simulated ms those requests spent queued (contention).
+    pool_wait_ms: float = 0.0
 
 
 class HttpClient:
@@ -180,6 +184,8 @@ class HttpClient:
             assert self.host.loop is not None
             waiter = self.host.loop.reusable_event()
             pool.waiters.append(waiter)
+            self.stats.pool_waits += 1
+            queued_at = self.host.loop.now
             try:
                 yield waiter
             except Interrupt:
@@ -190,6 +196,8 @@ class HttpClient:
                     # it is not lost with this aborted request.
                     pool.waiters.popleft().succeed(None)
                 raise
+            finally:
+                self.stats.pool_wait_ms += self.host.loop.now - queued_at
 
     def _open(self, dst: HostAddr, port: int, via: str,
               path: ScionPath | None, span=NULL_SPAN) -> Generator:

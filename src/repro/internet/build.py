@@ -277,6 +277,23 @@ class Internet:
         self.hosts[name] = host
         return host
 
+    def add_population(self, prefix: str, isd_as: IsdAs | str,
+                       count: int) -> tuple[Host, ...]:
+        """Attach ``count`` client hosts (``{prefix}-0`` …) to one AS.
+
+        The bulk face of :meth:`add_host` for population-scale worlds:
+        every host gets its own access link, path daemon, and revocation
+        subscription — per-user state (daemon path caches, HTTP pools)
+        stays genuinely per-user, which is what makes revisit-locality
+        cache warmth measurable. Inside a shard worker the whole batch
+        collapses to address-only ghosts when another shard owns the
+        AS, exactly like the singular form.
+        """
+        if count < 0:
+            raise TopologyError("population count must be >= 0")
+        return tuple(self.add_host(f"{prefix}-{index}", isd_as)
+                     for index in range(count))
+
     def host(self, name: str) -> Host:
         """Look up a host by name."""
         try:

@@ -6,6 +6,7 @@ Usage::
     python -m repro.obs trace [--setup local|remote|fault] [--condition C]
                               [--seed N] [--n-resources N] [--out FILE]
     python -m repro.obs report ARTIFACT
+    python -m repro.obs export ARTIFACT [--otlp] [--out FILE]
     python -m repro.obs diff A B
 
 ``--selftest`` is the ``make verify`` smoke step: it round-trips a
@@ -19,12 +20,14 @@ writes (and renders) its artifact.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import tempfile
 
 from repro.errors import ReproError
 from repro.obs.export import (build_artifact, diff_report, load_artifact,
-                              render_report, write_artifact)
+                              render_report, to_otlp, write_artifact)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import STATUS_ERROR, Tracer
 from repro.obs.waterfall import assemble_waterfall, waterfall_from_dict
@@ -74,6 +77,13 @@ def _synthetic_roundtrip() -> None:
     reloaded.breakdown.check(waterfall.plt_ms)
     if "(no metric differences)" not in diff_report(loaded, loaded):
         raise ReproError("self-diff reported differences")
+    otlp = to_otlp(loaded)
+    exported = otlp["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    if len(exported) != len(loaded["spans"]):
+        raise ReproError("OTLP export dropped spans")
+    if any(len(span["spanId"]) != 16 or span["spanId"] == "0" * 16
+           for span in exported):
+        raise ReproError("OTLP export produced an invalid span id")
 
 
 def _traced_load_check() -> float:
@@ -162,6 +172,15 @@ def main(argv: list[str] | None = None) -> int:
                                    help="render one artifact as text")
     report_parser.add_argument("artifact")
 
+    export_parser = sub.add_parser(
+        "export", help="re-emit an artifact for external tooling")
+    export_parser.add_argument("artifact")
+    export_parser.add_argument("--otlp", action="store_true",
+                               help="emit OTLP/JSON trace spans instead "
+                                    "of the native artifact")
+    export_parser.add_argument("--out", default=None,
+                               help="write here instead of stdout")
+
     diff_parser = sub.add_parser("diff", help="diff two artifacts")
     diff_parser.add_argument("a")
     diff_parser.add_argument("b")
@@ -181,6 +200,16 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(args)
     if args.command == "report":
         print(render_report(load_artifact(args.artifact)))
+        return 0
+    if args.command == "export":
+        artifact = load_artifact(args.artifact)
+        document = to_otlp(artifact) if args.otlp else artifact
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.out:
+            pathlib.Path(args.out).write_text(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
         return 0
     if args.command == "diff":
         print(diff_report(load_artifact(args.a), load_artifact(args.b)))

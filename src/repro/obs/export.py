@@ -12,6 +12,7 @@ timestamps), so two runs of the same world diff byte-for-byte empty.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from typing import Any
@@ -96,6 +97,81 @@ def render_report(artifact: dict[str, Any]) -> str:
         mean = hist.get("sum", 0.0) / count if count else 0.0
         lines.append(f"{key} n={count} mean={mean:.2f}")
     return "\n".join(lines)
+
+
+# -- OTLP export --------------------------------------------------------------
+
+#: Span status -> OTLP status code (open spans stay UNSET).
+_OTLP_STATUS = {"ok": "STATUS_CODE_OK", "error": "STATUS_CODE_ERROR"}
+
+
+def _otlp_value(value: Any) -> dict[str, Any]:
+    """One attribute value in OTLP's tagged-union JSON encoding."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}  # OTLP/JSON carries int64 as string
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(attributes: dict[str, Any]) -> list[dict[str, Any]]:
+    return [{"key": key, "value": _otlp_value(value)}
+            for key, value in attributes.items()]
+
+
+def _otlp_span_id(span_id: int | None) -> str:
+    # OTLP forbids the all-zero span id, so shift our 0-based ids by one.
+    return "" if span_id is None else f"{span_id + 1:016x}"
+
+
+def to_otlp(artifact: dict[str, Any]) -> dict[str, Any]:
+    """One obs artifact as an OTLP/JSON ``ExportTraceServiceRequest``.
+
+    The mapping is lossless for spans: simulated milliseconds become
+    nanoseconds since an epoch of 0, the artifact label hashes to the
+    (deterministic) trace id, and span ids are the tracer's creation
+    ordinals shifted by one (OTLP forbids all-zero ids). Metrics and
+    waterfalls are artifact-only and do not travel.
+    """
+    label = str(artifact.get("label", "trace"))
+    trace_id = hashlib.sha256(label.encode()).hexdigest()[:32]
+    spans = []
+    for span in artifact.get("spans", []):
+        end_ms = span["end_ms"] if span["end_ms"] is not None \
+            else span["start_ms"]
+        otlp: dict[str, Any] = {
+            "traceId": trace_id,
+            "spanId": _otlp_span_id(span["span_id"]),
+            "parentSpanId": _otlp_span_id(span["parent_id"]),
+            "name": span["name"],
+            "kind": "SPAN_KIND_INTERNAL",
+            "startTimeUnixNano": str(int(span["start_ms"] * 1e6)),
+            "endTimeUnixNano": str(int(end_ms * 1e6)),
+            "attributes": _otlp_attributes(span["attributes"]),
+            "status": {},
+        }
+        code = _OTLP_STATUS.get(span["status"])
+        if code is not None:
+            otlp["status"] = {"code": code}
+        if span["events"]:
+            otlp["events"] = [
+                {"name": event["name"],
+                 "timeUnixNano": str(int(event["time_ms"] * 1e6)),
+                 "attributes": _otlp_attributes(event["attributes"])}
+                for event in span["events"]]
+        spans.append(otlp)
+    return {
+        "resourceSpans": [{
+            "resource": {"attributes": _otlp_attributes(
+                {"service.name": "repro", "repro.label": label})},
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs"},
+                "spans": spans,
+            }],
+        }],
+    }
 
 
 def _mean_plt(artifact: dict[str, Any]) -> float:

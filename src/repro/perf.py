@@ -28,7 +28,12 @@ A set of fixed workloads quantifies the simulator's speed:
   (``repro.simnet.shard``), recording the conservative-lookahead
   protocol's overhead (1-core containers) or speedup (multi-core
   hosts) plus per-shard event throughput; full runs only — the fleet
-  spawn is not worth a quick smoke check's budget.
+  spawn is not worth a quick smoke check's budget;
+* **population workload** — wall-clock users/sec of one
+  opportunistic-SCION population trial (``repro.workload`` session
+  plans over the remote testbed) plus its simulated p99 PLT, guarding
+  both the workload engine's throughput and the tail latency the
+  population battery reports.
 
 Results append to ``BENCH_results.json`` at the repo root so successive
 PRs accumulate a machine-readable performance trajectory (events/sec,
@@ -216,7 +221,8 @@ def measure_battery(trials: int = 12, n_resources: int = 12,
 
 
 def measure_snapshot_cache(trials: int = 8, n_resources: int = 12,
-                           base_seed: int = 100) -> dict[str, Any]:
+                           base_seed: int = 100,
+                           repeats: int = 3) -> dict[str, Any]:
     """Per-trial latency of a local-testbed trial, uncached vs. cached.
 
     The uncached pass disables the snapshot cache entirely (every world
@@ -224,7 +230,9 @@ def measure_snapshot_cache(trials: int = 8, n_resources: int = 12,
     behavior); the cached pass runs the same seeds with their snapshots
     already interned — the steady state inside ``run_all``, where each
     seed's control plane is shared across all four Figure 3 conditions.
-    Samples must be bit-identical either way.
+    Samples must be bit-identical either way. The cached arm (the one
+    ``--compare`` gates) takes the best of ``repeats`` passes — at
+    ~2 ms/trial a single pass is scheduler noise on small containers.
     """
     from repro.experiments.local_setup import figure3_trial
     from repro.internet import snapshot
@@ -250,6 +258,9 @@ def measure_snapshot_cache(trials: int = 8, n_resources: int = 12,
     snapshot.clear_cache()
     pass_over_seeds()  # prime: one miss per seed
     cached_samples, cached_s = pass_over_seeds()
+    for _ in range(max(1, repeats) - 1):
+        _, elapsed = pass_over_seeds()
+        cached_s = min(cached_s, elapsed)
     return {
         "workload": f"snapshot-cache/{trials}x{n_resources}",
         "trials": trials,
@@ -358,7 +369,8 @@ def measure_resilience(trials: int = 4,
 
 
 def measure_fastpath(trials: int = 8, n_resources: int = 12,
-                     base_seed: int = 100) -> dict[str, Any]:
+                     base_seed: int = 100,
+                     repeats: int = 3) -> dict[str, Any]:
     """Per-trial latency of a fault-free figure-3 trial, packet-level
     oracle vs. hybrid-fidelity fast path.
 
@@ -368,7 +380,9 @@ def measure_fastpath(trials: int = 8, n_resources: int = 12,
     ``fastpath_trial_ms`` and ``fastpath_events_per_sec`` are the
     headline metrics the trajectory guards (a PR that silently demotes
     everything back to packet level shows up as ``fastpath_trial_ms``
-    regressing toward ``oracle_trial_ms``).
+    regressing toward ``oracle_trial_ms``). The fast arm takes the best
+    of ``repeats`` passes — at ~2 ms/trial a single pass is scheduler
+    noise on small containers.
     """
     import dataclasses as _dataclasses
 
@@ -402,6 +416,9 @@ def measure_fastpath(trials: int = 8, n_resources: int = 12,
     pass_over_seeds(True)  # prime the snapshot cache for both arms
     oracle_samples, oracle_s, oracle_events = pass_over_seeds(False)
     fast_samples, fast_s, fast_events = pass_over_seeds(True)
+    for _ in range(max(1, repeats) - 1):
+        _, elapsed, _ = pass_over_seeds(True)
+        fast_s = min(fast_s, elapsed)
     max_err = max(abs(f - o) / o
                   for o, f in zip(oracle_samples, fast_samples))
     return {
@@ -456,8 +473,8 @@ def measure_ablation() -> dict[str, Any]:
 
 
 def measure_sharded(trials: int = 6, n_resources: int = 9,
-                    shards: int = 2,
-                    base_seed: int = 500) -> dict[str, Any]:
+                    shards: int = 2, base_seed: int = 500,
+                    repeats: int = 3) -> dict[str, Any]:
     """Per-trial latency of a remote-testbed trial, serial vs. sharded.
 
     The serial arm runs the seven-AS world on one event loop; the
@@ -465,12 +482,14 @@ def measure_sharded(trials: int = 6, n_resources: int = 9,
     the conservative-lookahead protocol. The fleet is spawned and
     warmed before timing (``shard_spawn_s`` records that one-off cost),
     so ``sharded_trial_ms`` reflects steady-state throughput — the
-    number the trajectory guards. On a single-core container the
-    sharded arm pays batching + IPC overhead; on multi-core hosts the
-    shards genuinely overlap and ``shard_speedup`` exceeds 1. A second
-    sharded pass over the same seeds must be bit-identical
-    (run-to-run shard determinism; serial-vs-sharded exactness is the
-    selftest's jitter-free job, not this jittered one's).
+    number the trajectory guards, taken as the best of ``repeats``
+    passes (IPC round trips make a single pass especially
+    scheduler-noisy). On a single-core container the sharded arm pays
+    batching + IPC overhead; on multi-core hosts the shards genuinely
+    overlap and ``shard_speedup`` exceeds 1. A second sharded pass over
+    the same seeds must be bit-identical (run-to-run shard determinism;
+    serial-vs-sharded exactness is the selftest's jitter-free job, not
+    this jittered one's).
     """
     from repro.experiments.remote_setup import FAR_ORIGIN, remote_trial
     from repro.experiments.sharded import sharded_trial_outcome
@@ -505,6 +524,9 @@ def measure_sharded(trials: int = 6, n_resources: int = 9,
     first_samples, first_s, events = sharded_pass()
     second_samples, second_s, _ = sharded_pass()
     sharded_s = min(first_s, second_s)
+    for _ in range(max(2, repeats) - 2):
+        _, elapsed, _ = sharded_pass()
+        sharded_s = min(sharded_s, elapsed)
     close_all_runners()
     del serial  # jittered serial samples are timing-only here
     return {
@@ -517,9 +539,53 @@ def measure_sharded(trials: int = 6, n_resources: int = 9,
         "shard_spawn_s": round(spawn_s, 3),
         "shard_speedup": round(serial_s / sharded_s, 2) if sharded_s
         else 0.0,
-        "shard_events_per_sec": round(events / first_s / shards, 1)
-        if first_s else 0.0,
+        "shard_events_per_sec": round(events / sharded_s / shards, 1)
+        if sharded_s else 0.0,
         "identical": first_samples == second_samples,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload 9 — population-scale traffic generation
+# ---------------------------------------------------------------------------
+
+
+def measure_population(users: int = 60, sites: int = 20,
+                       seed: int = 920) -> dict[str, Any]:
+    """Users/sec of one population trial, plus its simulated p99 PLT.
+
+    Runs the opportunistic-SCION arm of the population battery twice
+    over the same seed: ``population_users_per_sec`` (wall-clock, best
+    of the two passes) guards the workload engine's throughput, and
+    ``population_p99_plt_ms`` (simulated, so machine-independent)
+    guards the tail the battery reports — a PR that quietly makes the
+    simulated city slower shows up in ``--compare`` even though every
+    test still passes. The two passes must be bit-identical (the
+    workload engine's determinism contract).
+    """
+    from repro.experiments.population import population_trial
+    from repro.workload import ArrivalCurve
+
+    arrival = ArrivalCurve(window_ms=3_000.0)
+
+    def one_pass():
+        started = time.perf_counter()
+        sample = population_trial("opportunistic-SCION", seed, users=users,
+                                  sites=sites, arrival=arrival)
+        return sample, time.perf_counter() - started
+
+    first, first_s = one_pass()
+    second, second_s = one_pass()
+    wall_s = min(first_s, second_s)
+    return {
+        "workload": f"population/{users}x{sites}",
+        "population_users": users,
+        "population_sites": sites,
+        "population_loads": first.loads,
+        "population_users_per_sec": round(users / wall_s, 1) if wall_s
+        else 0.0,
+        "population_p99_plt_ms": round(first.plt_p99_ms, 2),
+        "identical": first == second,
     }
 
 
@@ -529,6 +595,20 @@ def measure_sharded(trials: int = 6, n_resources: int = 9,
 
 #: Relative change beyond which --compare calls a metric regressed.
 REGRESSION_THRESHOLD = 0.10
+
+#: How many full runs before the current one form the --compare
+#: baseline. Each metric is compared against its *median* over this
+#: window, so one outlier run (a CPU-steal burst, an unusually lucky
+#: pass) cannot wedge the gate.
+BASELINE_WINDOW = 3
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 #: The headline metrics --compare watches: (row key, higher-is-better).
 COMPARE_METRICS = (
@@ -553,6 +633,10 @@ COMPARE_METRICS = (
     # the two-shard remote battery (full runs only).
     ("sharded_trial_ms", False),
     ("shard_events_per_sec", True),
+    # Absent in pre-population rows: the workload engine's throughput
+    # and the simulated tail it reports.
+    ("population_users_per_sec", True),
+    ("population_p99_plt_ms", False),
 )
 
 
@@ -573,42 +657,51 @@ def _runs_by_ts(rows: list[dict[str, Any]],
 
 
 def compare_runs(rows: list[dict[str, Any]], label: str = "full",
-                 threshold: float = REGRESSION_THRESHOLD
+                 threshold: float = REGRESSION_THRESHOLD,
+                 window: int = BASELINE_WINDOW
                  ) -> dict[str, Any] | None:
-    """Diff the two most recent runs with the given label.
+    """Diff the most recent run against a median-of-recent baseline.
 
-    Returns ``None`` when fewer than two such runs exist. Otherwise a
-    report dict with per-metric baseline/current/change and the list of
-    metric names that regressed beyond ``threshold`` (throughput
-    dropping or wall-clock growing by more than that fraction).
+    Returns ``None`` when fewer than two runs with the given label
+    exist. Otherwise each metric of the newest run is compared against
+    its *median* over the up-to-``window`` runs preceding it, and the
+    report lists the metric names that regressed beyond ``threshold``
+    (throughput dropping or wall-clock growing by more than that
+    fraction). The median baseline is what keeps the gate honest on
+    small noisy containers: a pairwise diff against exactly the
+    previous run flags every return-to-normal after one unusually fast
+    run, while a single outlier among three is simply voted out.
 
     Runs from different PRs legitimately carry different workloads and
-    metrics: a metric present only in the current run is reported as
-    ``"new"`` and one present only in the baseline as ``"gone"`` —
+    metrics: a metric absent from every baseline run is reported as
+    ``"new"`` and one absent only from the current run as ``"gone"`` —
     neither is a regression, so a PR that adds or retires a workload
-    does not wedge the gate. A metric that is *present* in a run but
-    not comparable — non-numeric, or a zero baseline — is reported as
-    an ``"error"`` row instead of being silently dropped: a workload
-    that started writing garbage must show up in the report, not
-    vanish from it.
+    does not wedge the gate. A metric that is *present* but not
+    comparable — non-numeric or zero in every baseline run, or
+    non-numeric in the current one — is reported as an ``"error"`` row
+    instead of being silently dropped: a workload that started writing
+    garbage must show up in the report, not vanish from it.
     """
     runs = _runs_by_ts(rows, label)
     if len(runs) < 2:
         return None
-    baseline, current = runs[-2], runs[-1]
+    current = runs[-1]
+    baseline_runs = runs[max(0, len(runs) - 1 - window):-1]
     metrics: list[dict[str, Any]] = []
     for name, higher_is_better in COMPARE_METRICS:
-        old, new = baseline.get(name), current.get(name)
-        old_present = name in baseline
+        history = [run[name] for run in baseline_runs if name in run]
+        numeric = [v for v in history
+                   if isinstance(v, (int, float)) and v]
+        new = current.get(name)
+        old_present = bool(history)
         new_present = name in current
         if not old_present and not new_present:
             continue
-        old_ok = isinstance(old, (int, float)) and old
         new_ok = isinstance(new, (int, float))
-        if (old_present and not old_ok) or (new_present and not new_ok):
+        if (old_present and not numeric) or (new_present and not new_ok):
             metrics.append({
                 "metric": name,
-                "baseline": old if old_present else None,
+                "baseline": history[-1] if old_present else None,
                 "current": new if new_present else None,
                 "status": "error", "higher_is_better": higher_is_better,
                 "regression": False,
@@ -621,6 +714,7 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
                 "regression": False,
             })
             continue
+        old = _median(numeric)
         if not new_present:
             metrics.append({
                 "metric": name, "baseline": old, "current": None,
@@ -641,7 +735,8 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
             "regression": regressed,
         })
     return {
-        "baseline_ts": baseline.get("ts"),
+        "baseline_ts": baseline_runs[-1].get("ts"),
+        "baseline_runs": len(baseline_runs),
         "current_ts": current.get("ts"),
         "metrics": metrics,
         "regressions": [m["metric"] for m in metrics if m["regression"]],
@@ -650,10 +745,13 @@ def compare_runs(rows: list[dict[str, Any]], label: str = "full",
 
 def render_comparison(report: dict[str, Any]) -> str:
     """Human-readable --compare report."""
+    n_runs = report.get("baseline_runs", 1)
+    baseline_label = (f"median of {n_runs} runs through" if n_runs > 1
+                      else "run")
     lines = [
         "== repro.perf --compare ==",
-        f"baseline {report['baseline_ts']}  ->  current "
-        f"{report['current_ts']}",
+        f"baseline {baseline_label} {report['baseline_ts']}  ->  "
+        f"current {report['current_ts']}",
     ]
     for metric in report["metrics"]:
         direction = "higher=better" if metric["higher_is_better"] \
@@ -756,6 +854,13 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"spawn {row['shard_spawn_s']:.2f}s")
             parts.append("deterministic" if row["identical"]
                          else "NON-DETERMINISTIC")
+        if "population_users_per_sec" in row:
+            parts.append(f"{row['population_users_per_sec']:,.1f} users/s")
+            parts.append(f"p99 {row['population_p99_plt_ms']:,.1f} "
+                         f"simulated ms")
+            parts.append(f"{row['population_loads']} loads")
+            parts.append("deterministic" if row["identical"]
+                         else "NON-DETERMINISTIC")
         if "ablate_selftest_ms" in row:
             parts.append(f"sweep {row['ablate_selftest_ms']:,.0f} ms")
             parts.append(f"{row['ablate_components']} components")
@@ -777,6 +882,7 @@ def run_suite(quick: bool = False,
         resilience = measure_resilience(trials=2)
         fastpath = measure_fastpath(trials=4, n_resources=6)
         sharded = None  # fleet spawn blows the <30 s smoke budget
+        population = measure_population(users=16, sites=10)
     else:
         throughput = measure_event_throughput()
         battery = measure_battery(workers=workers)
@@ -785,6 +891,7 @@ def run_suite(quick: bool = False,
         resilience = measure_resilience()
         fastpath = measure_fastpath()
         sharded = measure_sharded()
+        population = measure_population()
     # The ablation sweep is its own CI-gate-sized workload either way.
     ablation = measure_ablation()
     context = machine_fingerprint()
@@ -795,6 +902,7 @@ def run_suite(quick: bool = False,
             {**context, **resilience}, {**context, **fastpath}]
     if sharded is not None:
         rows.append({**context, **sharded})
+    rows.append({**context, **population})
     rows.append({**context, **ablation})
     return rows
 

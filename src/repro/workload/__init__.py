@@ -1,0 +1,33 @@
+"""Population-scale traffic generation ("a city browses").
+
+The paper evaluates the browser integrations with a handful of
+sequential page loads; this package generates the load the ROADMAP
+north star actually asks about — *populations* of browsers per world:
+
+* :mod:`repro.workload.catalog` — a site catalog with Zipf popularity
+  and per-site resource profiles;
+* :mod:`repro.workload.session` — per-user session plans (think time,
+  tab parallelism, revisit locality so warm HTTP pools and daemon
+  caches actually get hit);
+* :mod:`repro.workload.arrivals` — open-loop and diurnal arrival
+  curves.
+
+Everything is driven by dedicated string-seeded RNG streams
+(``random.Random(f"catalog:{seed}")`` etc. — SHA-512 seeded, stable
+across processes), so the same seed yields the same workload in every
+worker: serial == ``REPRO_WORKERS=4`` bit-identity is preserved by
+construction. The consumer is
+:mod:`repro.experiments.population`.
+"""
+
+from repro.workload.arrivals import ArrivalCurve, arrival_times
+from repro.workload.catalog import (SiteCatalog, SiteProfile, ZipfSampler,
+                                    default_catalog)
+from repro.workload.session import (LOCALITY_ENV, SessionConfig, Visit,
+                                    plan_session)
+
+__all__ = [
+    "ArrivalCurve", "arrival_times",
+    "SiteCatalog", "SiteProfile", "ZipfSampler", "default_catalog",
+    "LOCALITY_ENV", "SessionConfig", "Visit", "plan_session",
+]

@@ -1,0 +1,72 @@
+"""Arrival curves: when each user's session starts.
+
+Two shapes, both open-loop (arrivals never wait for the system):
+
+* ``open-loop`` — a homogeneous Poisson process conditioned on exactly
+  ``n_users`` arrivals in the window, i.e. sorted iid uniforms scaled
+  to the window;
+* ``diurnal`` — an inhomogeneous process whose intensity follows a
+  day-curve ``1 + a·sin(2π·t/T − π/2)`` (trough at the window edges,
+  peak mid-window), inverted through a piecewise-linear cumulative
+  intensity grid.
+
+All draws come from the dedicated ``arrivals:{seed}`` stream, so the
+curve is a pure deterministic function of ``(n_users, curve, seed)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+
+#: Resolution of the diurnal inverse-CDF grid.
+_DIURNAL_BINS = 512
+
+
+@dataclass(frozen=True)
+class ArrivalCurve:
+    """Shape and span of a population's arrival process."""
+
+    window_ms: float = 10_000.0
+    shape: str = "open-loop"  # "open-loop" | "diurnal"
+    #: Diurnal swing in [0, 1): intensity ranges 1±amplitude.
+    diurnal_amplitude: float = 0.6
+    #: Day-cycles across the window.
+    diurnal_periods: float = 1.0
+
+
+def _diurnal_cdf(curve: ArrivalCurve) -> tuple[float, ...]:
+    """Normalized cumulative intensity on the bin grid (len = bins+1)."""
+    cumulative = [0.0]
+    total = 0.0
+    for index in range(_DIURNAL_BINS):
+        midpoint = (index + 0.5) / _DIURNAL_BINS
+        intensity = 1.0 + curve.diurnal_amplitude * math.sin(
+            2.0 * math.pi * curve.diurnal_periods * midpoint - math.pi / 2.0)
+        total += max(intensity, 0.0)
+        cumulative.append(total)
+    return tuple(value / total for value in cumulative)
+
+
+def arrival_times(n_users: int, curve: ArrivalCurve,
+                  seed: int) -> tuple[float, ...]:
+    """Sorted session start times in ms for ``n_users`` arrivals."""
+    if n_users < 0:
+        raise ValueError("n_users must be >= 0")
+    rng = random.Random(f"arrivals:{seed}")
+    draws = sorted(rng.random() for _ in range(n_users))
+    if curve.shape == "open-loop":
+        return tuple(u * curve.window_ms for u in draws)
+    if curve.shape != "diurnal":
+        raise ValueError(f"unknown arrival shape {curve.shape!r}")
+    cdf = _diurnal_cdf(curve)
+    times = []
+    for u in draws:
+        bin_index = max(1, bisect.bisect_left(cdf, u))
+        lo, hi = cdf[bin_index - 1], cdf[bin_index]
+        fraction = 0.0 if hi == lo else (u - lo) / (hi - lo)
+        times.append((bin_index - 1 + fraction) / _DIURNAL_BINS
+                     * curve.window_ms)
+    return tuple(times)

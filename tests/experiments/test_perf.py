@@ -104,11 +104,33 @@ class TestCompareRuns:
         rows = _run_rows("t1") + _run_rows("t2", events=900.0, serial=11.0)
         assert perf.compare_runs(rows)["regressions"] == []
 
-    def test_only_latest_two_runs_compared(self):
+    def test_baseline_is_median_of_recent_runs(self):
+        """One lucky outlier run in the window is voted out: pairwise
+        t3-vs-t4 (or mean-of-window) would call the return to ~1000
+        ev/s a regression against t1's 2000."""
         rows = (_run_rows("t1", events=2000.0) + _run_rows("t2")
-                + _run_rows("t3", events=1020.0))
+                + _run_rows("t3", events=980.0)
+                + _run_rows("t4", events=1020.0))
         report = perf.compare_runs(rows)
-        assert report["baseline_ts"] == "t2"
+        assert report["baseline_ts"] == "t3"
+        assert report["baseline_runs"] == 3
+        events = next(m for m in report["metrics"]
+                      if m["metric"] == "events_per_sec")
+        assert events["baseline"] == 1000.0
+        assert report["regressions"] == []
+
+    def test_runs_outside_window_are_ignored(self):
+        """Two ancient 10k-ev/s runs would drag a four-run median up to
+        5500 and flag everything; only the last three runs count."""
+        rows = (_run_rows("t1", events=10_000.0)
+                + _run_rows("t2", events=10_000.0)
+                + _run_rows("t3") + _run_rows("t4")
+                + _run_rows("t5", events=1020.0))
+        report = perf.compare_runs(rows)
+        assert report["baseline_runs"] == 3
+        events = next(m for m in report["metrics"]
+                      if m["metric"] == "events_per_sec")
+        assert events["baseline"] == 1000.0
         assert report["regressions"] == []
 
     def test_improvements_are_never_regressions(self):
@@ -169,13 +191,15 @@ class TestCli:
         monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
         assert perf.main(["--quick", "--workers", "1"]) == 0
         payload = json.loads(target.read_text())
-        assert len(payload["rows"]) == 7
+        assert len(payload["rows"]) == 8
         assert any("events_per_sec" in row for row in payload["rows"])
         assert any("serial_s" in row for row in payload["rows"])
         assert any("cached_trial_ms" in row for row in payload["rows"])
         assert any("traced_trial_ms" in row for row in payload["rows"])
         assert any("recovery_ms" in row for row in payload["rows"])
         assert any("fastpath_trial_ms" in row for row in payload["rows"])
+        assert any("population_users_per_sec" in row
+                   for row in payload["rows"])
         assert any("ablate_selftest_ms" in row for row in payload["rows"])
         assert "repro.perf" in capsys.readouterr().out
 

@@ -1,0 +1,139 @@
+"""Population battery: determinism (serial, pooled, sharded), metric
+sanity, and the leak audit.
+
+The contract this file pins: a population trial is a pure function of
+``(mode, seed, users, sites, arrival, session)`` — the same city
+replays bit-for-bit whether it runs serially, fanned out over a worker
+pool, or partitioned across a shard fleet (fast path off; with it on,
+cross-shard routes legitimately run packet-level).
+"""
+
+import pytest
+
+from repro.experiments import population as pop
+from repro.internet.knobs import forced
+from repro.simnet import shard
+from repro.simnet.fastpath import FASTPATH_ENV
+from repro.workload import ArrivalCurve
+
+FAST = ArrivalCurve(window_ms=2_000.0)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_fleets():
+    yield
+    shard.close_all_runners()
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self):
+        a = pop.population_trial("opportunistic-SCION", 950, users=10,
+                                 sites=8, arrival=FAST)
+        b = pop.population_trial("opportunistic-SCION", 950, users=10,
+                                 sites=8, arrival=FAST)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = pop.population_trial("opportunistic-SCION", 950, users=10,
+                                 sites=8, arrival=FAST)
+        b = pop.population_trial("opportunistic-SCION", 951, users=10,
+                                 sites=8, arrival=FAST)
+        assert a != b
+
+    def test_serial_equals_worker_pool(self):
+        """The whole battery — every mode, every field — bit-identical
+        between workers=1 and workers=4."""
+        kwargs = dict(users=8, sites=8, trials=1, base_seed=952,
+                      arrival=FAST)
+        serial = pop.run_population(workers=1, **kwargs)
+        parallel = pop.run_population(workers=4, **kwargs)
+        assert serial.samples == parallel.samples
+
+    def test_serial_equals_sharded_with_fastpath_off(self):
+        """REPRO_SHARDS=2 partitions the world; with the fast path off
+        (no cross-shard fidelity demotion) every sample field must
+        match the serial run exactly, and the shard-side leak audit
+        must come back clean (a leak raises ShardError)."""
+        from repro.experiments.sharded import sharded_population_trial
+
+        with forced(FASTPATH_ENV, False):
+            serial = pop.population_trial("opportunistic-SCION", 953,
+                                          users=10, sites=8, arrival=FAST)
+            sharded = sharded_population_trial("opportunistic-SCION", 953,
+                                               shards=2, users=10, sites=8,
+                                               arrival=FAST)
+        assert serial == sharded
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return pop.population_trial("opportunistic-SCION", 960, users=12,
+                                    sites=8, arrival=FAST)
+
+    def test_loads_complete_without_failures(self, sample):
+        assert sample.loads >= 12  # at least one visit per user
+        assert sample.failed_loads == 0
+
+    def test_percentiles_are_ordered(self, sample):
+        assert 0.0 < sample.plt_p50_ms <= sample.plt_p95_ms \
+            <= sample.plt_p99_ms
+
+    def test_control_plane_load_is_measured(self, sample):
+        assert sample.path_server_lookups > 0
+        assert sample.path_server_qps > 0.0
+        assert sample.daemon_queries > 0
+        assert 0.0 < sample.daemon_cache_hit_rate <= 1.0
+
+    def test_per_as_utilization_is_attributed(self, sample):
+        ases = dict(sample.as_link_bytes)
+        busy = [isd_as for isd_as, sent in ases.items() if sent > 0]
+        assert len(busy) >= 2  # idle inter-AS links may report zero
+        assert all(sent >= 0 for sent in ases.values())
+
+    def test_baseline_mode_never_touches_scion(self):
+        baseline = pop.population_trial("BGP/IP-only", 960, users=8,
+                                        sites=8, arrival=FAST)
+        assert baseline.scion_fetches == 0
+        assert baseline.daemon_queries == 0
+        assert baseline.loads > 0
+
+
+class TestPercentileHelper:
+    def test_interpolates(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert pop.percentile(values, 0.0) == 10.0
+        assert pop.percentile(values, 1.0) == 40.0
+        assert pop.percentile(values, 0.5) == 25.0
+
+    def test_single_value(self):
+        assert pop.percentile([7.0], 0.99) == 7.0
+
+
+class TestReport:
+    def test_render_and_json_round_trip(self):
+        result = pop.run_population(users=8, sites=8, trials=1,
+                                    base_seed=955, arrival=FAST,
+                                    workers=1)
+        text = result.render()
+        for mode in pop.MODES:
+            assert mode in text
+        payload = result.to_json()
+        assert set(payload["modes"]) == set(pop.MODES)
+        assert payload["users"] == 8
+        assert result.busiest_ases()
+
+
+class TestLeakAudit:
+    def test_interrupted_run_is_clean(self):
+        world = pop.build_population_world(
+            "opportunistic-SCION", 956, users=8, sites=8, arrival=FAST,
+            obs=True)
+        processes = pop.start_sessions(world)
+        loop = world.internet.loop
+        loop.run(until=800.0)
+        for process in processes:
+            if not process.triggered:
+                process.interrupt("test shutdown")
+        loop.run()
+        assert pop.population_leak_report(world) == []

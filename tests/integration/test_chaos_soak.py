@@ -10,7 +10,11 @@ must be back at rest.
 import pytest
 
 from repro.experiments.fault_battery import build_fault_world
+from repro.experiments.population import (build_population_world,
+                                          population_leak_report,
+                                          start_sessions)
 from repro.simnet.faults import inject, random_schedule
+from repro.workload import ArrivalCurve
 
 LOADS = 10
 SOAK_WINDOW_MS = 180_000.0
@@ -77,3 +81,36 @@ class TestChaosSoak:
             "revocation subscription leaked"
         assert browser.proxy.breakers.probes_in_flight == 0, \
             "half-open breaker probe leaked"
+
+    @pytest.mark.parametrize("seed", [9101, 9102])
+    def test_interrupted_population_run_leaks_nothing(self, seed):
+        """A population run cut off mid-city — every session process
+        interrupted while loads are still in flight — must leave every
+        pooled resource at rest once the interrupts drain: per-user HTTP
+        pools, extension/proxy CPU slots, spans, recycled events, and
+        revocation timers."""
+        world = build_population_world(
+            "opportunistic-SCION", seed, users=12, sites=8,
+            arrival=ArrivalCurve(window_ms=2_000.0), obs=True)
+        processes = start_sessions(world)
+        loop = world.internet.loop
+        loop.run(until=1_200.0)  # mid-flight: sessions started, none done
+        for process in processes:
+            if not process.triggered:
+                process.interrupt("chaos soak shutdown")
+        loop.run()
+        leaks = population_leak_report(world)
+        assert leaks == [], "\n".join(leaks)
+
+    @pytest.mark.parametrize("seed", [9103])
+    def test_completed_population_run_leaks_nothing(self, seed):
+        """The same audit on a run that finishes naturally."""
+        world = build_population_world(
+            "strict-SCION", seed, users=10, sites=8,
+            arrival=ArrivalCurve(window_ms=2_000.0), obs=True)
+        processes = start_sessions(world)
+        world.internet.loop.run()
+        assert all(process.triggered for process in processes)
+        assert all(process.exception is None for process in processes)
+        leaks = population_leak_report(world)
+        assert leaks == [], "\n".join(leaks)

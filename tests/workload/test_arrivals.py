@@ -1,0 +1,54 @@
+"""Arrival curves: determinism, window bounds, diurnal shape."""
+
+import pytest
+
+from repro.workload import ArrivalCurve, arrival_times
+
+OPEN = ArrivalCurve(window_ms=5_000.0)
+DIURNAL = ArrivalCurve(window_ms=5_000.0, shape="diurnal",
+                       diurnal_amplitude=0.8)
+
+
+class TestArrivals:
+    @pytest.mark.parametrize("curve", [OPEN, DIURNAL])
+    def test_deterministic_per_seed(self, curve):
+        assert arrival_times(50, curve, seed=7) == \
+            arrival_times(50, curve, seed=7)
+        assert arrival_times(50, curve, seed=7) != \
+            arrival_times(50, curve, seed=8)
+
+    @pytest.mark.parametrize("curve", [OPEN, DIURNAL])
+    def test_sorted_and_inside_the_window(self, curve):
+        times = arrival_times(200, curve, seed=7)
+        assert len(times) == 200
+        assert list(times) == sorted(times)
+        assert all(0.0 <= t <= curve.window_ms for t in times)
+
+    def test_zero_users(self):
+        assert arrival_times(0, OPEN, seed=7) == ()
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(-1, OPEN, seed=7)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(5, ArrivalCurve(shape="tidal"), seed=7)
+
+    def test_diurnal_concentrates_mid_window(self):
+        """With a strong day-curve, the middle third of the window
+        holds clearly more arrivals than either edge third."""
+        times = arrival_times(3_000, DIURNAL, seed=7)
+        third = DIURNAL.window_ms / 3.0
+        head = sum(1 for t in times if t < third)
+        mid = sum(1 for t in times if third <= t < 2 * third)
+        tail = sum(1 for t in times if t >= 2 * third)
+        assert mid > 1.5 * head
+        assert mid > 1.5 * tail
+
+    def test_open_loop_is_roughly_uniform(self):
+        times = arrival_times(3_000, OPEN, seed=7)
+        third = OPEN.window_ms / 3.0
+        head = sum(1 for t in times if t < third)
+        mid = sum(1 for t in times if third <= t < 2 * third)
+        assert abs(head - mid) < 200

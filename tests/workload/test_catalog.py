@@ -1,0 +1,88 @@
+"""Site catalog: Zipf popularity, per-site profiles, determinism."""
+
+import random
+
+from repro.workload import SiteCatalog, ZipfSampler, default_catalog
+
+ORIGINS = ("far.example", "near.example")
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, 0.9)
+        total = sum(sampler.probability(i) for i in range(20))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_popularity_decreases_with_rank(self):
+        sampler = ZipfSampler(20, 0.9)
+        probabilities = [sampler.probability(i) for i in range(20)]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[0] > 2 * probabilities[-1]
+
+    def test_empirical_distribution_matches_weights(self):
+        """10k draws land near the analytic head probability — the
+        sanity check that sampling actually follows the weights."""
+        sampler = ZipfSampler(10, 1.0)
+        rng = random.Random("zipf-test:1")
+        draws = [sampler.sample(rng) for _ in range(10_000)]
+        head_share = draws.count(0) / len(draws)
+        assert abs(head_share - sampler.probability(0)) < 0.03
+        assert set(draws) <= set(range(10))
+
+    def test_sampling_is_deterministic(self):
+        sampler = ZipfSampler(12, 0.9)
+        first = [sampler.sample(random.Random("s:1")) for _ in range(50)]
+        second = [sampler.sample(random.Random("s:1")) for _ in range(50)]
+        assert first == second
+
+
+class TestDefaultCatalog:
+    def test_same_seed_same_catalog(self):
+        a = default_catalog(15, ORIGINS, seed=7)
+        b = default_catalog(15, ORIGINS, seed=7)
+        assert a.sites == b.sites
+
+    def test_different_seed_different_profiles(self):
+        a = default_catalog(15, ORIGINS, seed=7)
+        b = default_catalog(15, ORIGINS, seed=8)
+        assert a.sites != b.sites
+
+    def test_pages_are_memoized_and_deterministic(self):
+        catalog = default_catalog(10, ORIGINS, seed=7)
+        assert catalog.page_for(3) is catalog.page_for(3)
+        again = default_catalog(10, ORIGINS, seed=7)
+        assert catalog.page_for(3) == again.page_for(3)
+
+    def test_sites_on_one_origin_never_share_urls(self):
+        """Browser-cache hits must always mean a genuine revisit."""
+        catalog = default_catalog(12, ("far.example",), seed=7)
+        seen: set[str] = set()
+        for index in range(len(catalog.sites)):
+            page = catalog.page_for(index)
+            urls = {page.url} | {r.url for r in page.resources}
+            assert not urls & seen
+            seen |= urls
+
+    def test_origin_content_merges_every_hosted_site(self):
+        catalog = default_catalog(12, ORIGINS, seed=7)
+        for origin in catalog.origins():
+            content = catalog.origin_content(origin)
+            hosted = [s for s in catalog.sites if s.origin == origin]
+            assert content  # every origin hosts at least one site
+            for site in hosted:
+                page = catalog.page_for(site.rank - 1)
+                assert page.path in content
+                for resource in page.resources:
+                    assert resource.path in content
+
+
+class TestSampling:
+    def test_catalog_sampling_is_zipf_weighted(self):
+        catalog = default_catalog(10, ORIGINS, seed=7, exponent=1.0)
+        rng = random.Random("draws:1")
+        draws = [catalog.sample_index(rng) for _ in range(5_000)]
+        assert draws.count(0) > draws.count(9)
+
+    def test_sampler_length_matches_sites(self):
+        catalog = default_catalog(10, ORIGINS, seed=7)
+        assert len(SiteCatalog(catalog.sites).sampler) == 10
