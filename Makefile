@@ -4,7 +4,9 @@
 # component-ablation selftest (leave-one-out knob sweep with exact
 # contract verification), the shard determinism selftest (serial vs
 # REPRO_SHARDS=2 exact sample equality, <10 s), the population-workload
-# selftest (determinism, tail sanity, leak audit, <10 s), then a quick
+# selftest (determinism, tail sanity, leak audit, <10 s), the overload
+# selftest (flash-crowd metastability contrast: retry storm with
+# protections off, bounded graceful degradation on, <10 s), then a quick
 # perf smoke run (appends a row to BENCH_results.json), then the trajectory
 # compare, which exits non-zero if any headline metric regressed more
 # than 10 % against the previous full-size run.
@@ -12,10 +14,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test obs fastpath-ab ablations2 shard population perf \
-	perf-full compare experiments
+.PHONY: verify test obs fastpath-ab ablations2 shard population overload \
+	perf perf-full compare experiments
 
-verify: test obs fastpath-ab ablations2 shard population perf compare
+verify: test obs fastpath-ab ablations2 shard population overload perf \
+	compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +37,9 @@ shard:
 
 population:
 	$(PYTHON) -m repro.experiments.population --selftest
+
+overload:
+	$(PYTHON) -m repro.experiments.overload --selftest
 
 perf:
 	$(PYTHON) -m repro.perf --quick

@@ -88,6 +88,12 @@ class BraveBrowser:
         self.proxy.stats.metrics = tracer.metrics
         self.resolver.tracer = tracer
         self.host.daemon.tracer = tracer
+        daemon = self.host.daemon
+        if daemon.admission is not None:
+            daemon.admission.tracer = tracer
+        server_admission = getattr(daemon.path_server, "admission", None)
+        if server_admission is not None:
+            server_admission.tracer = tracer
 
     @property
     def settings(self) -> ExtensionSettings:

@@ -67,6 +67,17 @@ class PageLoadResult:
                    if outcome.recovery == "fallback")
 
     @property
+    def shed_count(self) -> int:
+        """Resources whose path lookup was shed by admission control."""
+        return sum(1 for outcome in self.outcomes if outcome.shed)
+
+    @property
+    def retry_budget_exhausted_count(self) -> int:
+        """Resources that ran out of retry tokens mid-fetch."""
+        return sum(1 for outcome in self.outcomes
+                   if outcome.retry_budget_exhausted)
+
+    @property
     def degraded_fraction(self) -> float:
         """Fraction of the page's resources that never arrived (blocked
         or failed) — the partial-page degradation the UI surfaces."""

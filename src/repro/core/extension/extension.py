@@ -32,6 +32,7 @@ from repro.core.negotiation import (
 from repro.core.ppl.ast import Policy
 from repro.core.ppl.evaluator import PathPolicy, combine
 from repro.core.skip.proxy import ProxyResult, SkipProxy
+from repro.core.skip.session import ChoiceKind
 from repro.errors import (
     DnsError,
     HttpError,
@@ -92,6 +93,11 @@ class FetchOutcome:
     #: :class:`~repro.core.skip.proxy.ProxyResult`): "none", "failover"
     #: or "fallback".
     recovery: str = "none"
+    #: The shared path service shed this request's lookup under
+    #: overload (admission control; see :mod:`repro.scion.admission`).
+    shed: bool = False
+    #: The proxy wanted to retry but its token bucket was empty.
+    retry_budget_exhausted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -199,7 +205,8 @@ class BrowserExtension:
                 outcome = FetchOutcome(
                     request=request, response=None, used_scion=False,
                     policy_compliant=False, blocked=True,
-                    elapsed_ms=loop.now - started)
+                    elapsed_ms=loop.now - started,
+                    shed=choice.kind is ChoiceKind.OVERLOADED)
                 if indicator is not None:
                     indicator.record(used_scion=False, compliant=False,
                                      blocked=True)
@@ -213,15 +220,20 @@ class BrowserExtension:
             result: ProxyResult = yield from self.proxy.fetch(
                 request, strict=strict, server_preferences=negotiated,
                 parent=span)
-        except (StrictModeViolation, HttpError, TransportError, DnsError):
+        except (StrictModeViolation, HttpError, TransportError,
+                DnsError) as error:
             # Strict-mode blocks and genuine failures (no route, dead
             # origin, handshake timeout) both surface as a blocked
             # resource: the page degrades, the browser never crashes.
+            # Overload outcomes carry their accounting on the error.
             self.requests_blocked += 1
             outcome = FetchOutcome(
                 request=request, response=None, used_scion=False,
                 policy_compliant=False, blocked=True,
-                elapsed_ms=loop.now - started)
+                elapsed_ms=loop.now - started,
+                shed=getattr(error, "shed", False),
+                retry_budget_exhausted=getattr(
+                    error, "retry_budget_exhausted", False))
             if indicator is not None:
                 indicator.record(used_scion=False, compliant=False,
                                  blocked=True)
@@ -240,6 +252,8 @@ class BrowserExtension:
             blocked=False,
             elapsed_ms=loop.now - started,
             recovery=result.recovery,
+            shed=result.shed,
+            retry_budget_exhausted=result.retry_budget_exhausted,
         )
 
     def _observe_response(self, request: HttpRequest,

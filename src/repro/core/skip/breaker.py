@@ -26,6 +26,7 @@ could perturb RNG or event ordering (the chaos soak asserts this).
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 
 #: Cap on the exponential backoff doubling (2**6 = 64x the base).
@@ -67,6 +68,12 @@ class CircuitBreaker:
     #: Times the breaker transitioned half-open → closed (the
     #: exactly-once guarantee the tests pin).
     closes: int = 0
+    #: Seeded jitter stream for the OPEN backoff deadline, so half-open
+    #: probes from many clients desynchronize instead of hammering a
+    #: recovering path in lockstep. ``None`` (the default, and what
+    #: direct construction gets) keeps the exact deterministic backoff;
+    #: draws happen only on trips, so fault-free runs stay RNG-silent.
+    jitter_rng: random.Random | None = None
 
     def blocks(self, now: float) -> bool:
         """Whether requests must avoid this path right now.
@@ -139,7 +146,10 @@ class CircuitBreaker:
         doublings = min(self.trip_count, MAX_BACKOFF_DOUBLINGS)
         self.trip_count += 1
         self.state = BreakerState.OPEN
-        self.open_until = now + backoff_ms * (2 ** doublings)
+        backoff = backoff_ms * (2 ** doublings)
+        if self.jitter_rng is not None:
+            backoff *= 0.5 + self.jitter_rng.random()
+        self.open_until = now + backoff
 
 
 @dataclass
@@ -155,6 +165,9 @@ class BreakerBoard:
 
     failure_threshold: int = 1
     enabled: bool | None = None
+    #: Shared jitter stream handed to every lazily-created breaker
+    #: (see :attr:`CircuitBreaker.jitter_rng`); ``None`` disables jitter.
+    jitter_rng: random.Random | None = None
     _breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -185,7 +198,8 @@ class BreakerBoard:
         breaker = self._breakers.get(fingerprint)
         if breaker is None:
             breaker = CircuitBreaker(
-                failure_threshold=self.failure_threshold)
+                failure_threshold=self.failure_threshold,
+                jitter_rng=self.jitter_rng)
             self._breakers[fingerprint] = breaker
         return breaker.record_failure(now, backoff_ms)
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro.core.ppl.evaluator import PathPolicy
 from repro.core.skip.breaker import BreakerBoard, BreakerState
 from repro.core.skip.detection import DetectionResult, ScionDetector
+from repro.core.skip.retry_budget import RetryBudget
 from repro.core.skip.session import ChoiceKind, PathChoice, PathSelector
 from repro.core.skip.stats import PathUsageStats
 from repro.dns.resolver import Resolver
@@ -84,6 +85,11 @@ class ProxyResult:
     #: after the active one died), ``"fallback"`` (served over IP even
     #: though the destination is SCION-capable).
     recovery: str = "none"
+    #: The shared path service shed this request's lookup under
+    #: overload (served stale or degraded to IP without retrying).
+    shed: bool = False
+    #: A retry was wanted but the client's token bucket was empty.
+    retry_budget_exhausted: bool = False
 
 
 class SkipProxy:
@@ -98,7 +104,8 @@ class SkipProxy:
                  rng: random.Random | None = None,
                  request_timeout_ms: float = DEFAULT_REQUEST_TIMEOUT_MS,
                  retry_backoff_ms: float = DEFAULT_RETRY_BACKOFF_MS,
-                 breaker: bool | None = None) -> None:
+                 breaker: bool | None = None,
+                 retry_budget: bool | None = None) -> None:
         if host.daemon is None:
             raise ProxyError(f"host {host.name} has no path daemon")
         if host.loop is None:
@@ -127,8 +134,20 @@ class SkipProxy:
         #: fingerprint (closed → open on failure → half-open with a
         #: single probe before readmission). ``breaker=None`` defers to
         #: the ``REPRO_BREAKER`` knob.
-        self.breakers = BreakerBoard(enabled=breaker)
+        self.breakers = BreakerBoard(
+            enabled=breaker,
+            jitter_rng=random.Random(f"breaker-jitter:{host.name}"))
+        #: Token-bucket retry authorization (``REPRO_RETRY_BUDGET``):
+        #: bounds this client's retry amplification and desynchronizes
+        #: backoff with seeded jitter. ``retry_budget=None`` defers to
+        #: the environment knob.
+        self.retry_budget = RetryBudget(name=host.name,
+                                        enabled=retry_budget)
         self.failovers = 0
+        #: Plain counters for retry-amplification reporting: fetches
+        #: through :meth:`fetch` and wire attempts they cost.
+        self.fetches = 0
+        self.attempts = 0
         self.tracer = NULL_TRACER
 
     # -- configuration API (what the extension calls, §5.1) ---------------------
@@ -255,6 +274,7 @@ class SkipProxy:
         started = loop.now
         tracer = self.tracer
         metrics = tracer.metrics
+        self.fetches += 1
         yield from self.cpu.use(self._cost(self.processing_ms))
 
         # Path lookup covers detection (DNS + curated/learned lists)
@@ -279,24 +299,36 @@ class SkipProxy:
         lookup_span.set(source=detection.source,
                         kind=choice.kind.value).end()
         metrics.histogram("path_lookup_ms").observe(lookup_span.duration_ms)
+        shed = choice.kind is ChoiceKind.OVERLOADED
 
         if strict and not choice.compliant:
             self.stats.record_blocked(request.host)
             metrics.counter("requests_total", transport="blocked").inc()
             span.set(blocked=True, reason=choice.kind.value)
-            raise StrictModeViolation(
+            violation = StrictModeViolation(
                 f"strict mode: no policy-compliant SCION path for "
                 f"{request.host} ({choice.kind.value})")
+            violation.shed = shed
+            raise violation
 
         attempts = 0
+        budget_exhausted = False
         while choice.usable and attempts < self.max_scion_attempts:
             if attempts:
-                # Exponential backoff between retry attempts.
+                if not self.retry_budget.try_spend(loop.now):
+                    # Out of tokens: stop amplifying, fall back to IP.
+                    span.event("retry-budget-exhausted", transport="scion")
+                    metrics.counter("retry_budget_exhausted_total").inc()
+                    budget_exhausted = True
+                    break
+                # Exponential backoff (seed-jittered when the budget is
+                # enabled) between retry attempts.
                 span.event("retry", transport="scion", attempt=attempts)
                 metrics.counter("retry_count").inc()
-                yield loop.timeout(
-                    self.retry_backoff_ms * (2 ** (attempts - 1)))
+                yield loop.timeout(self.retry_budget.jittered_backoff(
+                    self.retry_backoff_ms * (2 ** (attempts - 1))))
             try:
+                self.attempts += 1
                 response = yield from self.client.request(
                     detection.scion_address, self.quic_port, request,
                     via="scion", path=choice.path,
@@ -331,6 +363,7 @@ class SkipProxy:
                 choice = self._admit_choice(
                     choice, detection.scion_address.isd_as, effective,
                     span)
+                shed = shed or choice.kind is ChoiceKind.OVERLOADED
                 continue
             elapsed = loop.now - started
             if choice.path is not None:
@@ -360,6 +393,7 @@ class SkipProxy:
                 detection_source=detection.source,
                 elapsed_ms=elapsed,
                 recovery="failover" if attempts else "none",
+                shed=shed,
             )
 
         if strict:
@@ -367,9 +401,12 @@ class SkipProxy:
             self.stats.record_blocked(request.host)
             metrics.counter("requests_total", transport="blocked").inc()
             span.set(blocked=True, reason="scion-exhausted")
-            raise StrictModeViolation(
+            violation = StrictModeViolation(
                 f"strict mode: SCION fetch for {request.host} failed on "
                 f"all attempted paths")
+            violation.shed = shed
+            violation.retry_budget_exhausted = budget_exhausted
+            raise violation
         if detection.ip_address is None:
             raise HttpError(f"no route to {request.host}", status=502)
         if detection.scion_available:
@@ -381,9 +418,10 @@ class SkipProxy:
             if ip_attempts:
                 span.event("retry", transport="ip", attempt=ip_attempts)
                 metrics.counter("retry_count").inc()
-                yield loop.timeout(
-                    self.retry_backoff_ms * (2 ** (ip_attempts - 1)))
+                yield loop.timeout(self.retry_budget.jittered_backoff(
+                    self.retry_backoff_ms * (2 ** (ip_attempts - 1))))
             try:
+                self.attempts += 1
                 response = yield from self.client.request(
                     detection.ip_address, self.tcp_port, request, via="ip",
                     timeout_ms=self.request_timeout_ms, parent=span)
@@ -393,6 +431,15 @@ class SkipProxy:
                 span.event("attempt-failed", transport="ip",
                            attempt=ip_attempts, error=type(error).__name__)
                 if ip_attempts >= self.max_ip_attempts:
+                    error.shed = shed
+                    error.retry_budget_exhausted = budget_exhausted
+                    raise
+                if not self.retry_budget.try_spend(loop.now):
+                    span.event("retry-budget-exhausted", transport="ip")
+                    metrics.counter("retry_budget_exhausted_total").inc()
+                    budget_exhausted = True
+                    error.shed = shed
+                    error.retry_budget_exhausted = True
                     raise
         elapsed = loop.now - started
         self.stats.record_ip(request.host, elapsed,
@@ -406,4 +453,6 @@ class SkipProxy:
             detection_source=detection.source,
             elapsed_ms=elapsed,
             recovery="fallback" if detection.scion_available else "none",
+            shed=shed,
+            retry_budget_exhausted=budget_exhausted,
         )

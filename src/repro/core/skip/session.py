@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.ppl.evaluator import PathPolicy, order_paths
+from repro.errors import OverloadError
 from repro.obs.spans import NULL_TRACER
 from repro.scion.daemon import PathDaemon
 from repro.scion.path import ScionPath
@@ -37,6 +38,7 @@ class ChoiceKind(enum.Enum):
     LOCAL_AS = "local"          # same AS, no path needed
     NO_SCION = "no-scion"       # no SCION path at all
     POLICY_EXHAUSTED = "policy-exhausted"  # paths exist, none compliant
+    OVERLOADED = "overloaded"   # lookup shed by admission control
 
 
 @dataclass(frozen=True)
@@ -86,7 +88,14 @@ class PathSelector:
                 avoid: frozenset[str]) -> PathChoice:
         if dst == self.daemon.isd_as:
             return PathChoice(kind=ChoiceKind.LOCAL_AS)
-        candidates = [path for path in self.daemon.try_paths(dst)
+        try:
+            paths = self.daemon.try_paths(dst)
+        except OverloadError:
+            # The shared path service shed this lookup: an explicit
+            # outcome, so the proxy can fall back to IP (opportunistic)
+            # or block with "overloaded" (strict) without retrying.
+            return PathChoice(kind=ChoiceKind.OVERLOADED)
+        candidates = [path for path in paths
                       if path.fingerprint() not in avoid]
         if not candidates:
             return PathChoice(kind=ChoiceKind.NO_SCION)

@@ -62,6 +62,16 @@ class PathServerUnreachableError(NoPathError):
     """
 
 
+class OverloadError(NoPathError):
+    """The shared path service (daemon or path server) shed this lookup
+    under overload and no stale cached answer existed.
+
+    A :class:`NoPathError` subclass so opportunistic callers degrade the
+    same way they do for genuinely path-less destinations; strict-mode
+    callers surface it as an explicit ``overloaded`` outcome.
+    """
+
+
 class PolicyError(ReproError):
     """A path policy is invalid."""
 

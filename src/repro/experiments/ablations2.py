@@ -4,7 +4,8 @@ Every optional subsystem this repo has grown — the hybrid-fidelity fast
 path, the control-plane snapshot cache, revocation dissemination, event
 pooling, the combine-segments memo, the proxy's circuit breakers, the
 daemon's health ranking, tracing, the sharded parallel event core,
-population revisit locality — is registered here as a
+population revisit locality, admission control in the shared path
+services, the proxy's per-client retry budget — is registered here as a
 :class:`Component` with three declarative facts:
 
 * **its toggle** — the ``REPRO_*`` environment knob (or, for tracing,
@@ -54,9 +55,11 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.skip.breaker import BREAKER_ENV
+from repro.core.skip.retry_budget import RETRY_BUDGET_ENV
 from repro.experiments.harness import run_samples
 from repro.internet.knobs import forced_many
 from repro.internet.snapshot import SNAPSHOT_CACHE_ENV
+from repro.scion.admission import ADMISSION_ENV
 from repro.scion.combinator import COMBINE_MEMO_ENV, combine_segments
 from repro.scion.health import HEALTH_RANKING_ENV
 from repro.scion.revocation import REVOCATION_ENV
@@ -73,6 +76,7 @@ STATISTICALLY_EQUIVALENT = "statistically_equivalent"
 FIGURE3 = "figure3"
 RESILIENCE = "resilience"
 POPULATION = "population"
+OVERLOAD = "overload"
 
 
 @dataclass(frozen=True)
@@ -195,6 +199,19 @@ COMPONENTS: tuple[Component, ...] = (
         metrics=("daemon_hit_rate", "p99_plt_ms", "pool_wait_ms"),
         description="revisit locality in population session plans "
                     "(warm daemon caches + HTTP pools)"),
+    Component(
+        name="admission_control", knob=ADMISSION_ENV,
+        contract=BIT_IDENTICAL, battery=OVERLOAD,
+        metrics=("goodput_ratio", "retry_amplification", "drain_ms",
+                 "shed_fraction"),
+        description="bounded queues + load shedding in the shared "
+                    "path daemon/server (only acts under overload)"),
+    Component(
+        name="retry_budget", knob=RETRY_BUDGET_ENV,
+        contract=BIT_IDENTICAL, battery=OVERLOAD,
+        metrics=("goodput_ratio", "retry_amplification", "drain_ms"),
+        description="per-client retry token bucket + seeded backoff "
+                    "jitter in the SKIP proxy"),
 )
 
 
@@ -282,6 +299,23 @@ def population_ablation_trial(overrides: tuple[tuple[str, bool | str], ...],
             sample.daemon_cache_hit_rate, sample.pool_wait_ms)
 
 
+def overload_ablation_trial(overrides: tuple[tuple[str, bool | str], ...],
+                            seed: int) -> tuple[float, float, float, float]:
+    """One protections-on flash-crowd trial under pinned knobs.
+
+    The leave-one-out run flips exactly one protection off while the
+    rest of the stack stays at its defaults — the ablation measures
+    what *that* protection contributes to surviving the spike. Returns
+    ``(goodput_ratio, retry_amplification, shed_fraction, drain_ms)``.
+    """
+    from repro.experiments.overload import overload_trial
+
+    with forced_many(dict(overrides)):
+        sample = overload_trial("protections-on", seed)
+    return (sample.goodput_ratio, sample.retry_amplification,
+            sample.shed_fraction, sample.time_to_drain_ms)
+
+
 # -- configuration ---------------------------------------------------------
 
 
@@ -306,6 +340,8 @@ class AblationConfig:
     population_base_seed: int = 910
     population_users: int = 60
     population_sites: int = 20
+    overload_trials: int = 2
+    overload_base_seed: int = 1300
     contract_trials: int = 2
     workers: int = 1
 
@@ -322,6 +358,11 @@ class AblationConfig:
     def population_seeds(self) -> range:
         return range(self.population_base_seed,
                      self.population_base_seed + self.population_trials)
+
+    @property
+    def overload_seeds(self) -> range:
+        return range(self.overload_base_seed,
+                     self.overload_base_seed + self.overload_trials)
 
     def to_json(self) -> dict:
         return dataclasses.asdict(self)
@@ -345,7 +386,7 @@ def selftest_config(workers: int = 1) -> AblationConfig:
                           trials=3, n_resources=6,
                           resilience_trials=2, resilience_loads=3,
                           population_trials=1, population_users=10,
-                          population_sites=8,
+                          population_sites=8, overload_trials=1,
                           contract_trials=2, workers=workers)
 
 
@@ -399,6 +440,17 @@ def _population_metrics(samples: list[tuple[float, float, float, float]],
     }
 
 
+def _overload_metrics(samples: list[tuple[float, float, float, float]],
+                      wallclock_ms: float) -> dict[str, float]:
+    return {
+        "goodput_ratio": sum(row[0] for row in samples) / len(samples),
+        "retry_amplification": sum(row[1] for row in samples) / len(samples),
+        "shed_fraction": sum(row[2] for row in samples) / len(samples),
+        "drain_ms": sum(row[3] for row in samples) / len(samples),
+        "wallclock_ms": wallclock_ms,
+    }
+
+
 def battery_label(battery: str, context: tuple[tuple[str, bool], ...] = ()
                   ) -> str:
     """Display/baseline key for a battery under extra context pins."""
@@ -445,6 +497,14 @@ def run_battery(battery: str, overrides: dict[str, bool | str],
         return BatteryRun(battery=battery, samples=tuple(samples),
                           wallclock_ms=wallclock_ms,
                           metrics=_population_metrics(samples, wallclock_ms))
+    if battery == OVERLOAD:
+        trial = functools.partial(overload_ablation_trial, pinned)
+        samples = list(run_samples(trial, config.overload_seeds,
+                                   workers=config.workers))
+        wallclock_ms = (time.perf_counter() - started) * 1000.0
+        return BatteryRun(battery=battery, samples=tuple(samples),
+                          wallclock_ms=wallclock_ms,
+                          metrics=_overload_metrics(samples, wallclock_ms))
     raise ValueError(f"unknown battery {battery!r}")
 
 
@@ -701,6 +761,51 @@ def _evidence_population_locality() -> str:
             "(revisit_probability=1 probe)")
 
 
+def _evidence_admission_control() -> str:
+    from repro.scion.admission import AdmissionController
+
+    class _Clock:
+        now = 0.0
+
+    with forced_many({ADMISSION_ENV: False}):
+        off = AdmissionController(service="probe", clock=_Clock(),
+                                  capacity_qps=1.0, max_queue_depth=0)
+    with forced_many({ADMISSION_ENV: True}):
+        on = AdmissionController(service="probe", clock=_Clock(),
+                                 capacity_qps=1.0, max_queue_depth=0)
+    for _ in range(5):
+        assert off.admit(), "disabled controller shed a request"
+    assert off.backlog() == 0 and off.stats.peak_backlog == 0, \
+        "disabled controller kept backlog state"
+    decisions = [on.admit() for _ in range(5)]
+    assert decisions[0] and not all(decisions), \
+        "enabled controller never shed a 5x-over-capacity burst"
+    on.shed("rejected")
+    assert on.stats.shed_total() == 1 and on.stats.peak_backlog > 0
+    return "sheds a 5x-over-capacity burst with the knob on, never off"
+
+
+def _evidence_retry_budget() -> str:
+    from repro.core.skip.retry_budget import RetryBudget
+
+    with forced_many({RETRY_BUDGET_ENV: False}):
+        off = RetryBudget(name="probe")
+    with forced_many({RETRY_BUDGET_ENV: True}):
+        on = RetryBudget(name="probe", capacity=1.0, refill_per_sec=0.0)
+    for _ in range(5):
+        assert off.try_spend(0.0), "disabled budget refused a retry"
+    assert off.spent_total == 0 and off.exhausted_total == 0, \
+        "disabled budget kept token state"
+    assert off.jittered_backoff(100.0) == 100.0, \
+        "disabled budget jittered a backoff"
+    assert on.try_spend(0.0) and not on.try_spend(0.0), \
+        "capacity-1 bucket did not exhaust on the second retry"
+    assert on.exhausted_total == 1
+    assert 50.0 <= on.jittered_backoff(100.0) < 150.0, \
+        "enabled backoff jitter outside [0.5, 1.5)x"
+    return "capacity-1 bucket exhausts with the knob on, inert off"
+
+
 def _evidence_health_ranking() -> str:
     with forced_many({HEALTH_RANKING_ENV: False}):
         world = _tiny_local_world()
@@ -724,6 +829,8 @@ EVIDENCE_PROBES = {
     "health_ranking": _evidence_health_ranking,
     "sharded_core": _evidence_sharded_core,
     "population_locality": _evidence_population_locality,
+    "admission_control": _evidence_admission_control,
+    "retry_budget": _evidence_retry_budget,
 }
 
 

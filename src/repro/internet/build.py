@@ -29,6 +29,7 @@ from repro.internet.router import AsRouter
 from repro.internet.snapshot import control_plane_snapshot
 from repro.ip.bgp import BgpRib
 from repro.scion.addr import HostAddr
+from repro.scion.admission import AdmissionController
 from repro.scion.beaconing import SegmentStore
 from repro.scion.daemon import PathDaemon
 from repro.scion.health import HealthTracker
@@ -62,6 +63,7 @@ class Internet:
                  event_pool: bool | None = None,
                  combine_memo: bool | None = None,
                  health_ranking: bool | None = None,
+                 admission: bool | None = None,
                  shards: int | None = None,
                  shard_slice=None) -> None:
         topology.validate()
@@ -176,6 +178,12 @@ class Internet:
         # (String seeds hash via SHA-512 — stable across processes.)
         self.path_server.degradation_rng = random.Random(
             f"path-server-degraded:{seed}")
+        # Bounded-queue admission for the shared lookup service
+        # (``REPRO_ADMISSION``, explicit ``admission=`` wins). Every
+        # daemon in this world funnels fresh fetches through this gate.
+        self.path_server.admission = AdmissionController(
+            service="path-server", clock=self.network.loop,
+            enabled=admission)
 
         # SCMP-style revocation dissemination (see repro.scion.revocation).
         # set_link_state and the fault injector report link transitions;
@@ -194,6 +202,7 @@ class Internet:
         #: Per-world overrides threaded into every host's daemon.
         self._combine_memo = combine_memo
         self._health_ranking = health_ranking
+        self._admission = admission
 
         self.hosts: dict[str, Host] = {}
         self._host_links: dict[str, object] = {}
@@ -272,6 +281,9 @@ class Internet:
             clock=self.network.loop,
             combine_memo=self._combine_memo,
             health=HealthTracker(enabled=self._health_ranking),
+            admission=AdmissionController(
+                service="daemon", clock=self.network.loop,
+                enabled=self._admission),
         )
         self.revocations.subscribe(host.daemon)
         self.hosts[name] = host

@@ -33,7 +33,13 @@ A set of fixed workloads quantifies the simulator's speed:
   opportunistic-SCION population trial (``repro.workload`` session
   plans over the remote testbed) plus its simulated p99 PLT, guarding
   both the workload engine's throughput and the tail latency the
-  population battery reports.
+  population battery reports;
+* **overload workload** — one protections-on flash-crowd trial from the
+  overload battery, recording the shed fraction and the simulated
+  burst-phase p99 PLT — the graceful-degradation envelope the
+  trajectory guards (a PR that quietly weakens admission control or the
+  retry budget moves ``overload_p99_plt_ms`` long before the selftest's
+  hard thresholds trip).
 
 Results append to ``BENCH_results.json`` at the repo root so successive
 PRs accumulate a machine-readable performance trajectory (events/sec,
@@ -590,6 +596,43 @@ def measure_population(users: int = 60, sites: int = 20,
 
 
 # ---------------------------------------------------------------------------
+# Workload 10 — overload / graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def measure_overload(seed: int = 1200) -> dict[str, Any]:
+    """Shed fraction and burst-phase p99 PLT of one protections-on
+    flash-crowd trial.
+
+    Both headline numbers are *simulated* (machine-independent):
+    ``overload_shed_fraction`` records how much of the spike admission
+    control turned away, and ``overload_p99_plt_ms`` the tail latency
+    the survivors saw — together the graceful-degradation envelope. The
+    trial runs twice over the same seed; the passes must be
+    bit-identical, and the best wall-clock becomes
+    ``overload_trial_ms``.
+    """
+    from repro.experiments.overload import overload_trial
+
+    def one_pass():
+        started = time.perf_counter()
+        sample = overload_trial("protections-on", seed)
+        return sample, time.perf_counter() - started
+
+    first, first_s = one_pass()
+    second, second_s = one_pass()
+    return {
+        "workload": f"overload/{first.users}",
+        "overload_users": first.users,
+        "overload_trial_ms": round(min(first_s, second_s) * 1000.0, 1),
+        "overload_shed_fraction": round(first.shed_fraction, 4),
+        "overload_p99_plt_ms": round(first.plt_p99_burst_ms, 2),
+        "overload_goodput_ratio": round(first.goodput_ratio, 3),
+        "identical": first == second,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory comparison (--compare)
 # ---------------------------------------------------------------------------
 
@@ -637,6 +680,9 @@ COMPARE_METRICS = (
     # and the simulated tail it reports.
     ("population_users_per_sec", True),
     ("population_p99_plt_ms", False),
+    # Absent in pre-overload rows: the graceful-degradation tail under
+    # a protections-on flash crowd (simulated, machine-independent).
+    ("overload_p99_plt_ms", False),
 )
 
 
@@ -861,6 +907,14 @@ def render(rows: list[dict[str, Any]]) -> str:
             parts.append(f"{row['population_loads']} loads")
             parts.append("deterministic" if row["identical"]
                          else "NON-DETERMINISTIC")
+        if "overload_shed_fraction" in row:
+            parts.append(f"shed {row['overload_shed_fraction']:.1%}")
+            parts.append(f"p99 burst {row['overload_p99_plt_ms']:,.0f} "
+                         f"simulated ms")
+            parts.append(f"goodput {row['overload_goodput_ratio']:.2f}x")
+            parts.append(f"wall {row['overload_trial_ms']:,.0f} ms/trial")
+            parts.append("deterministic" if row["identical"]
+                         else "NON-DETERMINISTIC")
         if "ablate_selftest_ms" in row:
             parts.append(f"sweep {row['ablate_selftest_ms']:,.0f} ms")
             parts.append(f"{row['ablate_components']} components")
@@ -892,8 +946,10 @@ def run_suite(quick: bool = False,
         fastpath = measure_fastpath()
         sharded = measure_sharded()
         population = measure_population()
-    # The ablation sweep is its own CI-gate-sized workload either way.
+    # The ablation sweep and the overload trial are CI-gate-sized
+    # workloads either way.
     ablation = measure_ablation()
+    overload = measure_overload()
     context = machine_fingerprint()
     context["source"] = "repro.perf"
     context["label"] = "quick" if quick else "full"
@@ -903,6 +959,7 @@ def run_suite(quick: bool = False,
     if sharded is not None:
         rows.append({**context, **sharded})
     rows.append({**context, **population})
+    rows.append({**context, **overload})
     rows.append({**context, **ablation})
     return rows
 

@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import NoPathError, PathServerUnreachableError
+from repro.errors import (NoPathError, OverloadError,
+                          PathServerUnreachableError)
 from repro.obs.spans import NULL_TRACER
+from repro.scion.admission import AdmissionController
 from repro.scion.combinator import combine_segments
 from repro.scion.health import HealthTracker
 from repro.scion.path import ScionPath
@@ -45,6 +47,10 @@ class DaemonStats:
     #: Lookups that failed because the path-server infrastructure was
     #: unreachable and the cache could not answer.
     server_unreachable: int = 0
+    #: Lookups shed under overload but answered with stale cached paths.
+    shed_served_stale: int = 0
+    #: Lookups shed under overload with an explicit rejection.
+    shed_rejected: int = 0
     #: Pushed interface revocations applied / lifted (network-wide
     #: failure dissemination, not the per-host quarantine above).
     revocations_applied: int = 0
@@ -85,6 +91,10 @@ class PathDaemon:
     #: Per-daemon override of the combined-path memo knob
     #: (``REPRO_COMBINE_MEMO``); ``None`` defers to the environment.
     combine_memo: bool | None = None
+    #: Bounded-queue admission gate for this daemon's fresh fetches
+    #: (``REPRO_ADMISSION``); ``None`` admits everything. The shared
+    #: path server's own gate (``path_server.admission``) runs after it.
+    admission: AdmissionController | None = None
     #: dst → (paths, earliest expiry among them in ms, revoked view the
     #: combination was computed under). The expiry bound lets cache hits
     #: skip per-path expiry filtering until a path could actually have
@@ -116,6 +126,7 @@ class PathDaemon:
         metrics.counter("daemon_queries_total").inc()
         if dst == self.isd_as:
             return []
+        stale_candidates: list[ScionPath] = []
         entry = self._cache.get(dst)
         if entry is not None:
             self.stats.cache_hits += 1
@@ -143,7 +154,22 @@ class PathDaemon:
                 # Every cached path was reported dead or revoked: keep
                 # the entry (quarantine and revocations are
                 # time-bounded) but try a fresh combination below —
-                # beaconing may know more by now.
+                # beaconing may know more by now. Under overload these
+                # are still the stale answer of last resort.
+                stale_candidates = fresh
+        shedder = self._overloaded()
+        if shedder is not None:
+            if stale_candidates:
+                # Serve-stale: a possibly-dead cached path beats a
+                # fresh fetch the overloaded service cannot afford.
+                shedder.shed("serve-stale")
+                self.stats.shed_served_stale += 1
+                return self.health.rank(stale_candidates)
+            shedder.shed("rejected")
+            self.stats.shed_rejected += 1
+            raise OverloadError(
+                f"path lookup shed under overload ({shedder.service}) "
+                f"{self.isd_as} -> {dst}")
         if not getattr(self.path_server, "available", True):
             # Infrastructure outage: the cache could not answer and the
             # server cannot be queried — expired segments stay expired.
@@ -172,6 +198,18 @@ class PathDaemon:
             raise NoPathError(
                 f"all SCION paths {self.isd_as} -> {dst} reported dead")
         return self.health.rank(alive)
+
+    def _overloaded(self) -> AdmissionController | None:
+        """Run the fresh-fetch admission gates (daemon first, then the
+        shared path server); returns the controller that shed this
+        lookup, or ``None`` when admitted everywhere. Disabled or
+        absent controllers admit everything."""
+        if self.admission is not None and not self.admission.admit():
+            return self.admission
+        server_admission = getattr(self.path_server, "admission", None)
+        if server_admission is not None and not server_admission.admit():
+            return server_admission
+        return None
 
     @staticmethod
     def _earliest_expiry(paths: list[ScionPath]) -> float:
@@ -328,6 +366,8 @@ class PathDaemon:
         """
         try:
             return self.paths(dst)
+        except OverloadError:
+            raise  # shed is an explicit outcome, not "no path exists"
         except NoPathError:
             return []
 

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.scion.admission import AdmissionController
 from repro.scion.beaconing import SegmentStore
 from repro.scion.segments import PathSegment
 from repro.topology.isd_as import IsdAs
@@ -71,6 +72,10 @@ class PathServer:
     #: builder. Only consumed while degraded, so fault-free seed streams
     #: are untouched.
     degradation_rng: random.Random | None = None
+    #: Bounded-queue admission gate (``REPRO_ADMISSION``); daemons run
+    #: it before fetching fresh segments so the shared server sheds
+    #: instead of queueing unboundedly. ``None`` admits everything.
+    admission: AdmissionController | None = None
     #: Revoked interface → expiry time (ms), fed by the revocation
     #: service; daemons merge this view into fresh combinations.
     _revocations: dict[tuple[IsdAs, int], float] = field(

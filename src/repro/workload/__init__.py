@@ -9,8 +9,8 @@ north star actually asks about — *populations* of browsers per world:
 * :mod:`repro.workload.session` — per-user session plans (think time,
   tab parallelism, revisit locality so warm HTTP pools and daemon
   caches actually get hit);
-* :mod:`repro.workload.arrivals` — open-loop and diurnal arrival
-  curves.
+* :mod:`repro.workload.arrivals` — open-loop, diurnal, flash-crowd
+  and correlated site-of-the-day spike arrival curves.
 
 Everything is driven by dedicated string-seeded RNG streams
 (``random.Random(f"catalog:{seed}")`` etc. — SHA-512 seeded, stable
@@ -20,14 +20,17 @@ construction. The consumer is
 :mod:`repro.experiments.population`.
 """
 
-from repro.workload.arrivals import ArrivalCurve, arrival_times
+from repro.workload.arrivals import (ArrivalCurve, arrival_times,
+                                     burst_intensity, burst_mass,
+                                     burst_window_ms, spike_site_flags)
 from repro.workload.catalog import (SiteCatalog, SiteProfile, ZipfSampler,
                                     default_catalog)
 from repro.workload.session import (LOCALITY_ENV, SessionConfig, Visit,
                                     plan_session)
 
 __all__ = [
-    "ArrivalCurve", "arrival_times",
+    "ArrivalCurve", "arrival_times", "burst_intensity", "burst_mass",
+    "burst_window_ms", "spike_site_flags",
     "SiteCatalog", "SiteProfile", "ZipfSampler", "default_catalog",
     "LOCALITY_ENV", "SessionConfig", "Visit", "plan_session",
 ]

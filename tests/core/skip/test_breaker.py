@@ -125,3 +125,46 @@ class TestBreakerBoard:
         assert board.record_success("fp-a", BACKOFF + 1.0) == "close"
         assert board.probes_in_flight == 0
         assert board.open_count == 0
+
+
+class TestBackoffJitter:
+    """Seeded OPEN-deadline jitter (overload desynchronization)."""
+
+    def test_default_backoff_is_exact(self):
+        breaker = CircuitBreaker()
+        breaker.record_failure(0.0, BACKOFF)
+        assert breaker.open_until == BACKOFF
+
+    def test_jittered_backoff_in_half_open_interval(self):
+        import random
+        for trip in range(4):
+            breaker = CircuitBreaker(
+                jitter_rng=random.Random(f"probe:{trip}"))
+            breaker.record_failure(0.0, BACKOFF)
+            assert 0.5 * BACKOFF <= breaker.open_until < 1.5 * BACKOFF
+
+    def test_jitter_stream_deterministic(self):
+        import random
+        deadlines = []
+        for _ in range(2):
+            breaker = CircuitBreaker(
+                jitter_rng=random.Random("breaker-jitter:client"))
+            breaker.record_failure(0.0, BACKOFF)
+            deadlines.append(breaker.open_until)
+        assert deadlines[0] == deadlines[1]
+
+    def test_board_hands_stream_to_lazy_breakers(self):
+        import random
+        board = BreakerBoard(jitter_rng=random.Random("b:0"))
+        board.record_failure("fp-a", 0.0, BACKOFF)
+        assert board.get("fp-a").jitter_rng is board.jitter_rng
+
+    def test_no_draws_without_trips(self):
+        """Fault-free runs stay RNG-silent: an untripped board never
+        touches its jitter stream."""
+        import random
+        rng = random.Random("b:0")
+        board = BreakerBoard(jitter_rng=rng)
+        board.record_success("fp-a", 0.0)
+        board.blocked(10.0)
+        assert rng.random() == random.Random("b:0").random()

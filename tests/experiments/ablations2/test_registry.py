@@ -8,7 +8,8 @@ from repro.experiments import ablations2 as ab
 EXPECTED_NAMES = {
     "fastpath", "snapshot_cache", "event_pooling", "combine_memo",
     "tracing", "revocation", "circuit_breaker", "health_ranking",
-    "sharded_core", "population_locality",
+    "sharded_core", "population_locality", "admission_control",
+    "retry_budget",
 }
 
 
@@ -34,7 +35,7 @@ class TestRegistry:
     def test_batteries_are_known(self):
         for comp in ab.COMPONENTS:
             assert comp.battery in (ab.FIGURE3, ab.RESILIENCE,
-                                    ab.POPULATION)
+                                    ab.POPULATION, ab.OVERLOAD)
 
     def test_every_component_declares_metrics(self):
         for comp in ab.COMPONENTS:

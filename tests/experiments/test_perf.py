@@ -191,7 +191,7 @@ class TestCli:
         monkeypatch.setenv(perf.BENCH_FILE_ENV, str(target))
         assert perf.main(["--quick", "--workers", "1"]) == 0
         payload = json.loads(target.read_text())
-        assert len(payload["rows"]) == 8
+        assert len(payload["rows"]) == 9
         assert any("events_per_sec" in row for row in payload["rows"])
         assert any("serial_s" in row for row in payload["rows"])
         assert any("cached_trial_ms" in row for row in payload["rows"])
@@ -199,6 +199,8 @@ class TestCli:
         assert any("recovery_ms" in row for row in payload["rows"])
         assert any("fastpath_trial_ms" in row for row in payload["rows"])
         assert any("population_users_per_sec" in row
+                   for row in payload["rows"])
+        assert any("overload_shed_fraction" in row
                    for row in payload["rows"])
         assert any("ablate_selftest_ms" in row for row in payload["rows"])
         assert "repro.perf" in capsys.readouterr().out

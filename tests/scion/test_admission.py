@@ -1,0 +1,154 @@
+"""Admission control: the sliding-window gate and daemon shedding."""
+
+import pytest
+
+from repro.errors import OverloadError
+from repro.scion.admission import AdmissionController
+from repro.scion.beaconing import BeaconingService
+from repro.scion.daemon import PathDaemon
+from repro.scion.path_server import PathServer
+from repro.scion.pki import ControlPlanePki
+from repro.topology.defaults import remote_testbed
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def make_controller(**kwargs) -> AdmissionController:
+    kwargs.setdefault("service", "daemon")
+    kwargs.setdefault("clock", FakeClock())
+    kwargs.setdefault("enabled", True)
+    return AdmissionController(**kwargs)
+
+
+class TestAdmissionController:
+    def test_admits_under_capacity(self):
+        gate = make_controller(capacity_qps=10.0, max_queue_depth=0)
+        clock = gate.clock
+        for i in range(10):
+            clock.now = i * 100.0
+            assert gate.admit()
+        assert gate.stats.admitted == 10
+        assert gate.stats.shed_total() == 0
+
+    def test_sheds_beyond_queue_depth(self):
+        gate = make_controller(capacity_qps=1.0, max_queue_depth=2)
+        decisions = [gate.admit() for _ in range(6)]
+        # capacity 1/window + depth 2: the first three pass, then shed.
+        assert decisions == [True, True, True, False, False, False]
+        assert gate.stats.peak_backlog == 5
+
+    def test_sliding_window_forgets_old_arrivals(self):
+        gate = make_controller(capacity_qps=1.0, max_queue_depth=0,
+                               window_ms=1_000.0)
+        assert gate.admit()
+        assert not gate.admit()
+        gate.clock.now = 2_000.0  # both arrivals aged out
+        assert gate.admit()
+
+    def test_backlog_gauge_tracks_excess(self):
+        gate = make_controller(capacity_qps=1.0, max_queue_depth=10)
+        assert gate.backlog() == 0
+        for _ in range(4):
+            gate.admit()
+        assert gate.backlog() == 3
+
+    def test_shed_accounting_by_reason(self):
+        gate = make_controller()
+        gate.shed("serve-stale")
+        gate.shed("rejected")
+        gate.shed("rejected")
+        assert gate.stats.shed_stale == 1
+        assert gate.stats.shed_rejected == 2
+        assert gate.stats.shed_total() == 3
+        with pytest.raises(ValueError):
+            gate.shed("dropped")
+
+    def test_disabled_admits_everything_statelessly(self):
+        gate = make_controller(enabled=False, capacity_qps=0.0,
+                               max_queue_depth=0)
+        for _ in range(50):
+            assert gate.admit()
+        assert gate.backlog() == 0
+        assert gate.stats.peak_backlog == 0
+        assert gate.stats.admitted == 50
+
+    def test_knob_resolution_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ADMISSION", raising=False)
+        assert AdmissionController(service="probe").enabled
+        monkeypatch.setenv("REPRO_ADMISSION", "0")
+        assert not AdmissionController(service="probe").enabled
+
+
+@pytest.fixture
+def world():
+    topology, ases = remote_testbed()
+    pki = ControlPlanePki(topology, seed=2)
+    store = BeaconingService(topology, pki).build_store()
+    server = PathServer(store)
+    cores = {info.isd_as for info in topology.core_ases()}
+    return ases, server, cores
+
+
+def make_daemon(world, gate=None, server_gate=None):
+    ases, server, cores = world
+    server.admission = server_gate
+    return PathDaemon(isd_as=ases.client, path_server=server,
+                      core_ases=cores, admission=gate)
+
+
+class TestDaemonShedding:
+    def test_cold_cache_shed_rejects_with_explicit_outcome(self, world):
+        ases, _server, _cores = world
+        daemon = make_daemon(world, gate=make_controller(
+            capacity_qps=0.0, max_queue_depth=0))
+        with pytest.raises(OverloadError):
+            daemon.paths(ases.remote_server)
+        assert daemon.stats.shed_rejected == 1
+        assert daemon.admission.stats.shed_rejected == 1
+
+    def test_warm_cache_hit_never_consults_admission(self, world):
+        ases, _server, _cores = world
+        gate = make_controller(capacity_qps=100.0)
+        daemon = make_daemon(world, gate=gate)
+        daemon.paths(ases.remote_server)
+        admitted_after_warm = gate.stats.admitted
+        daemon.paths(ases.remote_server)
+        # Cache hits are free: no fresh fetch, no admission arrival.
+        assert gate.stats.admitted == admitted_after_warm
+
+    def test_shed_serves_stale_quarantined_paths(self, world):
+        ases, _server, _cores = world
+        gate = make_controller(capacity_qps=100.0)
+        daemon = make_daemon(world, gate=gate)
+        paths = daemon.paths(ases.remote_server)
+        for path in paths:
+            daemon.report_path_failure(ases.remote_server,
+                                       path.fingerprint())
+        gate.capacity_qps = 0.0
+        gate.max_queue_depth = 0
+        stale = daemon.paths(ases.remote_server)
+        assert {p.fingerprint() for p in stale} == \
+            {p.fingerprint() for p in paths}
+        assert daemon.stats.shed_served_stale == 1
+        assert gate.stats.shed_stale == 1
+
+    def test_path_server_gate_runs_after_daemon_gate(self, world):
+        ases, _server, _cores = world
+        server_gate = make_controller(service="path-server",
+                                      capacity_qps=0.0, max_queue_depth=0)
+        daemon = make_daemon(world, gate=make_controller(),
+                             server_gate=server_gate)
+        with pytest.raises(OverloadError, match="path-server"):
+            daemon.paths(ases.remote_server)
+        assert server_gate.stats.shed_rejected == 1
+
+    def test_try_paths_propagates_shed_as_explicit_outcome(self, world):
+        ases, _server, _cores = world
+        daemon = make_daemon(world, gate=make_controller(
+            capacity_qps=0.0, max_queue_depth=0))
+        # NoPathError degrades to [], but shed must stay loud.
+        with pytest.raises(OverloadError):
+            daemon.try_paths(ases.remote_server)

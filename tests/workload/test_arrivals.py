@@ -1,23 +1,30 @@
-"""Arrival curves: determinism, window bounds, diurnal shape."""
+"""Arrival curves: determinism, window bounds, diurnal + burst shapes."""
 
 import pytest
 
-from repro.workload import ArrivalCurve, arrival_times
+from repro.workload import (ArrivalCurve, arrival_times, burst_intensity,
+                            burst_mass, burst_window_ms, spike_site_flags)
 
 OPEN = ArrivalCurve(window_ms=5_000.0)
 DIURNAL = ArrivalCurve(window_ms=5_000.0, shape="diurnal",
                        diurnal_amplitude=0.8)
+FLASH = ArrivalCurve(window_ms=5_000.0, shape="flash-crowd",
+                     burst_multiplier=10.0, burst_start=0.3,
+                     burst_ramp=0.05, burst_duration=0.2, burst_decay=0.1)
+SPIKE = ArrivalCurve(window_ms=5_000.0, shape="correlated-spike",
+                     burst_multiplier=8.0, burst_start=0.25,
+                     burst_ramp=0.05, burst_duration=0.25, burst_decay=0.15)
 
 
 class TestArrivals:
-    @pytest.mark.parametrize("curve", [OPEN, DIURNAL])
+    @pytest.mark.parametrize("curve", [OPEN, DIURNAL, FLASH, SPIKE])
     def test_deterministic_per_seed(self, curve):
         assert arrival_times(50, curve, seed=7) == \
             arrival_times(50, curve, seed=7)
         assert arrival_times(50, curve, seed=7) != \
             arrival_times(50, curve, seed=8)
 
-    @pytest.mark.parametrize("curve", [OPEN, DIURNAL])
+    @pytest.mark.parametrize("curve", [OPEN, DIURNAL, FLASH, SPIKE])
     def test_sorted_and_inside_the_window(self, curve):
         times = arrival_times(200, curve, seed=7)
         assert len(times) == 200
@@ -52,3 +59,78 @@ class TestArrivals:
         head = sum(1 for t in times if t < third)
         mid = sum(1 for t in times if third <= t < 2 * third)
         assert abs(head - mid) < 200
+
+
+class TestBurstArrivals:
+    @pytest.mark.parametrize("curve", [FLASH, SPIKE])
+    def test_burst_mass_matches_analytic(self, curve):
+        """The sampled in-burst fraction converges to the analytic
+        expectation computed on the same inversion grid."""
+        times = arrival_times(20_000, curve, seed=11)
+        start, end = burst_window_ms(curve)
+        inside = sum(1 for t in times if start <= t < end)
+        assert inside / len(times) == pytest.approx(burst_mass(curve),
+                                                    abs=0.01)
+
+    def test_burst_mass_grows_with_multiplier(self):
+        import dataclasses
+        flat = dataclasses.replace(FLASH, burst_multiplier=1.0)
+        assert burst_mass(flat) < burst_mass(FLASH)
+        assert burst_mass(FLASH) > 0.6  # 10x over ~a third of the window
+
+    def test_intensity_trapezoid(self):
+        assert burst_intensity(FLASH, 0.0) == 1.0
+        assert burst_intensity(FLASH, 0.3 + 0.025) == \
+            pytest.approx(5.5)  # mid-ramp
+        assert burst_intensity(FLASH, 0.4) == 10.0  # plateau
+        assert burst_intensity(FLASH, 0.99) == 1.0
+
+    def test_burst_window_in_ms(self):
+        start, end = burst_window_ms(FLASH)
+        assert start == pytest.approx(0.3 * FLASH.window_ms)
+        assert end == pytest.approx(0.65 * FLASH.window_ms)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            arrival_times(5, ArrivalCurve(shape="flash-crowd",
+                                          burst_multiplier=0.5), seed=1)
+        with pytest.raises(ValueError):
+            arrival_times(5, ArrivalCurve(shape="flash-crowd",
+                                          burst_ramp=-0.1), seed=1)
+        with pytest.raises(ValueError):
+            arrival_times(5, ArrivalCurve(shape="flash-crowd",
+                                          burst_start=0.8,
+                                          burst_duration=0.3), seed=1)
+
+
+class TestSpikeSiteFlags:
+    def test_deterministic_and_dedicated_stream(self):
+        times = arrival_times(500, SPIKE, seed=3)
+        flags = spike_site_flags(times, SPIKE, seed=3)
+        assert flags == spike_site_flags(times, SPIKE, seed=3)
+        assert flags != spike_site_flags(times, SPIKE, seed=4)
+        # Flag computation never perturbs the arrivals stream.
+        assert times == arrival_times(500, SPIKE, seed=3)
+
+    def test_flags_only_inside_the_burst(self):
+        times = arrival_times(2_000, SPIKE, seed=3)
+        flags = spike_site_flags(times, SPIKE, seed=3)
+        start, end = burst_window_ms(SPIKE)
+        assert any(flags)
+        for t, flagged in zip(times, flags):
+            if flagged:
+                assert start <= t < end
+
+    def test_plateau_arrivals_mostly_spiked(self):
+        """At 8x intensity, 7/8 of plateau arrivals are spike excess."""
+        times = arrival_times(20_000, SPIKE, seed=3)
+        flags = spike_site_flags(times, SPIKE, seed=3)
+        lo = (SPIKE.burst_start + SPIKE.burst_ramp) * SPIKE.window_ms
+        hi = lo + SPIKE.burst_duration * SPIKE.window_ms
+        plateau = [f for t, f in zip(times, flags) if lo <= t < hi]
+        assert sum(plateau) / len(plateau) == pytest.approx(7 / 8,
+                                                            abs=0.03)
+
+    def test_no_flags_for_unbursty_curves(self):
+        times = arrival_times(200, OPEN, seed=3)
+        assert not any(spike_site_flags(times, OPEN, seed=3))
